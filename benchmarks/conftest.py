@@ -1,0 +1,35 @@
+"""Benchmark fixtures: the two case studies at full paper fidelity.
+
+Building a study is expensive (the M0 runs the full ~3700-cycle
+Dhrystone-lite through the gate-level simulator), so studies are
+session-scoped and shared by every benchmark; the timed portion of each
+benchmark is the analysis that regenerates the table/figure.
+
+Set ``REPRO_FAST_BENCH=1`` to use the trimmed workloads (useful in CI).
+"""
+
+import os
+
+import pytest
+
+_FAST = os.environ.get("REPRO_FAST_BENCH", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def mult_study():
+    from repro.paper import multiplier_study
+
+    return multiplier_study(fast=_FAST)
+
+
+@pytest.fixture(scope="session")
+def m0_study():
+    from repro.paper import cortex_m0_study
+
+    return cortex_m0_study(fast=_FAST)
+
+
+def emit(title, body):
+    """Print a benchmark artefact in a greppable block."""
+    bar = "=" * 78
+    print("\n{}\n{}\n{}\n{}".format(bar, title, bar, body))

@@ -1,0 +1,50 @@
+"""Ablation A-DUTY: duty-cycle sweep at fixed frequency.
+
+DESIGN.md calls out the duty cycle as SCPG's central tuning knob: power
+falls monotonically as the duty rises, until the feasibility edge where
+the low phase no longer fits T_PGStart + T_eval + T_setup.  This bench
+verifies the whole curve and the edge.
+"""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.scpg.duty import duty_sweep, optimise_duty
+from repro.scpg.power_model import Mode
+from repro.sta.constraints import ClockSpec
+from repro.scpg.clocking import scpg_feasible
+
+from .conftest import emit
+
+FREQ = 1e6
+
+
+def test_duty_sweep(benchmark, mult_study):
+    model = mult_study.model
+    points = benchmark(duty_sweep, FREQ, model.timing, model, 15)
+
+    lines = ["{:>8} {:>12} {:>10}".format("duty", "power (uW)",
+                                          "E/op (pJ)")]
+    for duty, b in points:
+        lines.append("{:>8.3f} {:>12.3f} {:>10.3f}".format(
+            duty, b.total * 1e6, b.energy_per_op * 1e12))
+    emit("Duty-cycle ablation -- multiplier @ 1 MHz", "\n".join(lines))
+
+    powers = [b.total for _d, b in points]
+    assert powers == sorted(powers, reverse=True)  # monotone improvement
+
+    # Feasibility edge: just past the optimum the clock fails timing.
+    best = optimise_duty(FREQ, model.timing)
+    if best < 0.975:  # not capped: the edge is the timing limit
+        too_high = min(best + 0.02, 0.995)
+        assert not scpg_feasible(ClockSpec(FREQ, too_high), model.timing)
+        with pytest.raises(ScpgError):
+            model.power(FREQ, Mode.SCPG, duty=too_high)
+
+
+def test_duty_edge_tracks_frequency(benchmark, mult_study):
+    """Higher frequency -> smaller maximum duty (less idle time)."""
+    timing = mult_study.model.timing
+    duties = benchmark(
+        lambda: [optimise_duty(f, timing) for f in (1e5, 1e6, 5e6, 10e6)])
+    assert duties == sorted(duties, reverse=True)

@@ -1,0 +1,58 @@
+"""Ablation A-OVR: the active-low override (peak-performance escape).
+
+§IV: the override "enables the system to peak to maximum performance,
+allowing the digital circuit to toggle between low power, low performance
+(kHzs) and high power, high performance (MHzs) states" -- the MSP430-style
+dual-clock usage.  This bench quantifies both states and the cost of
+leaving gating enabled near the convergence frequency.
+"""
+
+from repro.scpg.power_model import Mode
+from repro.units import fmt_energy, fmt_freq, fmt_power
+
+from .conftest import emit
+
+
+def test_override_duty_states(benchmark, mult_study):
+    model = mult_study.model
+
+    def both_states():
+        slow = model.power(32e3, Mode.SCPG_MAX)       # background tasks
+        fast = model.power(model.feasible_fmax(Mode.NO_PG), Mode.OVERRIDE)
+        return slow, fast
+
+    slow, fast = benchmark(both_states)
+    emit("Override ablation -- MSP430-style state toggling",
+         "low-power state : {} @ {} ({}/op)\n"
+         "high-perf state : {} @ {} ({}/op)".format(
+             fmt_power(slow.total), fmt_freq(slow.freq_hz),
+             fmt_energy(slow.energy_per_op),
+             fmt_power(fast.total), fmt_freq(fast.freq_hz),
+             fmt_energy(fast.energy_per_op)))
+
+    # kHz-state power is an order of magnitude below MHz-state power.
+    assert slow.total < fast.total / 5
+    # The high-performance state is beyond SCPG's feasible range.
+    assert fast.freq_hz > model.feasible_fmax(Mode.SCPG)
+
+
+def test_gating_cost_near_convergence(benchmark, m0_study):
+    """Beyond convergence, *not* overriding costs real power (Table II's
+    negative savings): quantify SCPG vs Override at the M0's top feasible
+    SCPG frequency."""
+    model = m0_study.model
+    f = model.feasible_fmax(Mode.SCPG) * 0.98
+
+    def penalty():
+        scpg = model.power(f, Mode.SCPG).total
+        override = model.power(f, Mode.OVERRIDE).total
+        return scpg, override
+
+    scpg, override = benchmark(penalty)
+    emit("Override ablation -- M0 at {} (past convergence)".format(
+        fmt_freq(f)),
+        "SCPG (gating on): {}\nOverride (gating off): {}\n"
+        "penalty for gating: {:.1f}%".format(
+            fmt_power(scpg), fmt_power(override),
+            100 * (scpg - override) / override))
+    assert scpg > override  # gating hurts here; override is the fix

@@ -1,0 +1,41 @@
+"""Experiment S-CONV: the frequency where SCPG stops saving power.
+
+Paper: "the 3 setups converge at approximately 15 MHz" for the multiplier
+and "around 5 MHz" for the Cortex-M0; beyond it an SCPG design would not
+save any power (Table II shows -2.7% / -12%).
+"""
+
+from repro.analysis.sweep import find_convergence
+from repro.scpg.power_model import Mode
+from repro.units import fmt_freq
+
+from .conftest import emit
+
+
+def test_convergence_multiplier(benchmark, mult_study):
+    fc = benchmark(find_convergence, mult_study.model, Mode.SCPG)
+    text = "model: {}   (paper: ~15 MHz)".format(
+        fmt_freq(fc) if fc else "no crossing below SCPG Fmax "
+        "({})".format(fmt_freq(mult_study.model.feasible_fmax(Mode.SCPG))))
+    emit("Convergence frequency -- multiplier", text)
+    if fc is not None:
+        assert 9e6 < fc < 25e6
+
+
+def test_convergence_m0(benchmark, m0_study):
+    fc = benchmark(find_convergence, m0_study.model, Mode.SCPG)
+    emit("Convergence frequency -- Cortex-M0",
+         "model: {}   (paper: ~5 MHz)".format(fmt_freq(fc)))
+    assert fc is not None
+    assert 2e6 < fc < 9e6
+
+
+def test_m0_converges_below_multiplier(benchmark, m0_study, mult_study):
+    """The relative ordering is the paper's central §III-B observation:
+    the larger design's gating overhead lowers its convergence point."""
+    fc_m0, fc_mult = benchmark(
+        lambda: (find_convergence(m0_study.model, Mode.SCPG),
+                 find_convergence(mult_study.model, Mode.SCPG)))
+    if fc_mult is None:
+        fc_mult = mult_study.model.feasible_fmax(Mode.SCPG)
+    assert fc_m0 < fc_mult

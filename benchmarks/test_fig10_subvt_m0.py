@@ -1,0 +1,35 @@
+"""Experiment F10: Fig. 10 -- Cortex-M0 energy/op vs supply voltage.
+
+Paper: minimum at 450 mV / 12.01 pJ (24 MHz, 288 uW) -- at a *higher*
+supply than the multiplier because the denser logic leaks more relative
+to its switching.
+"""
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.figures import subvt_series
+from repro.subvt.energy import minimum_energy_point
+from repro.units import fmt_energy, fmt_freq, fmt_power
+
+from .conftest import emit
+
+
+def test_fig10_subvt_m0(benchmark, m0_study, mult_study):
+    mep = benchmark(minimum_energy_point, m0_study.subvt)
+
+    series = subvt_series(m0_study.subvt, 0.2, 0.7, steps=60)
+    emit("Fig. 10 -- Cortex-M0 energy per operation vs supply voltage",
+         ascii_chart([series], width=74, height=16,
+                     xlabel="Supply Voltage (V)",
+                     ylabel="Energy per Operation (J)"))
+    emit("Minimum-energy point",
+         "model: {:.0f} mV, {} per op, Fmax {}, avg power {}   "
+         "(paper: 450 mV, 12.01 pJ, 24 MHz, 288 uW)".format(
+             mep.vdd * 1e3, fmt_energy(mep.energy), fmt_freq(mep.fmax_hz),
+             fmt_power(mep.power)))
+
+    assert 0.30 <= mep.vdd <= 0.60
+    assert 3e-12 <= mep.energy <= 30e-12
+    # Denser logic -> minimum at higher VDD and energy than the multiplier.
+    mult_mep = minimum_energy_point(mult_study.subvt)
+    assert mep.vdd > mult_mep.vdd
+    assert mep.energy > 3 * mult_mep.energy

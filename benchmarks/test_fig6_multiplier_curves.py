@@ -1,0 +1,43 @@
+"""Experiments F6a/F6b: Fig. 6 -- multiplier power and energy vs frequency.
+
+(a) average power of the three setups converging with frequency;
+(b) energy per operation (log scale) with SCPG below No-PG throughout.
+"""
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.figures import energy_series, power_series
+
+from .conftest import emit
+
+FREQS = [k * 0.5e6 for k in range(1, 29)]  # 0.5 .. 14 MHz
+
+
+def test_fig6a_power(benchmark, mult_study):
+    series = benchmark(power_series, mult_study.model, FREQS)
+    emit("Fig. 6(a) -- multiplier avg power vs clock frequency",
+         ascii_chart(series, logy=False,
+                     xlabel="Clock Frequency (Hz)",
+                     ylabel="Avg Power (W)"))
+    by_label = {s.label: s for s in series}
+    nopg, scpg = by_label["No Power Gating"], by_label["SCPG"]
+    gaps = [a - b for a, b in zip(nopg.y, scpg.y) if b is not None]
+    # Converging: the gap shrinks monotonically overall (allow noise).
+    assert gaps[-1] < 0.3 * gaps[0]
+    # SCPG-Max under SCPG at low f.
+    scpg_max = by_label["SCPG-Max"]
+    assert scpg_max.y[0] < scpg.y[0] < nopg.y[0]
+
+
+def test_fig6b_energy(benchmark, mult_study):
+    series = benchmark(energy_series, mult_study.model, FREQS)
+    emit("Fig. 6(b) -- multiplier energy per operation vs clock frequency",
+         ascii_chart(series, logy=True,
+                     xlabel="Clock Frequency (Hz)",
+                     ylabel="Energy per Operation (J)"))
+    for s in series:
+        finite = [y for y in s.y if y is not None]
+        assert finite == sorted(finite, reverse=True)  # falls with f
+    by_label = {s.label: s for s in series}
+    for a, b in zip(by_label["SCPG"].y, by_label["No Power Gating"].y):
+        if a is not None:
+            assert a < b

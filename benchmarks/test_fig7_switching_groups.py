@@ -1,0 +1,51 @@
+"""Experiment F7: Fig. 7 -- switching probability per Dhrystone vector
+group.
+
+The paper divides the 3700-vector benchmark into 370 groups of 10 and
+plots each group's switching probability (0..~0.7), then picks the
+max/min/avg groups for detailed power simulation.  The benchmark times
+the grouping/selection step over the recorded trace.
+"""
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.figures import switching_series
+
+from .conftest import emit
+
+
+def test_fig7_switching_probability(benchmark, m0_study):
+    trace = m0_study.activity_trace
+    reps = benchmark(trace.representative_groups)
+
+    series = switching_series(trace)
+    emit("Fig. 7 -- switching probability per 10-vector Dhrystone group",
+         ascii_chart([series], width=74, height=16,
+                     xlabel="Vector Group", ylabel="Switching Probability"))
+    emit("Representative groups (paper methodology: max/min/avg -> "
+         "detailed simulation)",
+         "\n".join("{:>4}: group {:>4}  switching probability {:.3f}"
+                   .format(k, g.index, g.switching_probability)
+                   for k, g in reps.items()))
+
+    # Paper-shape assertions.
+    n_groups = len(trace.groups)
+    assert n_groups >= 30               # 370 at full fidelity
+    probs = trace.series
+    assert max(probs) <= 1.2            # probability-like range
+    assert max(probs) > 2 * min(probs)  # workload phases visible
+    assert reps["min"].switching_probability \
+        <= reps["avg"].switching_probability \
+        <= reps["max"].switching_probability
+
+
+def test_fig7_full_run_length(benchmark, m0_study):
+    """At full fidelity the run matches the paper's 3700 vectors."""
+    import os
+
+    cycles, groups = benchmark(
+        lambda: (m0_study.workload_cycles,
+                 len(m0_study.activity_trace.groups)))
+    if os.environ.get("REPRO_FAST_BENCH", "") == "1":
+        return  # trimmed workload in fast mode
+    assert 3000 <= cycles <= 4500
+    assert 300 <= groups <= 450

@@ -1,0 +1,38 @@
+"""Experiments F8a/F8b: Fig. 8 -- M0-lite power and energy vs frequency.
+
+Same series as Fig. 6 but the curves converge earlier (~5 MHz) and the
+SCPG curves *cross above* No-PG beyond the convergence point.
+"""
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.figures import energy_series, power_series
+
+from .conftest import emit
+
+FREQS = [k * 0.4e6 for k in range(1, 26)]  # 0.4 .. 10 MHz
+
+
+def test_fig8a_power(benchmark, m0_study):
+    series = benchmark(power_series, m0_study.model, FREQS)
+    emit("Fig. 8(a) -- Cortex-M0 avg power vs clock frequency",
+         ascii_chart(series, logy=False,
+                     xlabel="Clock Frequency (Hz)",
+                     ylabel="Avg Power (W)"))
+    by_label = {s.label: s for s in series}
+    nopg, scpg = by_label["No Power Gating"], by_label["SCPG"]
+    # Crossover: SCPG above No-PG at the top of the range.
+    pairs = [(a, b) for a, b in zip(nopg.y, scpg.y) if b is not None]
+    assert pairs[0][1] < pairs[0][0]      # saves at low f
+    assert pairs[-1][1] > pairs[-1][0]    # loses at high f
+
+
+def test_fig8b_energy(benchmark, m0_study):
+    series = benchmark(energy_series, m0_study.model, FREQS)
+    emit("Fig. 8(b) -- Cortex-M0 energy per operation vs clock frequency",
+         ascii_chart(series, logy=True,
+                     xlabel="Clock Frequency (Hz)",
+                     ylabel="Energy per Operation (J)"))
+    by_label = {s.label: s for s in series}
+    # SCPG-Max most efficient at low frequency.
+    assert by_label["SCPG-Max"].y[0] < by_label["SCPG"].y[0] \
+        < by_label["No Power Gating"].y[0]

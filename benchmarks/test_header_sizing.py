@@ -1,0 +1,52 @@
+"""Experiment S-HDR: the §III sleep-transistor sizing study.
+
+Paper: "the best IR drop can be achieved with X2 size transistors for the
+16-bit multiplier, and X4 size transistors for the Cortex-M0".  The study
+sweeps every available size for both designs and reports IR drop, wake-up
+time, in-rush current, ground bounce, area and residual leakage.
+"""
+
+from repro.power.headers import evaluate_header_sizes, size_header_network
+from repro.units import fmt_time
+
+from .conftest import emit
+
+
+def _study_rows(study):
+    sizings = evaluate_header_sizes(
+        study.library, study.scpg.rail, study.e_cycle,
+        study.sta.eval_delay)
+    lines = ["{:>4} {:>10} {:>10} {:>12} {:>12} {:>10} {:>8}".format(
+        "size", "IR drop", "meets 5%", "restore", "in-rush", "area um2",
+        "leak nW")]
+    for s in sizings:
+        lines.append(
+            "{:>4} {:>9.1f}% {:>10} {:>12} {:>10.1f}mA {:>10.1f} "
+            "{:>8.1f}".format(
+                "X{}".format(s.size), 100 * s.ir_drop_fraction,
+                "yes" if s.meets_budget else "no",
+                fmt_time(s.restore_time), s.inrush_current * 1e3,
+                s.area, s.leakage_off * 1e9))
+    return sizings, "\n".join(lines)
+
+
+def test_header_sizing_multiplier(benchmark, mult_study):
+    sizings, best = benchmark(
+        size_header_network, mult_study.library, mult_study.scpg.rail,
+        mult_study.e_cycle, mult_study.sta.eval_delay)
+    _s, table = _study_rows(mult_study)
+    emit("Header sizing -- 16-bit multiplier (paper best: X2)", table
+         + "\n-> selected: X{}".format(best.size))
+    assert best.size == 2
+
+
+def test_header_sizing_m0(benchmark, m0_study):
+    sizings, best = benchmark(
+        size_header_network, m0_study.library, m0_study.scpg.rail,
+        m0_study.e_cycle, m0_study.sta.eval_delay)
+    _s, table = _study_rows(m0_study)
+    emit("Header sizing -- Cortex-M0 (paper best: X4)", table
+         + "\n-> selected: X{}".format(best.size))
+    assert best.size == 4
+    # The larger design needs the larger device.
+    assert best.size > 2

@@ -1,0 +1,64 @@
+"""Experiment S-BUD: the energy-harvester power-budget scenarios.
+
+Paper §III-A: with a 30 uW budget the multiplier without SCPG runs at
+~100 kHz (294.4 pJ/op); with SCPG-Max it reaches ~5 MHz at 6.56 pJ/op --
+"a 50x increase in clock frequency with 45x improvement in energy
+efficiency within the same power budget".
+
+Paper §III-B: with 250 uW the Cortex-M0 goes from ~1 MHz / 253 pJ to
+2-5 MHz / <105 pJ: "over 2.5x improvement in energy efficiency ... at
+over 2x higher clock frequency".
+"""
+
+from repro.scpg.budget import (
+    HARVESTER_BUDGET_LARGE,
+    HARVESTER_BUDGET_SMALL,
+    compare_at_budget,
+)
+from repro.scpg.power_model import Mode
+from repro.units import fmt_energy, fmt_freq
+
+from .conftest import emit
+
+
+def _scenario_block(comparison):
+    lines = []
+    for mode, s in comparison.items():
+        lines.append("{:>10}: f = {:>10}, P = {:6.1f} uW, E/op = {}".format(
+            mode.value, fmt_freq(s.freq_hz), s.power * 1e6,
+            fmt_energy(s.energy_per_op)))
+    nopg = comparison[Mode.NO_PG]
+    best = comparison[Mode.SCPG_MAX]
+    lines.append("SCPG-Max vs No-PG: {:.1f}x clock, {:.1f}x energy "
+                 "efficiency".format(best.speedup_vs(nopg),
+                                     best.efficiency_vs(nopg)))
+    return "\n".join(lines)
+
+
+def test_multiplier_30uw_budget(benchmark, mult_study):
+    comparison = benchmark(
+        compare_at_budget, mult_study.model, HARVESTER_BUDGET_SMALL)
+    emit("Power budget scenario -- multiplier @ 30 uW "
+         "(paper: 100 kHz/294 pJ -> ~5 MHz/6.56 pJ; ~50x / ~45x)",
+         _scenario_block(comparison))
+    nopg = comparison[Mode.NO_PG]
+    best = comparison[Mode.SCPG_MAX]
+    assert best.speedup_vs(nopg) > 4
+    assert best.efficiency_vs(nopg) > 4
+    assert best.energy_per_op < 10e-12
+    assert best.freq_hz > 2e6
+
+
+def test_m0_250uw_budget(benchmark, m0_study):
+    comparison = benchmark(
+        compare_at_budget, m0_study.model, HARVESTER_BUDGET_LARGE)
+    emit("Power budget scenario -- Cortex-M0 @ 250 uW "
+         "(paper: ~1 MHz/253 pJ -> 2-5 MHz/<105 pJ; >2x / >2.5x)",
+         _scenario_block(comparison))
+    nopg = comparison[Mode.NO_PG]
+    scpg = comparison[Mode.SCPG]
+    best = comparison[Mode.SCPG_MAX]
+    assert scpg.speedup_vs(nopg) > 1.2
+    assert best.speedup_vs(nopg) > 1.5
+    assert best.efficiency_vs(nopg) > 1.5
+    assert best.energy_per_op < 150e-12

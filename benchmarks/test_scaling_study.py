@@ -1,0 +1,48 @@
+"""Extension study: SCPG value versus design size.
+
+The paper compares two sizes (556-gate multiplier, 6747-gate M0) and
+reasons about why the bigger design saves a smaller fraction and
+converges earlier.  This bench sweeps generated multipliers across
+operand widths and reports the measured scaling *within one circuit
+family*: the gatable (combinational) leakage share grows with size, so
+the 10 kHz savings grow; the absolute gating overhead grows with the
+rail; fixed costs (controller, header slots) amortise, so the area
+overhead percentage falls; and the selected header size steps up with
+the evaluation current.
+"""
+
+from repro.analysis.scaling import scaling_study
+
+from .conftest import emit
+
+WIDTHS = (8, 12, 16, 24)
+
+
+def test_scaling_study(benchmark, mult_study):
+    lib = mult_study.library
+    study = benchmark.pedantic(
+        scaling_study, args=(lib, WIDTHS), rounds=1, iterations=1)
+
+    lines = ["{:>6} {:>8} {:>11} {:>11} {:>12} {:>10} {:>7} {:>8}".format(
+        "width", "gates", "comb leak", "overhead", "convergence",
+        "save@10k", "header", "area+")]
+    for p in sorted(study.points, key=lambda p: p.width):
+        lines.append(
+            "{:>6} {:>8} {:>9.1f}uW {:>9.2f}pJ {:>12} {:>9.1f}% "
+            "{:>7} {:>7.1f}%".format(
+                p.width, p.comb_gates, p.comb_leak * 1e6,
+                p.overhead_energy * 1e12,
+                "{:.1f} MHz".format(p.convergence_hz / 1e6)
+                if p.convergence_hz else "> Fmax",
+                p.saving_10k_pct, "X{}".format(p.header_size),
+                p.area_overhead_pct))
+    emit("Scaling study -- SCPG vs multiplier width", "\n".join(lines))
+
+    saves = study.trend("saving_10k_pct")
+    assert saves == sorted(saves)                   # savings grow with size
+    areas = study.trend("area_overhead_pct")
+    assert areas == sorted(areas, reverse=True)     # overhead % amortises
+    headers = study.trend("header_size")
+    assert headers == sorted(headers)               # bigger design, bigger header
+    overheads = study.trend("overhead_energy")
+    assert overheads == sorted(overheads)           # absolute overhead grows

@@ -1,0 +1,54 @@
+"""Experiment S-SUBVT: §IV comparative analysis with sub-threshold design.
+
+Paper (multiplier): sub-threshold minimum energy 1.7 pJ @ 310 mV /
+~10 MHz / 17 uW; within the same 17 uW budget SCPG runs at 2 MHz and
+8.68 pJ -- a ~5x performance and ~5x energy gap, narrowing to 2.9x at a
+40 uW budget.  Paper (M0): ~288 uW budget, ~5x performance and ~4.8x
+energy.  Sub-threshold always wins energy; SCPG buys back performance
+range and stability.
+"""
+
+from repro.scpg.power_model import Mode
+from repro.subvt.compare import compare_with_scpg
+
+from .conftest import emit
+
+
+def test_subvt_vs_scpg_multiplier(benchmark, mult_study):
+    result = benchmark(
+        compare_with_scpg, mult_study.subvt, mult_study.model, Mode.SCPG)
+    emit("Sub-threshold vs SCPG -- multiplier "
+         "(paper: 5x energy, 5x performance @ 17 uW)", str(result))
+
+    assert result.energy_ratio > 1.5      # sub-vt wins energy
+    assert result.performance_ratio > 1.0
+
+    # Bigger budget narrows the gap (paper: 5x -> 2.9x at 40 uW).
+    wider = compare_with_scpg(mult_study.subvt, mult_study.model,
+                              Mode.SCPG, budget=result.budget * 2.0)
+    emit("Same comparison at 2x budget (paper: gap narrows to 2.9x)",
+         str(wider))
+    assert wider.energy_ratio < result.energy_ratio
+
+
+def test_subvt_vs_scpg_m0(benchmark, m0_study):
+    result = benchmark(
+        compare_with_scpg, m0_study.subvt, m0_study.model, Mode.SCPG)
+    emit("Sub-threshold vs SCPG -- Cortex-M0 "
+         "(paper: 4.8x energy, 5x performance @ ~288 uW)", str(result))
+    assert result.energy_ratio > 1.2
+    assert result.performance_ratio > 1.0
+
+
+def test_scpg_retains_performance_range(benchmark, mult_study):
+    """§IV's qualitative claim: sub-threshold is stuck near its MEP
+    frequency, while the SCPG design spans kHz to its full Fmax via the
+    override."""
+    from repro.subvt.energy import minimum_energy_point
+
+    mep, peak = benchmark(
+        lambda: (minimum_energy_point(mult_study.subvt),
+                 mult_study.model.feasible_fmax(Mode.NO_PG)))
+    emit("Performance range", "sub-vt point: {:.3g} Hz; SCPG+override "
+         "range: DC .. {:.3g} Hz".format(mep.fmax_hz, peak))
+    assert peak > 2 * mep.fmax_hz

@@ -1,0 +1,54 @@
+"""Experiment T1: regenerate Table I (16-bit multiplier, VDD = 0.6 V).
+
+Paper columns: power / energy-per-operation for No Power Gating, Proposed
+SCPG (50% duty) and Proposed SCPG-Max, at 0.01-14.3 MHz, plus saving
+percentages.  Shape assertions: saving ordering and low-frequency
+magnitudes; the full model-vs-paper table is printed.
+"""
+
+from repro.analysis.tables import TABLE_I_FREQS, build_table, format_table
+from repro.tech.calibration import relative_error
+
+from .conftest import emit
+
+
+def _compare_block(rows, paper_rows):
+    lines = ["{:>8} | {:>12} {:>12} | {:>12} {:>12} | {:>8} {:>8}".format(
+        "f (MHz)", "model noPG", "paper noPG", "model SCPG", "paper SCPG",
+        "model sv%", "paper sv%")]
+    for row, paper in zip(rows, paper_rows):
+        lines.append(
+            "{:>8.2f} | {:>10.2f}uW {:>10.2f}uW | {} {:>10.2f}uW | "
+            "{} {:>8.1f}".format(
+                row.freq_hz / 1e6,
+                row.power_nopg * 1e6,
+                paper.power_nopg * 1e6,
+                "{:>10.2f}uW".format(row.power_scpg * 1e6)
+                if row.power_scpg else "{:>12}".format("-"),
+                paper.power_scpg * 1e6,
+                "{:>8.1f}".format(row.saving_scpg_pct)
+                if row.saving_scpg_pct is not None else "{:>8}".format("-"),
+                paper.saving_scpg_pct,
+            ))
+    return "\n".join(lines)
+
+
+def test_table1(benchmark, mult_study):
+    rows = benchmark(build_table, mult_study.model, TABLE_I_FREQS)
+
+    emit("TABLE I -- model", format_table(
+        rows, "POWER AND ENERGY PER OPERATION OF SUB-CLOCK POWER GATED "
+        "MULTIPLIER"))
+    emit("TABLE I -- model vs paper",
+         _compare_block(rows, mult_study.anchors.rows))
+
+    # Shape assertions.
+    paper = mult_study.anchors.rows
+    for row, ref in zip(rows, paper):
+        assert relative_error(row.power_nopg, ref.power_nopg) < 0.15
+    low = rows[0]
+    assert abs(low.saving_scpg_pct - paper[0].saving_scpg_pct) < 6
+    assert abs(low.saving_scpgmax_pct - paper[0].saving_scpgmax_pct) < 8
+    savings = [r.saving_scpg_pct for r in rows
+               if r.saving_scpg_pct is not None]
+    assert savings == sorted(savings, reverse=True)

@@ -1,0 +1,73 @@
+"""Extension study: are the Table II conclusions workload-sensitive?
+
+The paper uses Dhrystone because it "represents a range of application
+workloads" [10].  This study stresses that choice: the same M0-lite core
+runs a control-heavy workload (bit-serial CRC-32) and a datapath-heavy
+one (4-tap FIR, multiplier-bound) alongside Dhrystone-lite, and the SCPG
+savings are recomputed per workload.  Switching energy per cycle moves
+with the workload, but the *savings* -- dominated by leakage and idle
+time -- barely move: the technique's value is workload-robust.
+"""
+
+from repro.isa.programs import (
+    crc32_program,
+    dhrystone_memory,
+    dhrystone_program,
+    fir_program,
+)
+from repro.isa.trace import GateLevelCpu
+from repro.power.dynamic import M0LITE_GLITCH_FACTOR, dynamic_power
+from repro.power.leakage import leakage_power
+from repro.scpg.power_model import Mode, ScpgPowerModel
+
+from .conftest import emit
+
+WORKLOADS = {
+    "dhrystone": lambda: (dhrystone_program(6), dhrystone_memory()),
+    "crc32": lambda: (crc32_program(6), dhrystone_memory()),
+    "fir": lambda: (fir_program(24), {}),
+}
+
+
+def _measure(study, program, memory):
+    core = study.base.top
+    gate = GateLevelCpu(core, program, memory, record_toggles=True)
+    gate.run(max_cycles=20_000)
+    dyn = dynamic_power(
+        core, study.library, gate.sim.toggle_snapshot(), gate.cycles,
+        glitch_factor=M0LITE_GLITCH_FACTOR)
+    return gate.cycles, dyn.energy_per_cycle
+
+
+def test_workload_sensitivity(benchmark, m0_study):
+    def run():
+        out = {}
+        for name, build in WORKLOADS.items():
+            program, memory = build()
+            cycles, e_cycle = _measure(m0_study, program, memory)
+            model = ScpgPowerModel.from_scpg_design(
+                m0_study.scpg, e_cycle)
+            base = leakage_power(m0_study.base.top, m0_study.library)
+            model.leak_comb_base = base.combinational
+            model.leak_alwayson_base = base.always_on
+            nopg = model.power(1e5, Mode.NO_PG)
+            scpg = model.power(1e5, Mode.SCPG)
+            out[name] = (cycles, e_cycle, scpg.saving_vs(nopg))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["{:>10} {:>8} {:>12} {:>16}".format(
+        "workload", "cycles", "E/cycle", "SCPG saving@100k")]
+    for name, (cycles, e_cycle, saving) in results.items():
+        lines.append("{:>10} {:>8} {:>10.2f}pJ {:>15.1f}%".format(
+            name, cycles, e_cycle * 1e12, saving))
+    emit("Workload sensitivity -- M0-lite @ 100 kHz", "\n".join(lines))
+
+    energies = [e for _c, e, _s in results.values()]
+    savings = [s for _c, _e, s in results.values()]
+    # Energy per cycle genuinely varies with the workload...
+    assert max(energies) > 1.3 * min(energies)
+    # ...but the SCPG saving conclusion is robust (within a few points).
+    assert max(savings) - min(savings) < 8.0
+    assert all(s > 15 for s in savings)

@@ -1,0 +1,54 @@
+"""repro -- reproduction of "Sub-Clock Power-Gating Technique for
+Minimising Leakage Power During Active Mode" (Mistry, Al-Hashimi, Flynn,
+Hill; DATE 2011).
+
+Quick start::
+
+    from repro import multiplier_study, Mode, build_table, format_table
+    from repro.analysis.tables import TABLE_I_FREQS
+
+    study = multiplier_study()
+    rows = build_table(study.model, TABLE_I_FREQS)
+    print(format_table(rows))
+
+Package map (see DESIGN.md for the full inventory):
+
+========================  ====================================================
+``repro.tech``            synthetic 90nm library, device models, Liberty-lite
+``repro.netlist``         netlist model, Verilog subset I/O, transforms
+``repro.circuits``        multiplier / M0-lite / block generators
+``repro.sim``             event-driven simulator, VCD, activity capture
+``repro.sta``             static timing analysis
+``repro.power``           leakage / dynamic / rails / header sizing
+``repro.isa``             M0-lite ISA, assembler, ISS, Dhrystone-lite
+``repro.scpg``            the SCPG technique (transform + power model)
+``repro.flows``           Fig. 5 implementation flows
+``repro.subvt``           sub-threshold study (§IV)
+``repro.analysis``        tables, figures, sweeps, ASCII plots
+========================  ====================================================
+"""
+
+from .analysis.tables import build_table, format_table
+from .errors import ReproError
+from .netlist.core import Design, Module
+from .paper import CaseStudy, cortex_m0_study, multiplier_study
+from .scpg import Mode, ScpgPowerModel, apply_scpg
+from .tech import build_scl90
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "Design",
+    "Module",
+    "build_scl90",
+    "apply_scpg",
+    "Mode",
+    "ScpgPowerModel",
+    "CaseStudy",
+    "multiplier_study",
+    "cortex_m0_study",
+    "build_table",
+    "format_table",
+    "__version__",
+]

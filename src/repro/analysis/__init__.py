@@ -1,0 +1,31 @@
+"""Result generation: sweeps, the paper's tables and figures, ASCII plots."""
+
+from .sweep import FrequencySweep, find_convergence, sweep
+from .tables import TableRowResult, build_table, format_table
+from .figures import (
+    FigureSeries,
+    energy_series,
+    power_series,
+    subvt_series,
+    switching_series,
+)
+from .ascii_plot import ascii_chart
+from .scaling import ScalingPoint, ScalingStudy, scaling_study
+
+__all__ = [
+    "FrequencySweep",
+    "find_convergence",
+    "sweep",
+    "TableRowResult",
+    "build_table",
+    "format_table",
+    "FigureSeries",
+    "power_series",
+    "energy_series",
+    "subvt_series",
+    "switching_series",
+    "ascii_chart",
+    "ScalingPoint",
+    "ScalingStudy",
+    "scaling_study",
+]

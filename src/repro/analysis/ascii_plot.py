@@ -1,0 +1,64 @@
+"""Minimal ASCII chart renderer for benchmark output.
+
+No plotting libraries are available offline, so figure benches render
+their series as text -- enough to eyeball the convergence of Fig. 6(a) or
+the U-shape of Fig. 9 straight from the test log.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MARKS = "*+xo#@"
+
+
+def ascii_chart(series_list, width=72, height=20, logy=False, title="",
+                xlabel="", ylabel=""):
+    """Render one or more :class:`~repro.analysis.figures.FigureSeries`.
+
+    ``None`` y-values (infeasible points) are skipped.  ``logy`` plots
+    log10(y) (Figs 6(b), 8(b)).
+    """
+    points = []
+    for idx, series in enumerate(series_list):
+        for x, y in series.finite():
+            if y is None or (logy and y <= 0):
+                continue
+            points.append((x, math.log10(y) if logy else y, idx))
+    if not points:
+        return "(no plottable points)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, idx in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = int((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = _MARKS[idx % len(_MARKS)]
+
+    lines = []
+    if title:
+        lines.append(title)
+    for series_idx, series in enumerate(series_list):
+        lines.append("  {} = {}".format(
+            _MARKS[series_idx % len(_MARKS)], series.label))
+    top_label = "{:.3g}".format(10 ** y_hi if logy else y_hi)
+    bottom_label = "{:.3g}".format(10 ** y_lo if logy else y_lo)
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        label = top_label if r == 0 else (
+            bottom_label if r == height - 1 else "")
+        lines.append("{:>{}} |{}".format(label, pad, "".join(row)))
+    lines.append("{} +{}".format(" " * pad, "-" * width))
+    lines.append("{}  {:<{}}{:>{}}".format(
+        " " * pad, "{:.3g}".format(x_lo), width // 2,
+        "{:.3g}".format(x_hi), width - width // 2))
+    if xlabel or ylabel:
+        lines.append("{}   x: {}   y: {}{}".format(
+            " " * pad, xlabel, ylabel, " (log)" if logy else ""))
+    return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Figure series builders (Figs 6, 8, 9, 10 and 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scpg.power_model import Mode
+from .sweep import sweep
+
+
+@dataclass
+class FigureSeries:
+    """One plottable series: x values, y values, label."""
+
+    label: str
+    x: list = field(default_factory=list)
+    y: list = field(default_factory=list)
+
+    def finite(self):
+        """(x, y) pairs with the infeasible (None) points removed."""
+        return [(a, b) for a, b in zip(self.x, self.y) if b is not None]
+
+
+_MODE_LABELS = {
+    Mode.NO_PG: "No Power Gating",
+    Mode.SCPG: "SCPG",
+    Mode.SCPG_MAX: "SCPG-Max",
+}
+
+
+def power_series(model, freqs):
+    """Fig. 6(a)/8(a): average power vs clock frequency, three setups."""
+    data = sweep(model, freqs)
+    out = []
+    for mode, label in _MODE_LABELS.items():
+        out.append(
+            FigureSeries(label=label, x=list(freqs),
+                         y=data.totals(mode))
+        )
+    return out
+
+
+def energy_series(model, freqs):
+    """Fig. 6(b)/8(b): energy per operation vs clock frequency (log y)."""
+    data = sweep(model, freqs)
+    out = []
+    for mode, label in _MODE_LABELS.items():
+        out.append(
+            FigureSeries(label=label, x=list(freqs),
+                         y=data.energies(mode))
+        )
+    return out
+
+
+def subvt_series(subvt_model, v_lo=0.15, v_hi=0.9, steps=76):
+    """Fig. 9/10: energy per operation vs supply voltage."""
+    from ..subvt.energy import energy_sweep
+
+    points = energy_sweep(subvt_model, v_lo, v_hi, steps)
+    return FigureSeries(
+        label="Energy per operation",
+        x=[p.vdd for p in points],
+        y=[p.energy for p in points],
+    )
+
+
+def switching_series(trace):
+    """Fig. 7: switching probability per Dhrystone vector group."""
+    return FigureSeries(
+        label="Switching probability",
+        x=list(range(len(trace.groups))),
+        y=trace.series,
+    )

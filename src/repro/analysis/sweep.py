@@ -1,0 +1,79 @@
+"""Frequency sweeps and the savings convergence point.
+
+Figs 6(a) and 8(a) show the three configurations' average power converging
+as the clock rises: the per-cycle gating overhead grows linearly with
+frequency while the gatable idle time shrinks.  :func:`find_convergence`
+locates the frequency where SCPG stops saving power -- about 15 MHz for
+the multiplier and 5 MHz for the Cortex-M0 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ScpgError
+from ..scpg.power_model import Mode
+
+
+@dataclass
+class FrequencySweep:
+    """Power/energy of every mode across a frequency grid."""
+
+    freqs: list
+    results: dict = field(default_factory=dict)  # mode -> list of breakdowns
+
+    def totals(self, mode):
+        """Average power (W) per grid point (``None`` when infeasible)."""
+        return [
+            b.total if b is not None else None for b in self.results[mode]
+        ]
+
+    def energies(self, mode):
+        """Energy per op (J) per grid point (``None`` when infeasible)."""
+        return [
+            b.energy_per_op if b is not None else None
+            for b in self.results[mode]
+        ]
+
+
+def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX)):
+    """Evaluate ``model`` across ``freqs`` for each mode."""
+    out = FrequencySweep(freqs=list(freqs))
+    for mode in modes:
+        rows = []
+        for f in freqs:
+            try:
+                rows.append(model.power(f, mode))
+            except ScpgError:
+                rows.append(None)
+        out.results[mode] = rows
+    return out
+
+
+def find_convergence(model, mode=Mode.SCPG, f_lo=1e4, f_hi=None,
+                     tolerance=1e-3):
+    """Frequency where ``mode`` stops saving power versus No-PG.
+
+    The saving ``P_nopg(f) - P_mode(f)`` decreases monotonically with
+    frequency (linear overhead vs shrinking idle time), so bisection finds
+    the zero crossing.  Returns ``None`` when the mode still saves power at
+    its own maximum feasible frequency.
+    """
+    if f_hi is None:
+        f_hi = model.feasible_fmax(mode)
+
+    def saving(f):
+        return model.power(f, Mode.NO_PG).total - model.power(f, mode).total
+
+    if saving(f_lo) <= 0:
+        raise ScpgError("no saving even at {:.3g} Hz".format(f_lo))
+    if saving(f_hi) > 0:
+        return None
+    lo, hi = f_lo, f_hi
+    while (hi - lo) / hi > tolerance:
+        mid = (lo + hi) / 2.0
+        if saving(mid) > 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,33 @@
+"""Programmatic gate-level circuit generators.
+
+These replace the netlists the paper obtained from RTL synthesis: a 16-bit
+parallel (array) multiplier matching the paper's case study 1, the blocks of
+the M0-lite processor (case study 2), and small circuits used by tests and
+examples.  Every generator returns a flat :class:`~repro.netlist.core.Module`
+built from scl90 cells (or any library with the same cell names).
+"""
+
+from .builder import CircuitBuilder
+from .adders import ripple_adder, carry_select_adder, ripple_incrementer
+from .multiplier import build_mult16
+from .alu import build_alu, ALU_OPS
+from .shifter import build_barrel_shifter
+from .regfile import build_register_file
+from .m0lite import build_m0lite, M0LITE_PORTS
+from .counters import build_counter, build_lfsr
+
+__all__ = [
+    "CircuitBuilder",
+    "ripple_adder",
+    "carry_select_adder",
+    "ripple_incrementer",
+    "build_mult16",
+    "build_alu",
+    "ALU_OPS",
+    "build_barrel_shifter",
+    "build_register_file",
+    "build_m0lite",
+    "M0LITE_PORTS",
+    "build_counter",
+    "build_lfsr",
+]

@@ -1,0 +1,85 @@
+"""Adder generators: ripple-carry, carry-select and incrementer.
+
+All operate on LSB-first net lists and return ``(sum_bus, carry_out)``.
+The carry-select variant trades ~2x the area of its upper blocks for a
+carry path that grows with the block count instead of the bit width; the
+M0-lite ALU uses it so the processor's critical path is set by the
+multiplier array rather than a 32-bit ripple chain.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+
+
+def ripple_adder(b, xs, ys, carry_in=None, use_compound=True):
+    """Ripple-carry adder. ``b`` is a :class:`CircuitBuilder`.
+
+    ``use_compound=False`` decomposes each full adder into simple gates
+    (5 cells/bit) as a synthesis tool without an FA cell would.
+    """
+    if len(xs) != len(ys):
+        raise NetlistError("adder operand widths differ")
+    fa = b.fa if use_compound else b.fa_gates
+    carry = carry_in if carry_in is not None else b.const(0)
+    sums = []
+    for x, y in zip(xs, ys):
+        s, carry = fa(x, y, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def ripple_incrementer(b, xs, step_bit=0):
+    """``xs + (1 << step_bit)`` using half adders; returns ``(sum, carry)``.
+
+    ``step_bit=1`` gives the +2 incrementer the M0-lite PC uses (16-bit
+    instructions).
+    """
+    sums = list(xs[:step_bit])
+    carry = b.const(1)
+    for x in xs[step_bit:]:
+        s, carry = b.ha(x, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def carry_select_adder(b, xs, ys, carry_in=None, block=8,
+                       use_compound=True):
+    """Carry-select adder with ripple blocks of ``block`` bits.
+
+    Each block beyond the first is computed twice (carry-in 0 and 1) and the
+    true result selected by the previous block's carry, so the carry path is
+    one mux per block.
+    """
+    if len(xs) != len(ys):
+        raise NetlistError("adder operand widths differ")
+    width = len(xs)
+    carry = carry_in if carry_in is not None else b.const(0)
+    sums = []
+    lo = 0
+    first = True
+    while lo < width:
+        hi = min(lo + block, width)
+        bx, by = xs[lo:hi], ys[lo:hi]
+        if first:
+            s, carry = ripple_adder(b, bx, by, carry, use_compound)
+            sums.extend(s)
+            first = False
+        else:
+            s0, c0 = ripple_adder(b, bx, by, b.const(0), use_compound)
+            s1, c1 = ripple_adder(b, bx, by, b.const(1), use_compound)
+            sums.extend(b.mux_bus(s0, s1, carry))
+            carry = b.mux2(c0, c1, carry)
+        lo = hi
+    return sums, carry
+
+
+def subtractor(b, xs, ys, use_compound=True, select=True):
+    """``xs - ys`` via two's complement; returns ``(diff, carry_out)``.
+
+    ``carry_out == 1`` means no borrow (i.e. ``xs >= ys`` unsigned).
+    """
+    inv_ys = b.inv_bus(ys)
+    adder = carry_select_adder if select else ripple_adder
+    return adder(b, xs, inv_ys, carry_in=b.const(1),
+                 use_compound=use_compound)

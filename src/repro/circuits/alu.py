@@ -1,0 +1,149 @@
+"""M0-lite execute-stage ALU: add/sub/logic/shift/multiply with NZCV flags.
+
+The adder is carry-select (so the 32-bit carry chain is not the critical
+path); the multiplier is a lower-half (modulo 2^32) triangular array built
+from decomposed full adders -- deliberately the deepest path in the core,
+mirroring how a single-cycle MULS dominates timing in small Cortex-M
+implementations.
+"""
+
+from __future__ import annotations
+
+from ..netlist.core import Module
+from .adders import carry_select_adder
+from .builder import CircuitBuilder
+from .shifter import add_barrel_shifter
+
+#: Operation select lines the ALU understands (one-hot control).
+ALU_OPS = (
+    "add", "sub", "and", "or", "xor", "shift", "mul", "mvn",
+)
+
+
+def lower_half_multiplier(b, xs, ys):
+    """Product of two buses modulo ``2**len(xs)`` (triangular CSA array).
+
+    Uses decomposed full adders (5 gates each, synthesis style): the paper's
+    Cortex-M0 netlist is a sea of simple gates, and the decomposition both
+    matches that character and raises the combinational leakage share the
+    way Table II implies.
+    """
+    width = len(xs)
+    produced = []
+    run = []          # running sums, run[i] at weight (j + i) for row j
+    run_carry = None  # carries produced by the previous row
+    for j in range(width):
+        cols = width - j  # only weights < width are needed
+        row = [b.and2(xs[i], ys[j]) for i in range(cols)]
+        new_run = []
+        new_carries = []
+        for i in range(cols):
+            operands = [row[i]]
+            if i < len(run):
+                operands.append(run[i])
+            if run_carry is not None and i < len(run_carry) \
+                    and run_carry[i] is not None:
+                operands.append(run_carry[i])
+            if len(operands) == 3:
+                s, c = b.fa_gates(operands[0], operands[1], operands[2])
+            elif len(operands) == 2:
+                axb = b.xor2(operands[0], operands[1])
+                c = b.and2(operands[0], operands[1])
+                s = axb
+            else:
+                s, c = operands[0], None
+            new_run.append(s)
+            # Carries out of the top column would have weight >= width.
+            new_carries.append(c if i < cols - 1 else None)
+        produced.append(new_run[0])
+        run = new_run[1:]
+        run_carry = new_carries
+    return produced
+
+
+def add_alu(b, a_bus, b_bus, shift_amount, ops):
+    """Emit the ALU; returns ``(result, flags)``.
+
+    Parameters
+    ----------
+    b:
+        :class:`CircuitBuilder`.
+    a_bus / b_bus:
+        32-bit operands (a is the accumulator ``rd``, b the ``rs`` operand
+        or immediate).
+    shift_amount:
+        5 nets (the low bits of the b operand, pre-extracted by the caller).
+    ops:
+        Dict with one-hot control nets for each name in :data:`ALU_OPS`,
+        plus ``shift_left`` and ``shift_arith`` for the shifter.
+
+    Returns
+    -------
+    (result, flags):
+        ``result`` is the 32-bit output bus; ``flags`` is a dict with nets
+        ``n``, ``z``, ``c``, ``v`` (c/v meaningful for add/sub only).
+    """
+    width = len(a_bus)
+
+    # Adder with conditional operand inversion for subtraction.
+    b_eff = [b.xor2(x, ops["sub"]) for x in b_bus]
+    sum_bus, carry_out = carry_select_adder(
+        b, a_bus, b_eff, carry_in=ops["sub"], block=8
+    )
+
+    and_bus = b.and_bus(a_bus, b_bus)
+    or_bus = b.or_bus(a_bus, b_bus)
+    xor_bus = b.xor_bus(a_bus, b_bus)
+    mvn_bus = b.inv_bus(b_bus)
+    shift_bus = add_barrel_shifter(
+        b, a_bus, shift_amount, ops["shift_left"], ops["shift_arith"]
+    )
+    mul_bus = lower_half_multiplier(b, a_bus, b_bus)
+
+    # One-hot result selection as a mux chain (adder result is the default,
+    # which also serves MOV/MOVI via a zeroed A operand).
+    result = sum_bus
+    for bus, op in (
+        (and_bus, ops["and"]),
+        (or_bus, ops["or"]),
+        (xor_bus, ops["xor"]),
+        (shift_bus, ops["shift"]),
+        (mul_bus, ops["mul"]),
+        (mvn_bus, ops["mvn"]),
+    ):
+        result = b.mux_bus(result, bus, op)
+
+    flags = {
+        "n": result[-1],
+        "z": b.is_zero(result),
+        "c": carry_out,
+        # Signed overflow: operands agree in sign, result disagrees.
+        "v": b.and2(
+            b.xnor2(a_bus[-1], b_eff[-1]),
+            b.xor2(a_bus[-1], sum_bus[-1]),
+        ),
+    }
+    return result, flags
+
+
+def build_alu(library, width=32, name=None):
+    """Standalone ALU module (unit tests / examples).
+
+    Control ports: one input per :data:`ALU_OPS` entry plus ``shift_left``
+    and ``shift_arith``.  Outputs: ``y_*`` result bus and ``fn/fz/fc/fv``.
+    """
+    module = Module(name or "alu{}".format(width))
+    b = CircuitBuilder(module, library)
+    a_bus = b.input_bus("a", width)
+    b_bus = b.input_bus("b", width)
+    shamt = b.input_bus("shamt", 5)
+    ops = {op: module.add_input("op_" + op) for op in ALU_OPS}
+    ops["shift_left"] = module.add_input("shift_left")
+    ops["shift_arith"] = module.add_input("shift_arith")
+    y = b.output_bus("y", width)
+    result, flags = add_alu(b, a_bus, b_bus, shamt, ops)
+    for r, o in zip(result, y):
+        b.buf(r, y=o)
+    for fname in ("n", "z", "c", "v"):
+        b.buf(flags[fname], y=module.add_output("f" + fname))
+    return module

@@ -1,0 +1,262 @@
+"""Fluent helper for building gate-level netlists.
+
+:class:`CircuitBuilder` wraps a :class:`~repro.netlist.core.Module` and a
+library, names instances automatically, and offers one method per common
+cell so generators read like structural RTL::
+
+    b = CircuitBuilder(module, lib)
+    s, co = b.fa(a, x, ci)
+    q = b.dff(d, clk)
+
+Buses are plain Python lists of nets, LSB first.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from ..netlist.core import Module
+
+
+class CircuitBuilder:
+    """Gate-instantiation helper bound to one module and one library."""
+
+    def __init__(self, module, library, prefix=""):
+        self.module = module
+        self.library = library
+        self.prefix = prefix
+        self._counter = 0
+
+    # -- naming / wiring ------------------------------------------------------
+
+    def _next_name(self, kind):
+        self._counter += 1
+        return "{}{}_{}".format(self.prefix, kind.lower(), self._counter)
+
+    def wire(self, name=None):
+        """A fresh internal net."""
+        if name is not None:
+            name = self.prefix + name
+        return self.module.add_net(name)
+
+    def bus(self, name, width):
+        """``width`` fresh nets named ``name_0 .. name_{width-1}`` (LSB first)."""
+        return [self.wire("{}_{}".format(name, i)) for i in range(width)]
+
+    def input_bus(self, name, width):
+        """Bit-blasted input ports ``name_0..``; returns the nets."""
+        return [
+            self.module.add_input("{}_{}".format(name, i))
+            for i in range(width)
+        ]
+
+    def output_bus(self, name, width):
+        """Bit-blasted output ports ``name_0..``; returns the nets."""
+        return [
+            self.module.add_output("{}_{}".format(name, i))
+            for i in range(width)
+        ]
+
+    def const(self, value):
+        """The module's constant-0/1 net."""
+        return self.module.const(value)
+
+    def const_bus(self, value, width):
+        """A bus spelling out ``value`` in binary (LSB first)."""
+        return [self.const((value >> i) & 1) for i in range(width)]
+
+    # -- generic instantiation ------------------------------------------------
+
+    def cell(self, cell_name, name=None, **pins):
+        """Instantiate ``cell_name``; unspecified output pins get fresh nets.
+
+        Returns the single output net, or a dict of output nets when the
+        cell has several outputs.
+        """
+        cell = self.library.cell(cell_name)
+        conns = {}
+        for pin_name, net in pins.items():
+            if net is None:
+                continue
+            conns[pin_name] = net
+        outputs = {}
+        for out in cell.outputs:
+            if out.name not in conns:
+                conns[out.name] = self.wire()
+            outputs[out.name] = conns[out.name]
+        inst_name = name or self._next_name(cell_name.split("_")[0])
+        self.module.add_instance(self.prefix + inst_name if name else
+                                 inst_name, cell, conns)
+        if len(outputs) == 1:
+            return next(iter(outputs.values()))
+        return outputs
+
+    # -- simple gates ---------------------------------------------------------
+
+    def inv(self, a, y=None):
+        """NOT."""
+        return self.cell("INV_X1", A=a, Y=y)
+
+    def buf(self, a, y=None, strength=1):
+        """Buffer (optionally stronger drive)."""
+        return self.cell("BUF_X{}".format(strength), A=a, Y=y)
+
+    def and2(self, a, b, y=None):
+        """2-input AND."""
+        return self.cell("AND2_X1", A=a, B=b, Y=y)
+
+    def and3(self, a, b, c, y=None):
+        """3-input AND."""
+        return self.cell("AND3_X1", A=a, B=b, C=c, Y=y)
+
+    def or2(self, a, b, y=None):
+        """2-input OR."""
+        return self.cell("OR2_X1", A=a, B=b, Y=y)
+
+    def or3(self, a, b, c, y=None):
+        """3-input OR."""
+        return self.cell("OR3_X1", A=a, B=b, C=c, Y=y)
+
+    def nand2(self, a, b, y=None):
+        """2-input NAND."""
+        return self.cell("NAND2_X1", A=a, B=b, Y=y)
+
+    def nor2(self, a, b, y=None):
+        """2-input NOR."""
+        return self.cell("NOR2_X1", A=a, B=b, Y=y)
+
+    def xor2(self, a, b, y=None):
+        """2-input XOR."""
+        return self.cell("XOR2_X1", A=a, B=b, Y=y)
+
+    def xnor2(self, a, b, y=None):
+        """2-input XNOR."""
+        return self.cell("XNOR2_X1", A=a, B=b, Y=y)
+
+    def mux2(self, a, b, s, y=None):
+        """2:1 mux: ``s ? b : a``."""
+        return self.cell("MUX2_X1", A=a, B=b, S=s, Y=y)
+
+    def aoi21(self, a, b, c, y=None):
+        """``!((a & b) | c)``."""
+        return self.cell("AOI21_X1", A=a, B=b, C=c, Y=y)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def ha(self, a, b, s=None, co=None):
+        """Half adder; returns ``(sum, carry)``."""
+        outs = self.cell("HA_X1", A=a, B=b, S=s, CO=co)
+        return outs["S"], outs["CO"]
+
+    def fa(self, a, b, ci, s=None, co=None):
+        """Full adder (compound cell); returns ``(sum, carry)``."""
+        outs = self.cell("FA_X1", A=a, B=b, CI=ci, S=s, CO=co)
+        return outs["S"], outs["CO"]
+
+    def fa_gates(self, a, b, ci):
+        """Full adder decomposed into simple gates (synthesis style).
+
+        Used where a tool would not map to the compound FA cell; costs 5
+        cells and leaks more -- the M0-lite multiplier array uses it.
+        """
+        axb = self.xor2(a, b)
+        s = self.xor2(axb, ci)
+        t1 = self.and2(a, b)
+        t2 = self.and2(axb, ci)
+        co = self.or2(t1, t2)
+        return s, co
+
+    # -- sequential -----------------------------------------------------------
+
+    def dff(self, d, clk, q=None, name=None):
+        """Posedge D flip-flop."""
+        return self.cell("DFF_X1", name=name, D=d, CK=clk, Q=q)
+
+    def dffr(self, d, clk, rn, q=None, name=None):
+        """D flip-flop with active-low async reset."""
+        return self.cell("DFFR_X1", name=name, D=d, CK=clk, RN=rn, Q=q)
+
+    def dffe(self, d, clk, en, q=None, name=None):
+        """D flip-flop with write enable."""
+        return self.cell("DFFE_X1", name=name, D=d, CK=clk, EN=en, Q=q)
+
+    def register(self, data, clk, q=None, enable=None, reset_n=None,
+                 name="r"):
+        """A bus register; returns the Q bus.
+
+        At most one of ``enable`` / ``reset_n`` may be given (scl90 has no
+        combined cell; compose manually if both are needed).
+        """
+        if enable is not None and reset_n is not None:
+            raise NetlistError("register: choose enable or reset_n, not both")
+        qs = q or [self.wire() for _ in data]
+        for i, (d, qn) in enumerate(zip(data, qs)):
+            bit_name = "{}_{}".format(name, i)
+            if enable is not None:
+                self.dffe(d, clk, enable, q=qn, name=bit_name)
+            elif reset_n is not None:
+                self.dffr(d, clk, reset_n, q=qn, name=bit_name)
+            else:
+                self.dff(d, clk, q=qn, name=bit_name)
+        return qs
+
+    # -- bus utilities ---------------------------------------------------------
+
+    def inv_bus(self, bus):
+        """Bitwise NOT of a bus."""
+        return [self.inv(a) for a in bus]
+
+    def and_bus(self, xs, ys):
+        """Bitwise AND of two buses."""
+        return [self.and2(a, b) for a, b in zip(xs, ys)]
+
+    def or_bus(self, xs, ys):
+        """Bitwise OR of two buses."""
+        return [self.or2(a, b) for a, b in zip(xs, ys)]
+
+    def xor_bus(self, xs, ys):
+        """Bitwise XOR of two buses."""
+        return [self.xor2(a, b) for a, b in zip(xs, ys)]
+
+    def mux_bus(self, xs, ys, sel):
+        """Per-bit 2:1 mux: ``sel ? ys : xs``."""
+        return [self.mux2(a, b, sel) for a, b in zip(xs, ys)]
+
+    def fanout_and(self, single, bus):
+        """AND a single control net with every bit of ``bus``."""
+        return [self.and2(single, b) for b in bus]
+
+    def reduce_or(self, bus):
+        """OR-reduce a bus to one net (balanced tree)."""
+        return self._reduce(bus, self.or2)
+
+    def reduce_and(self, bus):
+        """AND-reduce a bus to one net (balanced tree)."""
+        return self._reduce(bus, self.and2)
+
+    def _reduce(self, bus, op):
+        if not bus:
+            raise NetlistError("cannot reduce empty bus")
+        level = list(bus)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(op(level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def is_zero(self, bus):
+        """1 when every bit of ``bus`` is 0."""
+        return self.inv(self.reduce_or(bus))
+
+    def equal(self, xs, ys):
+        """1 when the two buses are bit-for-bit equal."""
+        diffs = self.xor_bus(xs, ys)
+        return self.is_zero(diffs)
+
+
+def new_module(name, library):
+    """Convenience: a fresh module plus its :class:`CircuitBuilder`."""
+    module = Module(name)
+    return module, CircuitBuilder(module, library)

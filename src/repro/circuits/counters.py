@@ -1,0 +1,49 @@
+"""Small sequential circuits used by tests, examples and ablations."""
+
+from __future__ import annotations
+
+from ..netlist.core import Module
+from .adders import ripple_incrementer
+from .builder import CircuitBuilder
+
+#: Taps (1-indexed from LSB=1, Fibonacci form) giving maximal-length LFSRs.
+_LFSR_TAPS = {
+    4: (4, 3),
+    8: (8, 6, 5, 4),
+    16: (16, 15, 13, 4),
+    24: (24, 23, 22, 17),
+    32: (32, 30, 26, 25),
+}
+
+
+def build_counter(library, width=8, name=None):
+    """Free-running binary up-counter with count output bus ``q``."""
+    module = Module(name or "counter{}".format(width))
+    b = CircuitBuilder(module, library)
+    clk = module.add_input("clk")
+    q = b.output_bus("q", width)
+    inc, _ = ripple_incrementer(b, q)
+    b.register(inc, clk, q=q, name="cnt")
+    return module
+
+
+def build_lfsr(library, width=16, name=None):
+    """Fibonacci LFSR (pseudo-random stimulus generator).
+
+    All-zero lockup is avoided by feeding back XNOR of the taps when the
+    state is zero -- implemented with the classic "XNOR form" so a
+    zero-initialised register free-runs.
+    """
+    if width not in _LFSR_TAPS:
+        raise ValueError("no tap table for width {}".format(width))
+    module = Module(name or "lfsr{}".format(width))
+    b = CircuitBuilder(module, library)
+    clk = module.add_input("clk")
+    q = b.output_bus("q", width)
+    taps = _LFSR_TAPS[width]
+    feedback = q[taps[0] - 1]
+    for t in taps[1:]:
+        feedback = b.xnor2(feedback, q[t - 1])
+    nxt = [feedback] + q[:-1]
+    b.register(nxt, clk, q=q, name="sr")
+    return module

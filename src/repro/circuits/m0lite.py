@@ -1,0 +1,258 @@
+"""Gate-level M0-lite processor: the paper's case study 2 substitute.
+
+A 3-stage pipeline (Fetch / Decode / Execute) over the M0-lite ISA
+(:mod:`repro.isa.encoding`), functionally verified against the ISS by
+lock-step co-simulation (:mod:`repro.isa.trace`).  Like the Cortex-M0 it
+stands in for, it is a 32-bit RISC with a 16-bit instruction stream, a
+16 x 32 register file, single-cycle ALU including MULS, and NZCV flags;
+the multiplier array makes the execute stage the critical path.
+
+Pipeline contract (matches the ISS architectural order):
+
+* register read happens in EX, and writeback commits at the end of EX, so
+  back-to-back dependent instructions need no forwarding;
+* branches resolve in EX; taken branches flush the two younger stages
+  (2-cycle penalty);
+* memory is external and combinational within the cycle: ``iaddr`` (word
+  address) out / ``idata`` in for fetch, ``daddr``/``dwdata``/``dwrite``/
+  ``dread``/``drdata`` (byte address) for data, exactly the protocol
+  implemented by :class:`repro.isa.trace.GateLevelCpu`.
+
+Port summary (bit-blasted buses, LSB first): see :data:`M0LITE_PORTS`.
+"""
+
+from __future__ import annotations
+
+from ..netlist.core import Module
+from .adders import ripple_adder, ripple_incrementer
+from .alu import add_alu
+from .builder import CircuitBuilder
+
+#: Port name -> width of the generated module (scalars have width 0).
+M0LITE_PORTS = {
+    "clk": 0,
+    "rstn": 0,
+    "idata": 16,
+    "iaddr": 32,
+    "drdata": 32,
+    "daddr": 32,
+    "dwdata": 32,
+    "dwrite": 0,
+    "dread": 0,
+    "halted": 0,
+}
+
+
+def _match_const(b, bits, value):
+    """AND-tree matching ``bits == value`` (with per-bit inversion)."""
+    terms = []
+    for i, bit in enumerate(bits):
+        terms.append(bit if (value >> i) & 1 else b.inv(bit))
+    return b.reduce_and(terms)
+
+
+def _sext(b, bits, width):
+    """Sign-extend a net list to ``width`` (reuses the top net)."""
+    return list(bits) + [bits[-1]] * (width - len(bits))
+
+
+def _zext(b, bits, width):
+    """Zero-extend a net list to ``width``."""
+    return list(bits) + [b.const(0)] * (width - len(bits))
+
+
+def build_m0lite(library, name="m0lite"):
+    """Generate the M0-lite core as a flat module."""
+    module = Module(name)
+    b = CircuitBuilder(module, library)
+
+    clk = module.add_input("clk")
+    rstn = module.add_input("rstn")
+    idata = b.input_bus("idata", 16)
+    drdata = b.input_bus("drdata", 32)
+    iaddr = b.output_bus("iaddr", 32)
+    daddr = b.output_bus("daddr", 32)
+    dwdata = b.output_bus("dwdata", 32)
+    dwrite_out = module.add_output("dwrite")
+    dread_out = module.add_output("dread")
+    halted_out = module.add_output("halted")
+
+    zero = b.const(0)
+
+    # ------------------------------------------------------------------ IF --
+    pc = b.bus("pc", 32)
+    next_pc = b.bus("next_pc", 32)
+    b.register(next_pc, clk, q=pc, reset_n=rstn, name="pc")
+    pc_plus1, _ = ripple_incrementer(b, pc)
+    for src, port in zip(pc, iaddr):
+        b.buf(src, y=port)
+
+    # IR and the piped PC+1 (for branch targets).
+    ir = b.register(idata, clk, name="ir")
+    pc1_de = b.register(pc_plus1, clk, name="pc1de")
+
+    flush = b.wire("flush")  # driven in EX
+    v_ir = b.dffr(b.inv(flush), clk, rstn, name="v_ir")
+
+    # ------------------------------------------------------------------ DE --
+    op_bits = ir[12:16]
+    is_movi = _match_const(b, op_bits, 0)
+    is_addi = _match_const(b, op_bits, 1)
+    is_alu = _match_const(b, op_bits, 2)
+    is_ldr = _match_const(b, op_bits, 3)
+    is_str = _match_const(b, op_bits, 4)
+    is_b = _match_const(b, op_bits, 5)
+    is_bcond = _match_const(b, op_bits, 6)
+    is_sys = _match_const(b, op_bits, 7)
+    is_mem = b.or2(is_ldr, is_str)
+
+    funct_bits = ir[8:12]
+    f = {
+        fname: b.and2(is_alu, _match_const(b, funct_bits, k))
+        for k, fname in enumerate(
+            ["add", "sub", "and", "orr", "eor", "lsl", "lsr", "asr",
+             "mul", "mov", "mvn", "cmp"]
+        )
+    }
+
+    halt_de = b.and2(is_sys, b.reduce_and(ir[0:12]))
+
+    # Register specifiers: ALU ops carry rd/rs in the low byte.
+    rd_de = [b.mux2(ir[8 + i], ir[4 + i], is_alu) for i in range(4)]
+    rs_de = [b.mux2(ir[4 + i], ir[0 + i], is_alu) for i in range(4)]
+
+    # Immediate: MOVI zext8 / ADDI sext8 / LDR,STR zext4*4.
+    imm_s8 = _sext(b, ir[0:8], 32)
+    imm_z8 = _zext(b, ir[0:8], 32)
+    imm_ls = _zext(b, [zero, zero] + ir[0:4], 32)
+    imm_de = b.mux_bus(imm_s8, imm_z8, is_movi)
+    imm_de = b.mux_bus(imm_de, imm_ls, is_mem)
+
+    # Branch target: (pc+1 of this instruction) + offset (word units).
+    boff12 = _sext(b, ir[0:12], 32)
+    boff8 = _sext(b, ir[0:8], 32)
+    boff = b.mux_bus(boff8, boff12, is_b)
+    tgt_de, _ = ripple_adder(b, pc1_de, boff)
+
+    # Control for EX.
+    we_de = b.reduce_or(
+        [is_movi, is_addi, is_ldr, b.and2(is_alu, b.inv(f["cmp"]))]
+    )
+    a_zero_de = b.or2(is_movi, f["mov"])
+    a_use_b_de = is_mem
+    b_use_imm_de = b.reduce_or([is_movi, is_addi, is_mem])
+    flags_we_de = b.reduce_or([is_movi, is_addi, is_alu])
+    flags_cv_de = b.reduce_or([is_addi, f["add"], f["sub"], f["cmp"]])
+    op_sub_de = b.or2(f["sub"], f["cmp"])
+    op_shift_de = b.reduce_or([f["lsl"], f["lsr"], f["asr"]])
+
+    dff = b.dff
+    v_ex = b.dffr(b.and2(v_ir, b.inv(flush)), clk, rstn, name="v_ex")
+    rd_ex = b.register(rd_de, clk, name="rd_ex")
+    rs_ex = b.register(rs_de, clk, name="rs_ex")
+    imm_ex = b.register(imm_de, clk, name="imm_ex")
+    tgt_ex = b.register(tgt_de, clk, name="tgt_ex")
+    we_ex = b.dffr(we_de, clk, rstn, name="we_ex")
+    a_zero_ex = dff(a_zero_de, clk, name="a_zero_ex")
+    a_use_b_ex = dff(a_use_b_de, clk, name="a_use_b_ex")
+    b_use_imm_ex = dff(b_use_imm_de, clk, name="b_use_imm_ex")
+    flags_we_ex = dff(flags_we_de, clk, name="flags_we_ex")
+    flags_cv_ex = dff(flags_cv_de, clk, name="flags_cv_ex")
+    is_load_ex = b.dffr(is_ldr, clk, rstn, name="is_load_ex")
+    is_store_ex = b.dffr(is_str, clk, rstn, name="is_store_ex")
+    is_b_ex = dff(is_b, clk, name="is_b_ex")
+    is_bcond_ex = dff(is_bcond, clk, name="is_bcond_ex")
+    cond_ex = b.register(ir[8:11], clk, name="cond_ex")
+    halt_ex = b.dffr(halt_de, clk, rstn, name="halt_ex")
+    ops_ex = {
+        "sub": dff(op_sub_de, clk, name="op_sub_ex"),
+        "and": dff(f["and"], clk, name="op_and_ex"),
+        "or": dff(f["orr"], clk, name="op_or_ex"),
+        "xor": dff(f["eor"], clk, name="op_xor_ex"),
+        "shift": dff(op_shift_de, clk, name="op_shift_ex"),
+        "mul": dff(f["mul"], clk, name="op_mul_ex"),
+        "mvn": dff(f["mvn"], clk, name="op_mvn_ex"),
+        "shift_left": dff(f["lsl"], clk, name="op_shl_ex"),
+        "shift_arith": dff(f["asr"], clk, name="op_sar_ex"),
+    }
+    ops_ex["add"] = zero  # adder is the mux-chain default; line unused
+
+    # ------------------------------------------------------------------ EX --
+    halted = b.wire("halted_q")
+    not_halted = b.inv(halted)
+    live = b.and2(v_ex, not_halted)
+
+    # Register file (write data comes from the end of this stage).
+    from .regfile import add_register_file
+
+    wb_data = b.bus("wb_data", 32)
+    we_gated = b.and2(we_ex, live)
+    ra_val, rb_val = add_register_file(
+        b, clk, rd_ex, wb_data, we_gated, rd_ex, rs_ex, name="rf"
+    )
+
+    # Operand selection.
+    a_pre = b.mux_bus(ra_val, rb_val, a_use_b_ex)
+    not_a_zero = b.inv(a_zero_ex)
+    alu_a = b.fanout_and(not_a_zero, a_pre)
+    alu_b = b.mux_bus(rb_val, imm_ex, b_use_imm_ex)
+
+    result, new_flags = add_alu(b, alu_a, alu_b, rb_val[0:5], ops_ex)
+
+    for src, port in zip(result, daddr):
+        b.buf(src, y=port)
+    for src, port in zip(ra_val, dwdata):
+        b.buf(src, y=port)
+    b.buf(b.and2(is_load_ex, live), y=dread_out)
+    b.buf(b.and2(is_store_ex, live), y=dwrite_out)
+
+    for net, port in zip(
+        b.mux_bus(result, drdata, is_load_ex), wb_data
+    ):
+        b.buf(net, y=port)
+
+    # Flags register.
+    flags_en = b.and2(flags_we_ex, live)
+    flags_cv_en = b.and2(flags_cv_ex, live)
+    flag_n = b.wire("flag_n")
+    flag_z = b.wire("flag_z")
+    flag_c = b.wire("flag_c")
+    flag_v = b.wire("flag_v")
+    b.dffr(b.mux2(flag_n, new_flags["n"], flags_en), clk, rstn,
+           q=flag_n, name="fl_n")
+    b.dffr(b.mux2(flag_z, new_flags["z"], flags_en), clk, rstn,
+           q=flag_z, name="fl_z")
+    b.dffr(b.mux2(flag_c, new_flags["c"], flags_cv_en), clk, rstn,
+           q=flag_c, name="fl_c")
+    b.dffr(b.mux2(flag_v, new_flags["v"], flags_cv_en), clk, rstn,
+           q=flag_v, name="fl_v")
+
+    # Branch condition: pick a base signal by cond[2:1], invert per cond[0].
+    base0 = flag_z                      # EQ / NE
+    base1 = b.xor2(flag_n, flag_v)      # LT / GE
+    base2 = flag_c                      # (inverted for LTU) / GEU
+    base3 = flag_n                      # MI / PL
+    base_lo = b.mux2(base0, base1, cond_ex[1])
+    base_hi = b.mux2(base2, base3, cond_ex[1])
+    base = b.mux2(base_lo, base_hi, cond_ex[2])
+    pair2 = b.and2(cond_ex[2], b.inv(cond_ex[1]))  # the LTU/GEU pair
+    invert = b.xor2(cond_ex[0], pair2)
+    cond_ok = b.xor2(base, invert)
+
+    taken = b.and2(
+        live, b.or2(is_b_ex, b.and2(is_bcond_ex, cond_ok))
+    )
+    b.buf(taken, y=flush)
+
+    # Halt latch.
+    halting = b.and2(halt_ex, v_ex)
+    b.dffr(b.or2(halted, halting), clk, rstn, q=halted, name="halted_r")
+    b.buf(halted, y=halted_out)
+
+    # Next PC.
+    hold_pc = b.or2(halted, halting)
+    seq_or_tgt = b.mux_bus(pc_plus1, tgt_ex, taken)
+    for net, port in zip(b.mux_bus(seq_or_tgt, pc, hold_pc), next_pc):
+        b.buf(net, y=port)
+
+    return module

@@ -1,0 +1,87 @@
+"""Register file generator: N x width flip-flop array with mux-tree reads.
+
+The M0-lite uses a 16 x 32 instance (512 enable flops) with two read ports;
+the read mux trees (15 MUX2 per bit per port) are a big share of the core's
+combinational area, just as register-read networks are in a real M0-class
+core.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from ..netlist.core import Module
+from .builder import CircuitBuilder
+
+
+def _decoder(b, addr, enable=None):
+    """One-hot decode of ``addr``; optionally gate every line with ``enable``."""
+    inv = [b.inv(a) for a in addr]
+    lines = []
+    for k in range(1 << len(addr)):
+        bits = [addr[i] if (k >> i) & 1 else inv[i] for i in range(len(addr))]
+        line = b.reduce_and(bits)
+        if enable is not None:
+            line = b.and2(line, enable)
+        lines.append(line)
+    return lines
+
+
+def _read_mux(b, addr, words):
+    """Mux-tree read: select ``words[addr]`` bit-sliced."""
+    width = len(words[0])
+    level = words
+    for bit in addr:
+        nxt = []
+        for i in range(0, len(level), 2):
+            nxt.append(
+                [b.mux2(level[i][w], level[i + 1][w], bit)
+                 for w in range(width)]
+            )
+        level = nxt
+    return level[0]
+
+
+def add_register_file(b, clk, waddr, wdata, we, raddr_a, raddr_b=None,
+                      nregs=None, name="rf"):
+    """Emit a register file in place; returns ``(rdata_a, rdata_b)``.
+
+    ``raddr_b=None`` builds a single-ported file.  ``nregs`` defaults to
+    ``2 ** len(waddr)``.
+    """
+    nregs = nregs or (1 << len(waddr))
+    if nregs != (1 << len(waddr)):
+        raise NetlistError("nregs must be 2**len(waddr)")
+    write_lines = _decoder(b, waddr, enable=we)
+    words = []
+    for r in range(nregs):
+        q = b.register(
+            wdata, clk, enable=write_lines[r], name="{}{}".format(name, r)
+        )
+        words.append(q)
+    rdata_a = _read_mux(b, raddr_a, words)
+    rdata_b = _read_mux(b, raddr_b, words) if raddr_b is not None else None
+    return rdata_a, rdata_b
+
+
+def build_register_file(library, nregs=16, width=32, name=None):
+    """Standalone two-port register file module."""
+    import math
+
+    abits = int(math.log2(nregs))
+    module = Module(name or "rf{}x{}".format(nregs, width))
+    b = CircuitBuilder(module, library)
+    clk = module.add_input("clk")
+    we = module.add_input("we")
+    waddr = b.input_bus("waddr", abits)
+    wdata = b.input_bus("wdata", width)
+    raddr_a = b.input_bus("ra", abits)
+    raddr_b = b.input_bus("rb", abits)
+    out_a = b.output_bus("qa", width)
+    out_b = b.output_bus("qb", width)
+    rdata_a, rdata_b = add_register_file(b, clk, waddr, wdata, we,
+                                         raddr_a, raddr_b)
+    for r, o in zip(rdata_a, out_a):
+        b.buf(r, y=o)
+    for r, o in zip(rdata_b, out_b):
+        b.buf(r, y=o)
+    return module

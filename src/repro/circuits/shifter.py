@@ -1,0 +1,70 @@
+"""32-bit barrel shifter (LSL / LSR / ASR) for the M0-lite execute stage.
+
+Right-shift core of log2(width) mux stages; left shifts reuse it by
+reversing the operand and the result.  The shift amount is taken modulo the
+width (amounts >= 32 need the full 5 select bits plus saturation logic that
+the M0-lite ISS also omits -- both sides agree).
+"""
+
+from __future__ import annotations
+
+from ..netlist.core import Module
+from .builder import CircuitBuilder
+
+
+def add_barrel_shifter(b, data, amount, left, arith):
+    """Shifter as in-place gates; returns the 32-bit (well, len(data)) result.
+
+    Parameters
+    ----------
+    b:
+        :class:`CircuitBuilder` to emit gates into.
+    data:
+        Operand bus (LSB first).
+    amount:
+        Shift amount bits (LSB first, ``log2(len(data))`` of them).
+    left:
+        Control net: 1 = shift left (LSL), 0 = shift right.
+    arith:
+        Control net: with ``left = 0``, 1 = ASR (sign fill), 0 = LSR.
+    """
+    width = len(data)
+    # Fill bit: sign for ASR; left shifts always fill 0 (handled by the
+    # reversal, so the fill must be suppressed when left=1).
+    fill = b.and3(arith, data[-1], b.inv(left))
+
+    # Reverse operand when shifting left.
+    rev_in = [
+        b.mux2(data[i], data[width - 1 - i], left) for i in range(width)
+    ]
+
+    current = rev_in
+    for k, amt_bit in enumerate(amount):
+        step = 1 << k
+        shifted = []
+        for i in range(width):
+            src = current[i + step] if i + step < width else fill
+            shifted.append(b.mux2(current[i], src, amt_bit))
+        current = shifted
+
+    # Undo the reversal for left shifts.
+    return [
+        b.mux2(current[i], current[width - 1 - i], left) for i in range(width)
+    ]
+
+
+def build_barrel_shifter(library, width=32, name=None):
+    """Standalone shifter module (for unit tests and examples)."""
+    import math
+
+    module = Module(name or "bshift{}".format(width))
+    b = CircuitBuilder(module, library)
+    data = b.input_bus("d", width)
+    amount = b.input_bus("amt", max(1, int(math.log2(width))))
+    left = module.add_input("left")
+    arith = module.add_input("arith")
+    out = b.output_bus("y", width)
+    result = add_barrel_shifter(b, data, amount, left, arith)
+    for r, o in zip(result, out):
+        b.buf(r, y=o)
+    return module

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main entry points so the flow is usable without
+writing Python:
+
+===============  ============================================================
+``info``         library summary (cells, device corners, key parameters)
+``liberty``      dump the scl90 library as Liberty-lite text
+``netlist``      generate a built-in design as structural Verilog
+``scpg``         apply sub-clock power gating; emit Verilog/UPF/report
+``sta``          timing report (with the SCPG duty/frequency window)
+``power``        power report at an operating point
+``table``        regenerate Table I or Table II
+``subvt``        sub-threshold sweep and minimum-energy point
+===============  ============================================================
+
+Designs are referenced either by a built-in name (``mult16``, ``m0lite``,
+``counter16``, ``lfsr16``) or by the path of a structural-Verilog file
+produced by this tool (or any tool emitting the supported subset).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ReproError
+from .units import fmt_energy, fmt_freq, fmt_power, parse_si
+
+
+def _load_library(args):
+    from .tech.liberty import read_liberty
+    from .tech.scl90 import build_scl90
+
+    if getattr(args, "liberty", None):
+        return read_liberty(args.liberty)
+    return build_scl90()
+
+
+def _resolve_design(name, library):
+    """A design by built-in name or Verilog path."""
+    from .netlist.core import Design
+
+    builders = {
+        "mult16": lambda: __import__(
+            "repro.circuits.multiplier", fromlist=["build_mult16"]
+        ).build_mult16(library),
+        "m0lite": lambda: __import__(
+            "repro.circuits.m0lite", fromlist=["build_m0lite"]
+        ).build_m0lite(library),
+        "counter16": lambda: __import__(
+            "repro.circuits.counters", fromlist=["build_counter"]
+        ).build_counter(library, width=16),
+        "lfsr16": lambda: __import__(
+            "repro.circuits.counters", fromlist=["build_lfsr"]
+        ).build_lfsr(library, width=16),
+    }
+    if name in builders:
+        return Design(builders[name](), library)
+    from .netlist.verilog import read_verilog
+
+    return read_verilog(name, library)
+
+
+def _out(args, text):
+    if getattr(args, "out", None):
+        with open(args.out, "w") as f:
+            f.write(text)
+        print("wrote {}".format(args.out))
+    else:
+        sys.stdout.write(text)
+
+
+# -- commands -----------------------------------------------------------------
+
+def cmd_info(args):
+    from .tech.library import CellKind
+
+    lib = _load_library(args)
+    print("library {} (vdd_nom {} V, {} cells)".format(
+        lib.name, lib.vdd_nom, len(lib)))
+    for kind in CellKind:
+        cells = lib.cells_of_kind(kind)
+        if cells:
+            print("  {:<12} {}".format(
+                kind.value, ", ".join(c.name for c in cells)))
+    for flavour, dev in lib.devices.items():
+        print("  device {:<5} vth={:.2f} V  n={:.2f}  dibl={:.2f}".format(
+            flavour, dev.vth, dev.n, dev.dibl))
+    return 0
+
+
+def cmd_liberty(args):
+    from .tech.liberty import dumps_liberty
+
+    _out(args, dumps_liberty(_load_library(args)))
+    return 0
+
+
+def cmd_netlist(args):
+    from .netlist.verilog import dumps_verilog
+
+    lib = _load_library(args)
+    design = _resolve_design(args.design, lib)
+    _out(args, dumps_verilog(design))
+    return 0
+
+
+def cmd_scpg(args):
+    from .netlist.verilog import dumps_verilog
+    from .scpg.transform import apply_scpg
+
+    lib = _load_library(args)
+    design = _resolve_design(args.design, lib)
+    scpg = apply_scpg(design, clock_port=args.clock,
+                      header_size=args.header_size)
+    print("SCPG applied to {}:".format(design.top.name))
+    print("  isolation cells : {}".format(len(scpg.iso_instances)))
+    print("  headers         : {} x HEADER_X{}".format(
+        scpg.headers.count, scpg.headers.cell.drive_strength))
+    print("  area overhead   : {:.2f}%".format(scpg.area_overhead_pct))
+    print("  T_PGStart       : {:.3g} s".format(scpg.timing.t_pgstart))
+    if args.verilog:
+        with open(args.verilog, "w") as f:
+            f.write(dumps_verilog(scpg.design))
+        print("wrote {}".format(args.verilog))
+    if args.upf:
+        with open(args.upf, "w") as f:
+            f.write(scpg.upf)
+        print("wrote {}".format(args.upf))
+    return 0
+
+
+def cmd_sta(args):
+    from .sta.analysis import TimingAnalysis
+    from .sta.report import render_timing_report
+
+    lib = _load_library(args)
+    design = _resolve_design(args.design, lib)
+    result = TimingAnalysis(design.top, lib).run(
+        vdd=args.vdd if args.vdd else None)
+    _out(args, render_timing_report(result, design=design.top.name,
+                                    clock=args.clock))
+    return 0
+
+
+def cmd_power(args):
+    from .power.leakage import leakage_power
+    from .power.probabilistic import estimate_activity
+    from .power.report import PowerReport
+    from .power.dynamic import DynamicReport
+    from .sta.delay import net_load
+
+    lib = _load_library(args)
+    design = _resolve_design(args.design, lib)
+    vdd = args.vdd or lib.vdd_nom
+    freq = parse_si(args.freq, "Hz")
+    leak = leakage_power(design.top, lib, vdd=vdd)
+
+    # Vectorless dynamic estimate (measured activity needs a workload;
+    # use the Python API for that).
+    est = estimate_activity(design.top)
+    e_cycle = 0.0
+    by_net = {}
+    half_v2 = 0.5 * vdd * vdd
+    for net in design.top.nets():
+        if net.is_const:
+            continue
+        density = est.density.get(net.name, 0.0)
+        if density <= 0:
+            continue
+        cap = net_load(net, lib)
+        driver = net.driver
+        if isinstance(driver, tuple) and driver[0].is_cell:
+            cap += driver[0].cell.c_internal
+        energy = half_v2 * cap * density
+        by_net[net.name] = energy
+        e_cycle += energy
+    dyn = DynamicReport(vdd=vdd, freq_hz=freq, cycles=1,
+                        energy_per_cycle=e_cycle, glitch_factor=1.0,
+                        by_net=by_net)
+    report = PowerReport(design=design.top.name, vdd=vdd, freq_hz=freq,
+                         leakage=leak, dynamic=dyn)
+    _out(args, report.render())
+    return 0
+
+
+def cmd_table(args):
+    from .analysis.tables import (
+        TABLE_I_FREQS,
+        TABLE_II_FREQS,
+        build_table,
+        format_table,
+    )
+
+    if args.which == 1:
+        from .paper import multiplier_study
+
+        study = multiplier_study(fast=args.fast)
+        rows = build_table(study.model, TABLE_I_FREQS)
+        title = "TABLE I (16-bit multiplier)"
+    else:
+        from .paper import cortex_m0_study
+
+        study = cortex_m0_study(fast=args.fast)
+        rows = build_table(study.model, TABLE_II_FREQS)
+        title = "TABLE II (Cortex-M0 / M0-lite)"
+    _out(args, format_table(rows, title) + "\n")
+    return 0
+
+
+def cmd_subvt(args):
+    from .power.leakage import leakage_power
+    from .power.probabilistic import estimate_activity
+    from .sta.analysis import TimingAnalysis
+    from .sta.delay import net_load
+    from .subvt.energy import SubvtModel, energy_sweep, \
+        minimum_energy_point
+
+    lib = _load_library(args)
+    design = _resolve_design(args.design, lib)
+    sta = TimingAnalysis(design.top, lib).run()
+    leak = leakage_power(design.top, lib)
+
+    est = estimate_activity(design.top)
+    half_v2 = 0.5 * lib.vdd_nom ** 2
+    e_cycle = 0.0
+    for net in design.top.nets():
+        if net.is_const:
+            continue
+        density = est.density.get(net.name, 0.0)
+        if density <= 0:
+            continue
+        cap = net_load(net, lib)
+        driver = net.driver
+        if isinstance(driver, tuple) and driver[0].is_cell:
+            cap += driver[0].cell.c_internal
+        e_cycle += half_v2 * cap * density
+
+    model = SubvtModel(lib, e_cycle, leak.total, sta.min_period)
+    print("{:>8} {:>12} {:>12} {:>12}".format(
+        "VDD", "Fmax", "E/op", "power"))
+    for point in energy_sweep(model, steps=16):
+        print("{:>6.2f}V {:>12} {:>12} {:>12}".format(
+            point.vdd, fmt_freq(point.fmax_hz), fmt_energy(point.energy),
+            fmt_power(point.power)))
+    mep = minimum_energy_point(model)
+    print("\nminimum-energy point: {:.0f} mV, {} per op, Fmax {}".format(
+        mep.vdd * 1e3, fmt_energy(mep.energy), fmt_freq(mep.fmax_hz)))
+    return 0
+
+
+# -- argument parsing -----------------------------------------------------------
+
+def build_parser():
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sub-clock power gating (DATE 2011) reproduction "
+                    "toolkit",
+    )
+    parser.add_argument("--liberty", help="use a Liberty-lite library "
+                        "file instead of the built-in scl90")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="library summary").set_defaults(
+        func=cmd_info)
+
+    p = sub.add_parser("liberty", help="dump the library as Liberty-lite")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_liberty)
+
+    p = sub.add_parser("netlist", help="emit a design as Verilog")
+    p.add_argument("design")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_netlist)
+
+    p = sub.add_parser("scpg", help="apply sub-clock power gating")
+    p.add_argument("design")
+    p.add_argument("--clock", default="clk")
+    p.add_argument("--header-size", type=int, choices=(1, 2, 4, 8))
+    p.add_argument("--verilog", help="write the transformed netlist here")
+    p.add_argument("--upf", help="write the power intent here")
+    p.set_defaults(func=cmd_scpg)
+
+    p = sub.add_parser("sta", help="timing report")
+    p.add_argument("design")
+    p.add_argument("--clock", default="clk")
+    p.add_argument("--vdd", type=float)
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_sta)
+
+    p = sub.add_parser("power", help="power report")
+    p.add_argument("design")
+    p.add_argument("--freq", default="1MHz")
+    p.add_argument("--vdd", type=float)
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_power)
+
+    p = sub.add_parser("table", help="regenerate Table I or II")
+    p.add_argument("which", type=int, choices=(1, 2))
+    p.add_argument("--fast", action="store_true",
+                   help="trimmed workloads")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("subvt", help="sub-threshold sweep")
+    p.add_argument("design")
+    p.set_defaults(func=cmd_subvt)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

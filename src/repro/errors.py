@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (bad connection, duplicate name...)."""
+
+
+class VerilogSyntaxError(NetlistError):
+    """The structural-Verilog subset parser rejected the input."""
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = "line {}: {}".format(line, message)
+        super().__init__(message)
+        self.line = line
+
+
+class LibertySyntaxError(ReproError):
+    """The Liberty-lite parser rejected the input."""
+
+
+class LibraryError(ReproError):
+    """Unknown cell/pin, or an inconsistent library definition."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator hit an unrecoverable condition."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failed (combinational loop, no clock...)."""
+
+
+class PowerError(ReproError):
+    """Power analysis failed (missing activity, bad domain...)."""
+
+
+class IsaError(ReproError):
+    """Assembler or instruction-set simulator error."""
+
+
+class ScpgError(ReproError):
+    """Sub-clock power gating transform or model error."""
+
+
+class FlowError(ReproError):
+    """Implementation-flow step failed."""
+
+
+class CalibrationError(ReproError):
+    """Technology calibration could not satisfy its anchors."""

@@ -1,0 +1,52 @@
+"""Flow bookkeeping: step reports and overall results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StepReport:
+    """Log of one flow step."""
+
+    name: str
+    messages: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def log(self, message):
+        """Append a log line."""
+        self.messages.append(message)
+
+    def __str__(self):
+        lines = ["[{}]".format(self.name)]
+        lines += ["  " + m for m in self.messages]
+        for key, value in self.metrics.items():
+            lines.append("  {} = {}".format(key, value))
+        return "\n".join(lines)
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a complete implementation flow."""
+
+    name: str
+    design: object                      # implemented hierarchical design
+    flat: object                        # flattened for sign-off analyses
+    steps: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    def step(self, name):
+        """Find a step report by name (``None`` when absent)."""
+        for s in self.steps:
+            if s.name == name:
+                return s
+        return None
+
+    def summary(self):
+        """Multi-line textual flow summary."""
+        lines = ["flow {}:".format(self.name)]
+        for s in self.steps:
+            lines.append(str(s))
+        for key, value in self.metrics.items():
+            lines.append("{} = {}".format(key, value))
+        return "\n".join(lines)

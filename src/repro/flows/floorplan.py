@@ -1,0 +1,90 @@
+"""Design planning: die sizing, domain placement, congestion estimate.
+
+The paper recommends that "the combinational logic domain is located in
+the center of the design to alleviate problems with routing congestion
+between the combinational logic and the sequential logic domains".  This
+step models the floorplan well enough to quantify that advice: the gated
+domain is a centred square, the always-on logic forms the ring around it,
+and congestion is the boundary-crossing wire count per unit of domain
+perimeter -- centring maximises the shared perimeter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..netlist.stats import module_stats
+from .base import StepReport
+
+#: Target placement utilization.
+UTILIZATION = 0.70
+
+#: Crossings per um of perimeter above which routing is congested.
+CONGESTION_LIMIT = 2.0
+
+
+@dataclass
+class Floorplan:
+    """Result of design planning."""
+
+    die_width: float
+    die_height: float
+    utilization: float
+    comb_region: tuple = None          # (x0, y0, x1, y1) of gated domain
+    boundary_crossings: int = 0
+    congestion: float = 0.0
+    centred: bool = True
+    messages: list = field(default_factory=list)
+
+    @property
+    def die_area(self):
+        """Die area (um^2)."""
+        return self.die_width * self.die_height
+
+
+def plan_design(module, library, comb_module=None, boundary_nets=0,
+                centred=True, utilization=UTILIZATION):
+    """Plan a die for ``module``; returns ``(Floorplan, StepReport)``.
+
+    When ``comb_module`` is given (SCPG flow), its region is placed in the
+    centre (or at the edge when ``centred=False``, to demonstrate the
+    congestion penalty the paper warns about).
+    """
+    report = StepReport("design-planning")
+    stats = module_stats(module)
+    comb_area = module_stats(comb_module).area if comb_module else 0.0
+    total_area = stats.area + comb_area
+    die_side = math.sqrt(total_area / utilization)
+    plan = Floorplan(
+        die_width=die_side,
+        die_height=die_side,
+        utilization=utilization,
+        centred=centred,
+    )
+    report.metrics["die_side_um"] = round(die_side, 2)
+    report.metrics["cell_area_um2"] = round(total_area, 1)
+
+    if comb_module is not None:
+        side = math.sqrt(comb_area / utilization)
+        if centred:
+            x0 = (die_side - side) / 2.0
+            plan.comb_region = (x0, x0, x0 + side, x0 + side)
+            perimeter = 4.0 * side
+        else:
+            # Corner placement: only two edges face always-on logic.
+            plan.comb_region = (0.0, 0.0, side, side)
+            perimeter = 2.0 * side
+        plan.boundary_crossings = boundary_nets
+        plan.congestion = boundary_nets / max(perimeter, 1e-9)
+        report.metrics["comb_region_side_um"] = round(side, 2)
+        report.metrics["congestion_per_um"] = round(plan.congestion, 3)
+        if plan.congestion > CONGESTION_LIMIT:
+            msg = (
+                "congestion {:.2f}/um exceeds {:.2f}; centre the "
+                "combinational domain".format(plan.congestion,
+                                              CONGESTION_LIMIT)
+            )
+            plan.messages.append(msg)
+            report.log(msg)
+    return plan, report

@@ -1,0 +1,61 @@
+"""Routing estimate: wirelength and congestion roll-up.
+
+Detailed routing is far outside scope; the estimate exists so flow reports
+carry the quantities the paper discusses (extra routing of control
+signals, congestion between the split domains).  Wire capacitance itself
+is already part of the library's per-fanout load model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..netlist.stats import module_stats
+from .base import StepReport
+
+#: Average routed length per fanout connection, as a multiple of the
+#: average cell pitch.
+LENGTH_PER_FANOUT = 3.0
+
+
+@dataclass
+class RoutingEstimate:
+    """Wirelength and track demand summary."""
+
+    total_wirelength: float       # um
+    nets: int
+    connections: int
+    avg_fanout: float
+    track_demand: float           # dimensionless utilisation proxy
+
+
+def estimate_routing(module, library):
+    """Estimate routing for a flat module; returns
+    ``(RoutingEstimate, StepReport)``."""
+    report = StepReport("routing")
+    stats = module_stats(module)
+    pitch = math.sqrt(stats.area / max(stats.cells, 1))
+    connections = 0
+    nets = 0
+    for net in module.nets():
+        if net.is_const or not net.is_driven:
+            continue
+        fanout = net.fanout()
+        if fanout == 0:
+            continue
+        nets += 1
+        connections += fanout
+    wirelength = connections * LENGTH_PER_FANOUT * pitch
+    die_side = math.sqrt(stats.area / 0.7)
+    demand = wirelength / max(die_side * die_side / pitch, 1e-9)
+    estimate = RoutingEstimate(
+        total_wirelength=wirelength,
+        nets=nets,
+        connections=connections,
+        avg_fanout=connections / max(nets, 1),
+        track_demand=demand,
+    )
+    report.metrics["wirelength_um"] = round(wirelength, 1)
+    report.metrics["track_demand"] = round(demand, 3)
+    return estimate, report

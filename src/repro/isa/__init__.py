@@ -1,0 +1,43 @@
+"""M0-lite: a compact Thumb-flavoured ISA, assembler and simulator.
+
+The paper drives its Cortex-M0 power study with the Dhrystone benchmark
+(3700 vectors, ModelSim -> VCD -> PrimeTime-PX).  The ARM RTL is not
+available, so this package provides the workload side of the substitution:
+
+* :mod:`repro.isa.encoding` -- the 16-bit M0-lite instruction set (MOVI /
+  ADDI / register ALU ops incl. MULS / LDR / STR / B / Bcond / NOP / HALT)
+  with NZCV flags, shared by the assembler, the ISS and the gate-level
+  core generator (:mod:`repro.circuits.m0lite`).
+* :mod:`repro.isa.assembler` -- two-pass assembler with labels.
+* :mod:`repro.isa.cpu` -- the instruction-set simulator (golden model).
+* :mod:`repro.isa.programs` -- the synthetic Dhrystone-like benchmark.
+* :mod:`repro.isa.trace` -- lock-step co-simulation of the ISS against the
+  gate-level core, producing per-cycle vectors and activity groups.
+"""
+
+from .encoding import (
+    Op,
+    Funct,
+    Cond,
+    encode,
+    decode,
+    Instruction,
+)
+from .assembler import assemble, AssemblyError
+from .cpu import M0LiteCpu, CpuState
+from .trace import GateLevelCpu, cosimulate
+
+__all__ = [
+    "Op",
+    "Funct",
+    "Cond",
+    "encode",
+    "decode",
+    "Instruction",
+    "assemble",
+    "AssemblyError",
+    "M0LiteCpu",
+    "CpuState",
+    "GateLevelCpu",
+    "cosimulate",
+]

@@ -1,0 +1,183 @@
+"""Two-pass assembler for M0-lite.
+
+Syntax (one instruction per line, ``;`` or ``//`` comments, labels end with
+``:``)::
+
+    loop:
+        movi  r1, #10
+        addi  r1, #-1
+        cmp   r1, r0
+        bne   loop
+        str   r1, [r2, #4]
+        halt
+
+Branch targets may be labels or ``#imm`` word offsets.  ``.word <n>``
+emits a raw 16-bit word (for data tables in instruction memory).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import IsaError
+from .encoding import Cond, Funct, Instruction, Op, encode
+
+
+class AssemblyError(IsaError):
+    """Bad assembly source."""
+
+    def __init__(self, message, line_no=None):
+        if line_no is not None:
+            message = "line {}: {}".format(line_no, message)
+        super().__init__(message)
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*):\s*(.*)$")
+_REG_RE = re.compile(r"^r(\d+)$", re.IGNORECASE)
+
+_ALU_MNEMONICS = {f.name.lower(): f for f in Funct}
+_COND_MNEMONICS = {"b" + c.name.lower(): c for c in Cond}
+
+
+def _parse_reg(tok, line_no):
+    m = _REG_RE.match(tok.strip())
+    if not m or not 0 <= int(m.group(1)) <= 15:
+        raise AssemblyError("bad register {!r}".format(tok), line_no)
+    return int(m.group(1))
+
+
+def _parse_imm(tok, line_no):
+    tok = tok.strip()
+    if tok.startswith("#"):
+        tok = tok[1:]
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError("bad immediate {!r}".format(tok),
+                            line_no) from None
+
+
+def _split_operands(rest):
+    # "r1, [r2, #4]" -> ["r1", "[r2, #4]"]
+    parts = []
+    depth = 0
+    current = ""
+    for ch in rest:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+def _parse_mem_operand(tok, line_no):
+    m = re.match(r"^\[\s*(r\d+)\s*(?:,\s*(#?-?\w+)\s*)?\]$", tok,
+                 re.IGNORECASE)
+    if not m:
+        raise AssemblyError("bad memory operand {!r}".format(tok), line_no)
+    rs = _parse_reg(m.group(1), line_no)
+    imm = _parse_imm(m.group(2), line_no) if m.group(2) else 0
+    return rs, imm
+
+
+def assemble(source, origin=0):
+    """Assemble ``source`` into a list of 16-bit words.
+
+    ``origin`` is the word address the program will be loaded at (affects
+    label-relative branch offsets only in that both passes agree).
+    """
+    # Pass 1: strip comments/labels, record label addresses (word units).
+    statements = []  # (line_no, text)
+    labels = {}
+    addr = origin
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = re.split(r";|//", raw)[0].strip()
+        while text:
+            m = _LABEL_RE.match(text)
+            if m:
+                label = m.group(1)
+                if label in labels:
+                    raise AssemblyError(
+                        "duplicate label {!r}".format(label), line_no)
+                labels[label] = addr
+                text = m.group(2).strip()
+            else:
+                break
+        if not text:
+            continue
+        statements.append((line_no, text, addr))
+        addr += 1
+
+    # Pass 2: encode.
+    words = []
+    for line_no, text, addr in statements:
+        words.append(_encode_statement(text, addr, labels, line_no))
+    return words
+
+
+def _branch_offset(target, addr, labels, line_no):
+    tok = target.strip()
+    if tok.startswith("#"):
+        return _parse_imm(tok, line_no)
+    if tok in labels:
+        return labels[tok] - (addr + 1)
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AssemblyError(
+            "unknown label {!r}".format(tok), line_no) from None
+
+
+def _encode_statement(text, addr, labels, line_no):
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+
+    try:
+        if mnemonic == ".word":
+            value = _parse_imm(operands[0], line_no)
+            if not 0 <= value <= 0xFFFF:
+                raise AssemblyError("word out of range", line_no)
+            return value
+        if mnemonic == "nop":
+            return encode(Instruction(Op.SYS, imm=0))
+        if mnemonic == "halt":
+            return encode(Instruction(Op.SYS, imm=1))
+        if mnemonic == "movi":
+            return encode(Instruction(
+                Op.MOVI, rd=_parse_reg(operands[0], line_no),
+                imm=_parse_imm(operands[1], line_no)))
+        if mnemonic == "addi":
+            return encode(Instruction(
+                Op.ADDI, rd=_parse_reg(operands[0], line_no),
+                imm=_parse_imm(operands[1], line_no)))
+        if mnemonic in _ALU_MNEMONICS:
+            return encode(Instruction(
+                Op.ALU, funct=_ALU_MNEMONICS[mnemonic],
+                rd=_parse_reg(operands[0], line_no),
+                rs=_parse_reg(operands[1], line_no)))
+        if mnemonic in ("ldr", "str"):
+            rs, imm = _parse_mem_operand(operands[1], line_no)
+            return encode(Instruction(
+                Op.LDR if mnemonic == "ldr" else Op.STR,
+                rd=_parse_reg(operands[0], line_no), rs=rs, imm=imm))
+        if mnemonic == "b":
+            return encode(Instruction(
+                Op.B, imm=_branch_offset(operands[0], addr, labels,
+                                         line_no)))
+        if mnemonic in _COND_MNEMONICS:
+            return encode(Instruction(
+                Op.BCOND, cond=_COND_MNEMONICS[mnemonic],
+                imm=_branch_offset(operands[0], addr, labels, line_no)))
+    except IndexError:
+        raise AssemblyError(
+            "missing operand for {!r}".format(mnemonic), line_no) from None
+    raise AssemblyError("unknown mnemonic {!r}".format(mnemonic), line_no)

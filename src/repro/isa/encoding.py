@@ -1,0 +1,211 @@
+"""M0-lite instruction encodings.
+
+16-bit instructions, 16 registers of 32 bits, NZCV flags.  The format is a
+simplified Thumb: a 4-bit major opcode in [15:12] and fixed fields below::
+
+    MOVI  rd, #imm8      0 | rd4 | imm8          rd = zext(imm8)       (NZ)
+    ADDI  rd, #imm8      1 | rd4 | imm8          rd += sext(imm8)      (NZCV)
+    ALU   f, rd, rs      2 | f4  | rd4 | rs4     rd = rd <f> rs
+    LDR   rd, [rs,#off]  3 | rd4 | rs4 | off/4   rd = mem32[rs + off]
+    STR   rd, [rs,#off]  4 | rd4 | rs4 | off/4   mem32[rs + off] = rd
+
+(memory offsets are byte offsets, word-aligned, 0..60 -- the 4-bit field
+stores ``off/4``, like Thumb's LDR immediate)
+    B     #off12         5 | simm12              PC = PC + 2 + off*2
+    Bcond #off8          6 | cond4 | simm8       if cond: PC = PC+2+off*2
+    SYS                  7 | 0x000 = NOP, 0xFFF = HALT
+
+ALU functs (flags: ADD/SUB/CMP set NZCV; the rest set NZ)::
+
+    0 ADD   1 SUB   2 AND   3 ORR   4 EOR   5 LSL   6 LSR   7 ASR
+    8 MUL   9 MOV  10 MVN  11 CMP (no writeback)
+
+Shift amounts are ``rs[4:0]`` (modulo 32, matching the gate-level core).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import IsaError
+
+MASK32 = 0xFFFFFFFF
+
+
+class Op(enum.IntEnum):
+    """Major opcodes."""
+
+    MOVI = 0
+    ADDI = 1
+    ALU = 2
+    LDR = 3
+    STR = 4
+    B = 5
+    BCOND = 6
+    SYS = 7
+
+
+class Funct(enum.IntEnum):
+    """Register-ALU sub-operations."""
+
+    ADD = 0
+    SUB = 1
+    AND = 2
+    ORR = 3
+    EOR = 4
+    LSL = 5
+    LSR = 6
+    ASR = 7
+    MUL = 8
+    MOV = 9
+    MVN = 10
+    CMP = 11
+
+
+class Cond(enum.IntEnum):
+    """Branch conditions (over NZCV)."""
+
+    EQ = 0   # Z
+    NE = 1   # !Z
+    LT = 2   # N != V (signed)
+    GE = 3   # N == V (signed)
+    LTU = 4  # !C (unsigned lower)
+    GEU = 5  # C (unsigned higher-or-same)
+    MI = 6   # N
+    PL = 7   # !N
+
+NOP_WORD = 0x7000
+HALT_WORD = 0x7FFF
+
+
+def _check_range(value, lo, hi, what):
+    if not lo <= value <= hi:
+        raise IsaError("{} {} out of range [{}, {}]".format(
+            what, value, lo, hi))
+
+
+def _sign_extend(value, bits):
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Decoded instruction fields (unused fields are zero)."""
+
+    op: Op
+    rd: int = 0
+    rs: int = 0
+    funct: Funct = Funct.ADD
+    cond: Cond = Cond.EQ
+    imm: int = 0  # already sign-extended where the format is signed
+
+    def __str__(self):
+        if self.op is Op.MOVI:
+            return "movi r{}, #{}".format(self.rd, self.imm)
+        if self.op is Op.ADDI:
+            return "addi r{}, #{}".format(self.rd, self.imm)
+        if self.op is Op.ALU:
+            return "{} r{}, r{}".format(self.funct.name.lower(), self.rd,
+                                        self.rs)
+        if self.op is Op.LDR:
+            return "ldr r{}, [r{}, #{}]".format(self.rd, self.rs, self.imm)
+        if self.op is Op.STR:
+            return "str r{}, [r{}, #{}]".format(self.rd, self.rs, self.imm)
+        if self.op is Op.B:
+            return "b {:+d}".format(self.imm)
+        if self.op is Op.BCOND:
+            return "b{} {:+d}".format(self.cond.name.lower(), self.imm)
+        return "halt" if self.imm else "nop"
+
+
+def encode(instr):
+    """Encode an :class:`Instruction` to its 16-bit word."""
+    op = instr.op
+    if op is Op.MOVI:
+        _check_range(instr.imm, 0, 255, "imm8")
+        return (0 << 12) | (instr.rd << 8) | instr.imm
+    if op is Op.ADDI:
+        _check_range(instr.imm, -128, 127, "simm8")
+        return (1 << 12) | (instr.rd << 8) | (instr.imm & 0xFF)
+    if op is Op.ALU:
+        return (2 << 12) | (int(instr.funct) << 8) | (instr.rd << 4) \
+            | instr.rs
+    if op in (Op.LDR, Op.STR):
+        _check_range(instr.imm, 0, 60, "memory offset")
+        if instr.imm % 4:
+            raise IsaError(
+                "memory offset {} not word-aligned".format(instr.imm))
+        return (int(op) << 12) | (instr.rd << 8) | (instr.rs << 4) \
+            | (instr.imm // 4)
+    if op is Op.B:
+        _check_range(instr.imm, -2048, 2047, "simm12")
+        return (5 << 12) | (instr.imm & 0xFFF)
+    if op is Op.BCOND:
+        _check_range(instr.imm, -128, 127, "simm8")
+        return (6 << 12) | (int(instr.cond) << 8) | (instr.imm & 0xFF)
+    if op is Op.SYS:
+        return HALT_WORD if instr.imm else NOP_WORD
+    raise IsaError("cannot encode {!r}".format(instr))
+
+
+def decode(word):
+    """Decode a 16-bit word to an :class:`Instruction`.
+
+    Raises :class:`~repro.errors.IsaError` for undefined encodings.
+    """
+    if not 0 <= word <= 0xFFFF:
+        raise IsaError("instruction word {:#x} out of range".format(word))
+    op_bits = (word >> 12) & 0xF
+    try:
+        op = Op(op_bits)
+    except ValueError:
+        raise IsaError("bad opcode {}".format(op_bits)) from None
+    if op is Op.MOVI:
+        return Instruction(op, rd=(word >> 8) & 0xF, imm=word & 0xFF)
+    if op is Op.ADDI:
+        return Instruction(op, rd=(word >> 8) & 0xF,
+                           imm=_sign_extend(word, 8))
+    if op is Op.ALU:
+        funct_bits = (word >> 8) & 0xF
+        if funct_bits > int(Funct.CMP):
+            raise IsaError("bad ALU funct {}".format(funct_bits))
+        return Instruction(op, funct=Funct(funct_bits),
+                           rd=(word >> 4) & 0xF, rs=word & 0xF)
+    if op in (Op.LDR, Op.STR):
+        return Instruction(op, rd=(word >> 8) & 0xF, rs=(word >> 4) & 0xF,
+                           imm=(word & 0xF) * 4)
+    if op is Op.B:
+        return Instruction(op, imm=_sign_extend(word, 12))
+    if op is Op.BCOND:
+        cond_bits = (word >> 8) & 0xF
+        if cond_bits > int(Cond.PL):
+            raise IsaError("bad condition {}".format(cond_bits))
+        return Instruction(op, cond=Cond(cond_bits),
+                           imm=_sign_extend(word, 8))
+    # SYS
+    return Instruction(op, imm=1 if (word & 0xFFF) == 0xFFF else 0)
+
+
+def evaluate_cond(cond, flags):
+    """Evaluate a :class:`Cond` over a flags dict with keys n/z/c/v."""
+    n, z, c, v = flags["n"], flags["z"], flags["c"], flags["v"]
+    if cond is Cond.EQ:
+        return z
+    if cond is Cond.NE:
+        return not z
+    if cond is Cond.LT:
+        return n != v
+    if cond is Cond.GE:
+        return n == v
+    if cond is Cond.LTU:
+        return not c
+    if cond is Cond.GEU:
+        return c
+    if cond is Cond.MI:
+        return n
+    return not n

@@ -1,0 +1,17 @@
+"""Benchmark programs for the M0-lite core."""
+
+from .dhrystone import dhrystone_program, dhrystone_memory, DHRYSTONE_ITERATIONS
+from .crc32 import crc32_program, crc32_reference, CRC_RESULT
+from .fir import fir_program, fir_reference, FIR_RESULT
+
+__all__ = [
+    "dhrystone_program",
+    "dhrystone_memory",
+    "DHRYSTONE_ITERATIONS",
+    "crc32_program",
+    "crc32_reference",
+    "CRC_RESULT",
+    "fir_program",
+    "fir_reference",
+    "FIR_RESULT",
+]

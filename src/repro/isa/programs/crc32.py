@@ -1,0 +1,78 @@
+"""CRC-32 workload: control-heavy counterpoint to Dhrystone-lite.
+
+Bit-serial CRC-32 (polynomial 0xEDB88320) over the shared source buffer.
+Dominated by single-bit tests, shifts and conditional branches -- the
+opposite activity profile to the multiplier-heavy FIR workload, which is
+exactly what the workload-sensitivity study wants to contrast.
+"""
+
+from __future__ import annotations
+
+from ..assembler import assemble
+from .dhrystone import RESULT_BASE, SRC_BASE
+
+#: Where the final CRC is stored.
+CRC_RESULT = RESULT_BASE + 8
+
+_SOURCE = """
+; r1 = word pointer, r2 = words left, r3 = crc, r4 = poly, r7 = const 1
+        movi  r1, #{src}
+        movi  r2, #{words}
+        movi  r3, #0
+        mvn   r3, r3           ; crc = 0xFFFFFFFF
+; build poly 0xEDB88320 from bytes (no 32-bit immediates in the ISA)
+        movi  r4, #0xED
+        movi  r5, #8
+        lsl   r4, r5
+        movi  r6, #0xB8
+        orr   r4, r6
+        lsl   r4, r5
+        movi  r6, #0x83
+        orr   r4, r6
+        lsl   r4, r5
+        movi  r6, #0x20
+        orr   r4, r6
+        movi  r7, #1
+word_loop:
+        ldr   r8, [r1, #0]
+        eor   r3, r8           ; crc ^= word
+        movi  r9, #32
+bit_loop:
+        mov   r10, r3
+        and   r10, r7          ; low bit
+        movi  r11, #1
+        lsr   r3, r11          ; crc >>= 1
+        cmp   r10, r7
+        bne   no_xor
+        eor   r3, r4           ; crc ^= poly
+no_xor:
+        addi  r9, #-1
+        bne   bit_loop
+        addi  r1, #4
+        addi  r2, #-1
+        bne   word_loop
+        mvn   r3, r3           ; final inversion
+        movi  r1, #{out}
+        str   r3, [r1, #0]
+        halt
+"""
+
+
+def crc32_program(words=8):
+    """Assemble the CRC workload over ``words`` words of the source
+    buffer."""
+    return assemble(_SOURCE.format(src=SRC_BASE, words=words,
+                                   out=CRC_RESULT))
+
+
+def crc32_reference(data_words):
+    """Pure-Python CRC-32 matching the assembly (for verification)."""
+    crc = 0xFFFFFFFF
+    for word in data_words:
+        crc ^= word
+        for _ in range(32):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF

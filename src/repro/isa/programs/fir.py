@@ -1,0 +1,86 @@
+"""FIR filter workload: datapath-heavy counterpoint to Dhrystone-lite.
+
+A 4-tap FIR over a synthetic sample stream: every iteration issues four
+MULs and a chain of adds, keeping the execute stage's multiplier array --
+the widest piece of the core -- busy.  Together with the control-heavy
+CRC workload it brackets the activity range a real application mix spans.
+"""
+
+from __future__ import annotations
+
+from ..assembler import assemble
+from .dhrystone import RESULT_BASE
+
+#: Where the accumulated filter output is stored.
+FIR_RESULT = RESULT_BASE + 12
+
+#: The filter taps (small constants; MOVI range).
+TAPS = (3, 7, 11, 13)
+
+_SOURCE = """
+; r1..r4 = delay line, r5..r8 = taps, r10 = sample/lfsr, r12 = count
+        movi  r5, #{t0}
+        movi  r6, #{t1}
+        movi  r7, #{t2}
+        movi  r8, #{t3}
+        movi  r1, #0
+        movi  r2, #0
+        movi  r3, #0
+        movi  r4, #0
+        movi  r10, #123        ; sample generator state
+        movi  r11, #0          ; accumulated output
+        movi  r12, #{samples}
+sample_loop:
+; next sample: x = (x * 5 + 17) mod 2^32, use low byte
+        movi  r9, #5
+        mul   r10, r9
+        addi  r10, #17
+        mov   r9, r10
+        movi  r13, #0xFF
+        and   r9, r13          ; new sample in r9
+; shift the delay line
+        mov   r4, r3
+        mov   r3, r2
+        mov   r2, r1
+        mov   r1, r9
+; y = t0*x0 + t1*x1 + t2*x2 + t3*x3
+        mov   r13, r1
+        mul   r13, r5
+        mov   r14, r2
+        mul   r14, r6
+        add   r13, r14
+        mov   r14, r3
+        mul   r14, r7
+        add   r13, r14
+        mov   r14, r4
+        mul   r14, r8
+        add   r13, r14
+        add   r11, r13         ; accumulate
+        addi  r12, #-1
+        bne   sample_loop
+        movi  r1, #{out}
+        str   r11, [r1, #0]
+        halt
+"""
+
+
+def fir_program(samples=16):
+    """Assemble the FIR workload over ``samples`` generated samples."""
+    return assemble(_SOURCE.format(
+        t0=TAPS[0], t1=TAPS[1], t2=TAPS[2], t3=TAPS[3],
+        samples=samples, out=FIR_RESULT))
+
+
+def fir_reference(samples=16):
+    """Pure-Python model of the assembly (for verification)."""
+    mask = 0xFFFFFFFF
+    x = 123
+    line = [0, 0, 0, 0]
+    acc = 0
+    for _ in range(samples):
+        x = (x * 5 + 17) & mask
+        sample = x & 0xFF
+        line = [sample] + line[:3]
+        y = sum(t * v for t, v in zip(TAPS, line)) & mask
+        acc = (acc + y) & mask
+    return acc

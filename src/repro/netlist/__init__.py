@@ -1,0 +1,57 @@
+"""Gate-level netlist data model, I/O and transformations.
+
+A :class:`Design` is a library-linked hierarchy of :class:`Module` objects;
+each module holds :class:`Net`, :class:`Port` and :class:`Instance` objects.
+Instances reference either library cells or other modules (the SCPG flow's
+first step creates exactly such a hierarchy by moving all combinational
+logic into a child module).
+
+Sub-modules:
+
+* :mod:`repro.netlist.core` -- the object model.
+* :mod:`repro.netlist.verilog` -- structural-Verilog subset writer/parser.
+* :mod:`repro.netlist.traverse` -- levelization, cones, topological order.
+* :mod:`repro.netlist.validate` -- lint (floating nets, multi-drivers,
+  combinational loops).
+* :mod:`repro.netlist.transform` -- the comb/seq split of the SCPG flow and
+  buffer insertion.
+* :mod:`repro.netlist.stats` -- gate counts, areas, leakage roll-ups.
+* :mod:`repro.netlist.equivalence` -- simulation-based equivalence checks.
+"""
+
+from .core import Design, Instance, Module, Net, Port, PortDirection
+from .verilog import parse_verilog, write_verilog, dumps_verilog
+from .traverse import (
+    topological_instances,
+    levelize,
+    combinational_instances,
+    sequential_instances,
+)
+from .validate import ValidationReport, validate_module
+from .transform import split_combinational, SplitResult
+from .stats import ModuleStats, module_stats
+from .equivalence import EquivalenceReport, check_equivalence
+
+__all__ = [
+    "Design",
+    "Instance",
+    "Module",
+    "Net",
+    "Port",
+    "PortDirection",
+    "parse_verilog",
+    "write_verilog",
+    "dumps_verilog",
+    "topological_instances",
+    "levelize",
+    "combinational_instances",
+    "sequential_instances",
+    "ValidationReport",
+    "validate_module",
+    "split_combinational",
+    "SplitResult",
+    "ModuleStats",
+    "module_stats",
+    "EquivalenceReport",
+    "check_equivalence",
+]

@@ -1,0 +1,134 @@
+"""Simulation-based equivalence checking between two netlists.
+
+Used wherever the flow rewrites a netlist -- logic optimisation, fan-out
+repair, the SCPG transform, Verilog round-trips -- to certify that the
+rewrite preserved behaviour.  Two strategies:
+
+* **exhaustive** for combinational designs with few enough inputs: every
+  input vector is applied to both sides;
+* **randomised** otherwise: matched random vector streams (with a clocked
+  protocol when the design has the named clock input), comparing every
+  output each cycle.
+
+This is a miniature "logic equivalence check" (LEC) in the simulation
+style; it cannot *prove* equivalence for large designs, but with a few
+hundred vectors over a datapath it is a strong regression oracle, and the
+report says exactly which output diverged first.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import NetlistError
+from ..sim.event import Simulator
+from ..sim.logic import X
+
+#: Input counts up to this get exhaustive checking.
+EXHAUSTIVE_LIMIT = 12
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of :func:`check_equivalence`."""
+
+    equivalent: bool
+    vectors: int
+    mode: str                      # "exhaustive" | "random"
+    mismatches: list = field(default_factory=list)
+
+    def __bool__(self):
+        return self.equivalent
+
+    def __str__(self):
+        status = "EQUIVALENT" if self.equivalent else "DIFFERENT"
+        lines = ["{} after {} {} vectors".format(
+            status, self.vectors, self.mode)]
+        lines += ["  " + m for m in self.mismatches[:5]]
+        return "\n".join(lines)
+
+
+def _port_signature(module):
+    ins = tuple(sorted(p.name for p in module.input_ports()))
+    outs = tuple(sorted(p.name for p in module.output_ports()))
+    return ins, outs
+
+
+def check_equivalence(golden, revised, vectors=256, clock=None, seed=0,
+                      max_mismatches=5):
+    """Compare two flat modules with identical port lists.
+
+    Parameters
+    ----------
+    golden / revised:
+        Flat modules (library cells only).
+    vectors:
+        Random vectors to apply (ignored when exhaustive checking fits).
+    clock:
+        Name of the clock input for sequential designs; ``None`` treats
+        the design as combinational.  With a clock, both sides start from
+        all-zero flop state and step cycle by cycle.
+    """
+    g_sig = _port_signature(golden)
+    r_sig = _port_signature(revised)
+    if g_sig != r_sig:
+        raise NetlistError(
+            "port lists differ: {} vs {}".format(g_sig, r_sig))
+    ins, outs = g_sig
+    data_ins = [p for p in ins if p != clock]
+
+    sim_g = Simulator(golden, record_toggles=False)
+    sim_r = Simulator(revised, record_toggles=False)
+    if clock is not None:
+        for sim in (sim_g, sim_r):
+            sim.force_flop_state(0)
+            sim.set_input(clock, 0)
+
+    def apply_and_compare(assignment, label):
+        for sim in (sim_g, sim_r):
+            sim.set_inputs(assignment)
+            if clock is not None:
+                sim.set_input(clock, 1)
+                sim.set_input(clock, 0)
+        diffs = []
+        for out in outs:
+            a = sim_g.value(out)
+            b = sim_r.value(out)
+            if a != b:
+                diffs.append("{}: golden={} revised={} at {}".format(
+                    out, "X" if a == X else a, "X" if b == X else b,
+                    label))
+        return diffs
+
+    mismatches = []
+    if clock is None and len(data_ins) <= EXHAUSTIVE_LIMIT:
+        mode = "exhaustive"
+        count = 1 << len(data_ins)
+        for bits in range(count):
+            assignment = {
+                name: (bits >> i) & 1 for i, name in enumerate(data_ins)
+            }
+            mismatches += apply_and_compare(
+                assignment, "vector {:#x}".format(bits))
+            if len(mismatches) >= max_mismatches:
+                break
+        applied = min(count, bits + 1)
+    else:
+        mode = "random"
+        rng = random.Random(seed)
+        applied = 0
+        for k in range(vectors):
+            assignment = {name: rng.getrandbits(1) for name in data_ins}
+            mismatches += apply_and_compare(assignment,
+                                            "cycle {}".format(k))
+            applied += 1
+            if len(mismatches) >= max_mismatches:
+                break
+
+    return EquivalenceReport(
+        equivalent=not mismatches,
+        vectors=applied,
+        mode=mode,
+        mismatches=mismatches,
+    )

@@ -1,0 +1,342 @@
+"""Structural-Verilog subset writer and parser.
+
+The SCPG flow exchanges netlists as structural Verilog (the paper's step 1
+"parses the netlist of a design").  The supported subset is what gate-level
+netlists actually use::
+
+    module mult16 (clk, a_0, ..., p_31);
+      input clk;
+      input a_0;
+      output p_31;
+      wire n1, n2;
+      NAND2_X1 u1 (.A(a_0), .B(n1), .Y(n2));
+      mult16_comb u_comb (.a_0(a_0), .p_31_pre(n2));
+      assign p_31 = n2;
+    endmodule
+
+Scalar nets only (generators bit-blast buses into ``name_<i>`` scalars),
+named port connections only, constants ``1'b0``/``1'b1``, escaped
+identifiers (``\\u_comb/u1 ``), ``assign`` aliases between nets, and
+multiple modules per file (definition before use, as emitted by EDA tools).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+
+from ..errors import VerilogSyntaxError
+from .core import Design, Module, PortDirection
+
+_SIMPLE_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z_0-9$]*$")
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>//[^\n]*|/\*.*?\*/)
+      | (?P<escaped>\\[^\s]+)
+      | (?P<const>1'b[01])
+      | (?P<id>[A-Za-z_][A-Za-z_0-9$]*)
+      | (?P<punct>[();,.=])
+    )
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+_KEYWORDS = {"module", "endmodule", "input", "output", "wire", "assign"}
+
+
+# ---------------------------------------------------------------------------
+# Writer
+# ---------------------------------------------------------------------------
+
+def _fmt_id(name):
+    if _SIMPLE_ID_RE.match(name) and name not in _KEYWORDS:
+        return name
+    return "\\" + name + " "
+
+
+def _write_module(module, out):
+    port_names = ", ".join(_fmt_id(p.name) for p in module.ports)
+    out.write("module {} ({});\n".format(_fmt_id(module.name), port_names))
+    for port in module.ports:
+        out.write("  {} {};\n".format(port.direction.value,
+                                      _fmt_id(port.name)))
+    port_nets = {p.name for p in module.ports}
+    wires = [
+        n for n in module.nets()
+        if n.name not in port_nets and not n.is_const
+    ]
+    for net in wires:
+        out.write("  wire {};\n".format(_fmt_id(net.name)))
+    for inst in module.instances():
+        conns = ", ".join(
+            ".{}({})".format(
+                _fmt_id(pin),
+                "1'b{}".format(net.const_value) if net.is_const
+                else _fmt_id(net.name),
+            )
+            for pin, net in inst.connections.items()
+        )
+        out.write(
+        "  {} {} ({});\n".format(
+            _fmt_id(inst.ref_name), _fmt_id(inst.name), conns)
+        )
+    out.write("endmodule\n")
+
+
+def dumps_verilog(design_or_module):
+    """Serialise a :class:`Design` (all modules, leaves first) or a single
+    :class:`Module` to structural Verilog text."""
+    out = io.StringIO()
+    if isinstance(design_or_module, Design):
+        emitted = set()
+
+        def emit(module):
+            for inst in module.submodule_instances():
+                emit(inst.submodule)
+            if module.name not in emitted:
+                emitted.add(module.name)
+                _write_module(module, out)
+                out.write("\n")
+
+        emit(design_or_module.top)
+    else:
+        _write_module(design_or_module, out)
+    return out.getvalue()
+
+
+def write_verilog(design_or_module, path):
+    """Write structural Verilog to ``path``."""
+    with open(path, "w") as f:
+        f.write(dumps_verilog(design_or_module))
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].lstrip()
+            if not rest:
+                break
+            raise VerilogSyntaxError(
+                "unexpected character {!r}".format(rest[0]), line
+            )
+        line += text.count("\n", pos, m.end())
+        pos = m.end()
+        if m.group("comment"):
+            continue
+        if m.group("escaped"):
+            tokens.append(("id", m.group("escaped")[1:], line))
+        elif m.group("const"):
+            tokens.append(("const", int(m.group("const")[-1]), line))
+        elif m.group("id"):
+            kind = "kw" if m.group("id") in _KEYWORDS else "id"
+            tokens.append((kind, m.group("id"), line))
+        else:
+            tokens.append(("punct", m.group("punct"), line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, library):
+        self.tokens = tokens
+        self.pos = 0
+        self.library = library
+        self.modules = {}
+
+    def _peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return (None, None, None)
+
+    def _take(self, kind=None, value=None):
+        tok = self._peek()
+        if tok[0] is None:
+            raise VerilogSyntaxError("unexpected end of file")
+        if kind is not None and tok[0] != kind:
+            raise VerilogSyntaxError(
+                "expected {}, got {!r}".format(kind, tok[1]), tok[2]
+            )
+        if value is not None and tok[1] != value:
+            raise VerilogSyntaxError(
+                "expected {!r}, got {!r}".format(value, tok[1]), tok[2]
+            )
+        self.pos += 1
+        return tok
+
+    def parse_file(self):
+        while self._peek()[0] is not None:
+            self.parse_module()
+        return self.modules
+
+    def parse_module(self):
+        self._take("kw", "module")
+        _, name, _line = self._take("id")
+        module = Module(name)
+        self._take("punct", "(")
+        port_order = []
+        while self._peek()[1] != ")":
+            tok = self._take("id")
+            port_order.append(tok[1])
+            if self._peek()[1] == ",":
+                self._take()
+        self._take("punct", ")")
+        self._take("punct", ";")
+
+        # Body: declarations, assigns, instances.
+        declared = {}
+        pending_assigns = []
+        pending_instances = []
+        while True:
+            kind, value, line = self._peek()
+            if kind is None:
+                raise VerilogSyntaxError("missing endmodule", line)
+            if value == "endmodule":
+                self._take()
+                break
+            if value in ("input", "output", "wire"):
+                self._take()
+                names = [self._take("id")[1]]
+                while self._peek()[1] == ",":
+                    self._take()
+                    names.append(self._take("id")[1])
+                self._take("punct", ";")
+                for n in names:
+                    declared[n] = value
+            elif value == "assign":
+                self._take()
+                lhs = self._take("id")[1]
+                self._take("punct", "=")
+                tok = self._take()
+                if tok[0] == "const":
+                    rhs = ("const", tok[1])
+                else:
+                    rhs = ("net", tok[1])
+                self._take("punct", ";")
+                pending_assigns.append((lhs, rhs, line))
+            else:
+                pending_instances.append(self._parse_instance())
+
+        # Materialise ports (in header order) then wires.
+        for pname in port_order:
+            direction = declared.get(pname)
+            if direction not in ("input", "output"):
+                raise VerilogSyntaxError(
+                    "port {} lacks a direction declaration".format(pname)
+                )
+            module.add_port(pname, PortDirection(direction))
+        for n, d in declared.items():
+            if d == "wire" and not module.has_net(n):
+                module.add_net(n)
+            elif d in ("input", "output") and n not in port_order:
+                raise VerilogSyntaxError(
+                    "{} {} not listed in module ports".format(d, n)
+                )
+
+        # Instances may reference nets that were never declared (tools often
+        # emit implicit wires); create them on demand.
+        def net_of(target):
+            if isinstance(target, tuple):
+                kind, payload = target
+                if kind == "const":
+                    return module.const(payload)
+                target = payload
+            if not module.has_net(target):
+                module.add_net(target)
+            return module.net(target)
+
+        for ref_name, inst_name, conns, line in pending_instances:
+            if ref_name in self.modules:
+                ref = self.modules[ref_name]
+            elif self.library is not None and self.library.has_cell(ref_name):
+                ref = self.library.cell(ref_name)
+            else:
+                raise VerilogSyntaxError(
+                    "unknown cell or module {!r}".format(ref_name), line
+                )
+            module.add_instance(
+                inst_name,
+                ref,
+                {pin: net_of(target) for pin, target in conns},
+            )
+
+        # Assign aliases: implemented as buffer-free net merging is unsafe
+        # after instances connect, so reject aliases between two driven nets
+        # and otherwise emit a BUF if the library offers one.
+        for lhs, rhs, line in pending_assigns:
+            lnet = net_of(lhs)
+            rnet = net_of(rhs)
+            if self.library is None or not self.library.has_cell("BUF_X1"):
+                raise VerilogSyntaxError(
+                    "assign needs BUF_X1 in the library", line
+                )
+            module.add_instance(
+                "assign_{}".format(lhs),
+                self.library.cell("BUF_X1"),
+                {"A": rnet, "Y": lnet},
+            )
+
+        self.modules[name] = module
+        return module
+
+    def _parse_instance(self):
+        _, ref_name, line = self._take("id")
+        _, inst_name, _ = self._take("id")
+        self._take("punct", "(")
+        conns = []
+        while self._peek()[1] != ")":
+            self._take("punct", ".")
+            _, pin, _ = self._take("id")
+            self._take("punct", "(")
+            tok = self._take()
+            if tok[0] == "const":
+                target = ("const", tok[1])
+            elif tok[1] == ")":
+                # unconnected: .PIN()
+                conns_target = None
+                self.pos -= 1
+                target = None
+            else:
+                target = tok[1]
+            self._take("punct", ")")
+            if target is not None:
+                conns.append((pin, target))
+            if self._peek()[1] == ",":
+                self._take()
+        self._take("punct", ")")
+        self._take("punct", ";")
+        return ref_name, inst_name, conns, line
+
+
+def parse_verilog(text, library, top=None):
+    """Parse structural Verilog ``text`` into a :class:`Design`.
+
+    ``library`` resolves leaf cell references.  ``top`` selects the top
+    module by name; default is the last module defined (tool convention).
+    """
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, library)
+    modules = parser.parse_file()
+    if not modules:
+        raise VerilogSyntaxError("no modules in input")
+    if top is None:
+        top_module = list(modules.values())[-1]
+    else:
+        if top not in modules:
+            raise VerilogSyntaxError("no module named {!r}".format(top))
+        top_module = modules[top]
+    return Design(top_module, library)
+
+
+def read_verilog(path, library, top=None):
+    """Read a structural Verilog file into a :class:`Design`."""
+    with open(path) as f:
+        return parse_verilog(f.read(), library, top)

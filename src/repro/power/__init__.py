@@ -1,0 +1,45 @@
+"""Power analysis: leakage, dynamic, probabilistic activity, rails, headers.
+
+This package is the HSpice/PrimeTime-PX substitute.  It decomposes average
+power the way the paper's analysis does:
+
+* :mod:`repro.power.leakage` -- state-dependent (or average) leakage of a
+  netlist at any supply/temperature, split by domain-relevant cell kinds;
+* :mod:`repro.power.dynamic` -- switching energy per cycle from simulated
+  toggle counts (with a calibrated glitch factor standing in for the
+  glitching a delay-accurate simulation would show);
+* :mod:`repro.power.probabilistic` -- vectorless activity estimation
+  (signal probabilities and transition densities);
+* :mod:`repro.power.rails` -- the virtual-rail collapse/recharge model that
+  produces SCPG's per-cycle overhead energy;
+* :mod:`repro.power.headers` -- sleep-transistor network sizing: IR drop,
+  in-rush, wake-up time, ground bounce (the paper's X2-vs-X4 study).
+"""
+
+from .leakage import LeakageReport, leakage_power
+from .dynamic import DynamicReport, dynamic_power
+from .probabilistic import ActivityEstimate, estimate_activity
+from .rails import VirtualRailModel
+from .report import PowerReport, write_power_report
+from .headers import (
+    HeaderNetwork,
+    HeaderSizing,
+    evaluate_header_sizes,
+    size_header_network,
+)
+
+__all__ = [
+    "LeakageReport",
+    "leakage_power",
+    "DynamicReport",
+    "dynamic_power",
+    "ActivityEstimate",
+    "estimate_activity",
+    "VirtualRailModel",
+    "HeaderNetwork",
+    "HeaderSizing",
+    "evaluate_header_sizes",
+    "size_header_network",
+    "PowerReport",
+    "write_power_report",
+]

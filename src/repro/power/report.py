@@ -1,0 +1,121 @@
+"""Power report writer (PrimeTime-PX-style text reports).
+
+Combines a leakage report, a dynamic report and (optionally) an SCPG
+breakdown into the familiar sign-off layout: totals, group table, top
+consumers.  Everything the paper reads off its HSpice runs is visible in
+one artefact.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from ..units import fmt_energy, fmt_freq, fmt_power
+from ..tech.library import CellKind
+
+_GROUP_ORDER = [
+    CellKind.COMBINATIONAL,
+    CellKind.SEQUENTIAL,
+    CellKind.CLOCK,
+    CellKind.BUFFER,
+    CellKind.ISOLATION,
+    CellKind.TIE,
+    CellKind.HEADER,
+]
+
+
+@dataclass
+class PowerReport:
+    """A composed power report."""
+
+    design: str
+    vdd: float
+    freq_hz: float
+    leakage: object               # LeakageReport
+    dynamic: object = None        # DynamicReport
+    scpg: object = None           # PowerBreakdown
+
+    @property
+    def total(self):
+        """Total average power (W)."""
+        if self.scpg is not None:
+            return self.scpg.total
+        total = self.leakage.total
+        if self.dynamic is not None:
+            total += self.dynamic.power
+        return total
+
+    def render(self, top_nets=8):
+        """The textual report."""
+        out = io.StringIO()
+        w = out.write
+        w("Power Report -- {}\n".format(self.design))
+        w("{}\n".format("=" * 64))
+        w("operating point : {:.2f} V, {}\n".format(
+            self.vdd, fmt_freq(self.freq_hz)))
+        if self.scpg is not None:
+            w("configuration   : {} (duty {:.2f})\n".format(
+                self.scpg.mode.value, self.scpg.duty))
+        w("\n")
+
+        w("Leakage by cell group\n")
+        w("{}\n".format("-" * 64))
+        for kind in _GROUP_ORDER:
+            value = self.leakage.by_kind.get(kind)
+            if value is None:
+                continue
+            share = 100 * value / self.leakage.total \
+                if self.leakage.total else 0.0
+            w("  {:<14} {:>12}  {:5.1f}%\n".format(
+                kind.value, fmt_power(value), share))
+        w("  {:<14} {:>12}\n".format("total", fmt_power(
+            self.leakage.total)))
+        w("\n")
+
+        if self.dynamic is not None:
+            w("Dynamic (switching)\n")
+            w("{}\n".format("-" * 64))
+            w("  energy/cycle   {:>12}\n".format(
+                fmt_energy(self.dynamic.energy_per_cycle)))
+            w("  power          {:>12}\n".format(
+                fmt_power(self.dynamic.power)))
+            w("  glitch factor  {:>12.2f}\n".format(
+                self.dynamic.glitch_factor))
+            top = self.dynamic.top_nets(top_nets)
+            if top:
+                w("  hottest nets (energy/cycle):\n")
+                for name, energy in top:
+                    w("    {:<30} {}\n".format(name, fmt_energy(energy)))
+            w("\n")
+
+        if self.scpg is not None:
+            b = self.scpg
+            w("SCPG decomposition\n")
+            w("{}\n".format("-" * 64))
+            for label, value in (
+                ("switching", b.p_dynamic),
+                ("gating overhead", b.p_overhead),
+                ("always-on leakage", b.p_leak_alwayson),
+                ("combinational leakage", b.p_leak_comb),
+                ("header residual", b.p_leak_header),
+            ):
+                w("  {:<22} {:>12}  {:5.1f}%\n".format(
+                    label, fmt_power(value),
+                    100 * value / b.total if b.total else 0.0))
+            w("  {:<22} {:>12}\n".format("total", fmt_power(b.total)))
+            w("  {:<22} {:>12}\n".format(
+                "energy/operation", fmt_energy(b.energy_per_op)))
+            w("\n")
+
+        w("Total average power: {}\n".format(fmt_power(self.total)))
+        return out.getvalue()
+
+    def __str__(self):
+        return self.render()
+
+
+def write_power_report(report, path, top_nets=8):
+    """Write the rendered report to ``path``."""
+    with open(path, "w") as f:
+        f.write(report.render(top_nets))

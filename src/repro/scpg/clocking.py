@@ -1,0 +1,126 @@
+"""Intra-cycle SCPG timing (the paper's Figs 1 and 4).
+
+With the header driven by the clock, one cycle looks like::
+
+    posedge                          negedge                     posedge
+    |-- power off ------------------|-- power restored ---------|
+    |<-T_hold->(rail collapses)     |<-T_PGStart->|<-T_eval->|<-T_setup->|
+    |<========= T_high =============>|<========== T_low ==============>|
+
+* the rising edge switches the header off; the rail collapse is slow
+  enough to cover the hold window (checked against the rail model);
+* isolation asserts with the clock edge (Fig. 3 controller) and releases
+  only once the rail is back up -- ``T_PGStart`` accounts for the rail
+  restore plus the controller delay;
+* the combinational logic must evaluate and settle within
+  ``T_low >= T_PGStart + T_eval + T_setup``.
+
+These relations give the two headline constraints: 50% duty needs
+``T_eval < T_clk/2``; raising the duty is possible while
+``T_clk/2 < T_eval < T_clk`` and maximises saving when ``T_eval << T_clk``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScpgError
+
+#: Hold-safety: the rail may sag at most this fraction of VDD within T_hold.
+HOLD_SWING_LIMIT = 0.10
+
+
+@dataclass(frozen=True)
+class ScpgTimingParams:
+    """Per-design SCPG timing numbers at one operating voltage.
+
+    Attributes
+    ----------
+    t_eval:
+        Longest evaluation path (clock-to-Q + combinational logic), s.
+    t_setup:
+        Capture-flop setup time, s.
+    t_hold:
+        Capture-flop hold requirement, s.
+    t_pgstart:
+        Wake-up guard: rail restore time + isolation-controller delay, s.
+    """
+
+    t_eval: float
+    t_setup: float
+    t_hold: float
+    t_pgstart: float
+
+    @property
+    def low_phase_demand(self):
+        """Minimum usable low phase: ``T_PGStart + T_eval + T_setup``."""
+        return self.t_pgstart + self.t_eval + self.t_setup
+
+    def scaled(self, factor):
+        """All delays multiplied by ``factor`` (voltage scaling)."""
+        return ScpgTimingParams(
+            t_eval=self.t_eval * factor,
+            t_setup=self.t_setup * factor,
+            t_hold=self.t_hold * factor,
+            t_pgstart=self.t_pgstart * factor,
+        )
+
+
+def timing_from_sta(sta_result, rail, network, controller_delay=0.5e-9,
+                    vdd=None):
+    """Build :class:`ScpgTimingParams` from an STA result, the rail model
+    and the chosen header network.
+
+    The wake-up guard is the header-limited rail restore time plus the
+    Fig. 3 controller's isolation-release delay.
+    """
+    vdd = vdd if vdd is not None else sta_result.vdd
+    i_on = vdd / network.ron
+    restore = rail.c_rail * vdd / max(i_on, 1e-15)
+    return ScpgTimingParams(
+        t_eval=sta_result.eval_delay,
+        t_setup=sta_result.setup,
+        t_hold=sta_result.hold,
+        t_pgstart=restore + controller_delay,
+    )
+
+
+def scpg_feasible(clock, timing):
+    """Can the design evaluate within this clock's low phase?
+
+    A one-ppm tolerance absorbs floating-point noise when the duty cycle
+    was solved to make the low phase exactly equal to the demand.
+    """
+    return clock.t_low >= timing.low_phase_demand * (1.0 - 1e-6)
+
+
+def check_hold(timing, rail):
+    """Verify the rail collapse is slow enough to cover the hold window.
+
+    The state must propagate into the registers before the sagging rail
+    corrupts the combinational outputs (paper: "the delay in the collapse
+    of the virtual rail ... maintains the hold time").
+    """
+    swing = rail.swing_fraction(timing.t_hold)
+    if swing > HOLD_SWING_LIMIT:
+        raise ScpgError(
+            "virtual rail sags {:.0%} of VDD within the hold window "
+            "({:.3g} s); hold cannot be guaranteed".format(
+                swing, timing.t_hold)
+        )
+    return swing
+
+
+def scpg_max_frequency(timing, duty=0.5):
+    """Highest clock frequency at which SCPG works at ``duty``.
+
+    The low phase ``(1 - duty) * T`` must fit the evaluation demand.
+    """
+    if not 0.0 < duty < 1.0:
+        raise ScpgError("duty must be in (0, 1)")
+    return (1.0 - duty) / timing.low_phase_demand
+
+
+def gated_window(clock):
+    """Seconds per cycle the header is off (the clock-high phase)."""
+    return clock.t_high

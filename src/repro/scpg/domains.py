@@ -1,0 +1,30 @@
+"""Power-domain metadata for the SCPG transform and the UPF writer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PowerDomainSpec:
+    """Description of one power domain in the transformed design.
+
+    ``switched`` domains hang off the virtual rail behind the headers;
+    the always-on domain connects straight to VDD (paper Fig. 2).
+    """
+
+    name: str
+    switched: bool
+    elements: list = field(default_factory=list)   # module/instance names
+    supply_net: str = "VDD"
+    internal_net: str = ""                          # VDDV for switched
+    switch_cells: list = field(default_factory=list)
+    isolation_cells: list = field(default_factory=list)
+    isolation_control: str = ""
+
+    def __str__(self):
+        kind = "switched" if self.switched else "always-on"
+        return "domain {} ({}): {} elements, {} switches, {} iso".format(
+            self.name, kind, len(self.elements), len(self.switch_cells),
+            len(self.isolation_cells),
+        )

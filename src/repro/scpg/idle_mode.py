@@ -1,0 +1,149 @@
+"""Traditional (idle-mode) power gating, and how SCPG composes with it.
+
+The paper positions SCPG against traditional power gating [5]: the latter
+"is effective at reducing leakage power during idle mode" (up to 25x in
+the ARM926EJ) but saves nothing *while the logic works*; SCPG attacks
+exactly that active-mode leakage.  The two are complementary -- an SCPG
+design still has its header network, so extended idle periods can gate
+the combinational domain continuously while the always-on registers hold
+state (no retention needed: SCPG's registers were never gated).
+
+This module models a duty-cycled workload (a sensor node computing in
+bursts) and evaluates four configurations:
+
+* ``none`` -- no power gating at all;
+* ``traditional`` -- idle-mode gating with retention registers and a
+  power-gating controller (area and wake-latency costs, active mode
+  untouched);
+* ``scpg`` -- sub-clock gating during active mode, plain leakage when
+  idle (clock stopped: the header input sits low, so the domain is ON);
+* ``combined`` -- SCPG during active mode, and during idle the override
+  logic parks the header off (clock stopped high, or a sleep request into
+  the same AND gate): the gated domain leaks only through the headers.
+
+The crossover behaviour is the point of the study: traditional PG wins
+only when the node hardly ever computes, SCPG wins at moderate-to-high
+activity, the combination dominates everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ScpgError
+from .power_model import Mode
+
+#: Leakage fraction retained by state-retention registers in idle mode.
+RETENTION_LEAK_FRACTION = 0.35
+
+#: Always-on power-gating controller + routing of a traditional scheme,
+#: as a fraction of the design's sequential leakage.
+CONTROLLER_LEAK_FRACTION = 0.05
+
+
+class GatingScheme(enum.Enum):
+    """Configurations compared by the idle-mode study."""
+
+    NONE = "none"
+    TRADITIONAL = "traditional"
+    SCPG = "scpg"
+    COMBINED = "scpg+idle"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A duty-cycled workload: compute bursts at ``freq_hz``, idle rest.
+
+    ``active_fraction`` is the share of wall-clock time spent computing.
+    """
+
+    active_fraction: float
+    freq_hz: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.active_fraction <= 1.0:
+            raise ScpgError("active_fraction must be in [0, 1]")
+        if self.freq_hz <= 0:
+            raise ScpgError("freq_hz must be positive")
+
+
+@dataclass
+class SchemePower:
+    """Average power of one scheme under a profile."""
+
+    scheme: GatingScheme
+    active_power: float
+    idle_power: float
+    average: float
+
+
+def _idle_leakage(model, scheme):
+    """Idle-mode (clock stopped) power of each configuration."""
+    full_leak = model.leak_comb_base + model.leak_alwayson_base
+    if scheme is GatingScheme.NONE:
+        return full_leak
+    if scheme is GatingScheme.TRADITIONAL:
+        # Comb and seq gated; retention registers + controller remain.
+        retained = RETENTION_LEAK_FRACTION * model.leak_alwayson_base
+        controller = CONTROLLER_LEAK_FRACTION * model.leak_alwayson_base
+        return retained + controller + model.leak_header_off
+    if scheme is GatingScheme.SCPG:
+        # Clock stopped low: the header control (clk AND override_n) is
+        # low, the header conducts, the comb domain leaks; registers on.
+        return model.leak_comb + model.leak_alwayson
+    # COMBINED: idle parks the header off; registers stay on (they are
+    # the state -- no retention cells needed).
+    return model.leak_alwayson + model.leak_header_off
+
+
+def _active_power(model, scheme, freq_hz):
+    if scheme in (GatingScheme.NONE, GatingScheme.TRADITIONAL):
+        return model.power(freq_hz, Mode.NO_PG).total
+    return model.power(freq_hz, Mode.SCPG_MAX).total
+
+
+def evaluate_scheme(model, scheme, profile):
+    """Average power of ``scheme`` under ``profile``."""
+    active = _active_power(model, scheme, profile.freq_hz)
+    idle = _idle_leakage(model, scheme)
+    avg = profile.active_fraction * active \
+        + (1.0 - profile.active_fraction) * idle
+    return SchemePower(scheme=scheme, active_power=active,
+                       idle_power=idle, average=avg)
+
+
+def idle_mode_study(model, profile):
+    """All four schemes under one profile; dict scheme -> SchemePower."""
+    return {
+        scheme: evaluate_scheme(model, scheme, profile)
+        for scheme in GatingScheme
+    }
+
+
+def crossover_activity(model, freq_hz, lo=1e-4, hi=1.0, tolerance=1e-4):
+    """The active fraction where SCPG starts beating traditional PG.
+
+    Below it the node idles so much that idle-mode gating dominates;
+    above it active-mode leakage dominates and SCPG wins.  Returns
+    ``None`` when one scheme wins over the whole range.
+    """
+    def diff(fraction):
+        profile = WorkloadProfile(fraction, freq_hz)
+        scpg = evaluate_scheme(model, GatingScheme.SCPG, profile).average
+        trad = evaluate_scheme(
+            model, GatingScheme.TRADITIONAL, profile).average
+        return scpg - trad  # positive -> traditional better
+
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo <= 0 and d_hi <= 0:
+        return None  # SCPG always wins
+    if d_lo >= 0 and d_hi >= 0:
+        return None  # traditional always wins
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if (diff(mid) > 0) == (d_lo > 0):
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,128 @@
+r"""Render the Fig. 4 intra-cycle timing diagram as ASCII waveforms.
+
+One SCPG clock cycle, annotated with the paper's intervals::
+
+    CLK      ____/~~~~~~~~~~~~~~~~\____________________
+    SLEEP    ____/~~~~~~~~~~~~~~~~\____________________
+    VVDD     ~~~~\_______________./~~~~~~~~~~~~~~~~~~~
+    ISOLATE  ____/~~~~~~~~~~~~~~~~~~~\________________
+    EVAL     ..........................####### .......
+             |hold|--- T_PGoff ---|PGS|T_eval|setup|
+
+The renderer is analytic (driven by the clock spec, the timing params and
+the rail model), so it doubles as documentation and as a check that the
+interval arithmetic in :mod:`repro.scpg.clocking` is self-consistent.
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..errors import ScpgError
+from .clocking import scpg_feasible
+
+
+def _lane(width):
+    return [" "] * width
+
+
+def render_waveforms(clock, timing, rail=None, width=72):
+    """ASCII waveform diagram for one SCPG cycle.
+
+    Parameters
+    ----------
+    clock:
+        :class:`~repro.sta.constraints.ClockSpec` (frequency + duty).
+    timing:
+        :class:`~repro.scpg.clocking.ScpgTimingParams`.
+    rail:
+        Optional :class:`~repro.power.rails.VirtualRailModel` for the
+        VVDD collapse shape; a generic ramp is drawn without it.
+    width:
+        Diagram width in characters (one clock period).
+    """
+    if not scpg_feasible(clock, timing):
+        raise ScpgError(
+            "cannot draw an infeasible configuration ({} at duty {:.2f})"
+            .format(clock.freq_hz, clock.duty))
+    period = clock.period
+
+    def col(t):
+        return max(0, min(width - 1, int(round(t / period * (width - 1)))))
+
+    c_fall = col(clock.t_high)                     # negedge
+    c_hold = col(timing.t_hold)
+    c_pgstart_end = col(clock.t_high + timing.t_pgstart)
+    c_eval_end = col(clock.t_high + timing.t_pgstart + timing.t_eval)
+
+    def square(high_from, high_to):
+        lane = []
+        for i in range(width):
+            lane.append("~" if high_from <= i < high_to else "_")
+        # mark the edges
+        if 0 <= high_from < width:
+            lane[high_from] = "/"
+        if 0 <= high_to < width:
+            lane[high_to] = "\\"
+        return "".join(lane)
+
+    clk = square(0, c_fall)
+    sleep = square(0, c_fall)  # SLEEP = CLK AND override_n (override off)
+
+    # VVDD: high until the rail sags (after hold), low-ish until power
+    # returns at the negedge, then a quick restore ramp.
+    vvdd = _lane(width)
+    if rail is not None:
+        # sample the exponential decay
+        for i in range(width):
+            t = i / (width - 1) * period
+            if t <= timing.t_hold or t >= clock.t_high + timing.t_pgstart:
+                vvdd[i] = "~"
+            elif t >= clock.t_high:
+                vvdd[i] = "/"
+            else:
+                swing = rail.swing_fraction(t - timing.t_hold)
+                vvdd[i] = "~" if swing < 0.3 else ("-" if swing < 0.7
+                                                   else "_")
+    else:
+        for i in range(width):
+            if i <= c_hold or i >= c_pgstart_end:
+                vvdd[i] = "~"
+            elif i >= c_fall:
+                vvdd[i] = "/"
+            else:
+                vvdd[i] = "_"
+    vvdd = "".join(vvdd)
+
+    # ISOLATE: rises with the clock, holds until VVDD restored.
+    isolate = square(0, c_pgstart_end)
+
+    # Evaluation activity: between isolation release and setup.
+    eval_lane = _lane(width)
+    for i in range(width):
+        if c_pgstart_end <= i < c_eval_end:
+            eval_lane[i] = "#"
+        else:
+            eval_lane[i] = "."
+    eval_lane = "".join(eval_lane)
+
+    out = io.StringIO()
+    out.write("SCPG cycle @ {:.3g} Hz, duty {:.2f}  (T = {:.3g} s)\n"
+              .format(clock.freq_hz, clock.duty, period))
+    for name, lane in (("CLK", clk), ("SLEEP", sleep), ("VVDD", vvdd),
+                       ("ISOLATE", isolate), ("EVAL", eval_lane)):
+        out.write("{:>8} {}\n".format(name, lane))
+
+    # Interval ruler.
+    ruler = _lane(width)
+    for c, mark in ((0, "|"), (c_hold, "h"), (c_fall, "|"),
+                    (c_pgstart_end, "p"), (c_eval_end, "e"),
+                    (width - 1, "|")):
+        ruler[c] = mark
+    out.write("{:>8} {}\n".format("", "".join(ruler)))
+    out.write("{:>8} h=hold end  |=clock edges  p=isolation release  "
+              "e=eval done\n".format(""))
+    out.write("  T_PGoff = {:.3g} s gated, idle margin = {:.3g} s\n".format(
+        clock.t_high,
+        clock.t_low - timing.low_phase_demand))
+    return out.getvalue()

@@ -1,0 +1,129 @@
+"""Switching-activity capture and vector grouping (the paper's Fig. 7 flow).
+
+The paper divides the 3700-vector Dhrystone run into groups of 10 vectors,
+computes each group's average switching activity with PrimeTime-PX, plots
+the per-group switching probability (Fig. 7), and picks the maximum /
+minimum / average groups for detailed HSpice power simulation.  This module
+reproduces that pipeline on our simulator: toggle counts per group, the
+switching-probability series, and the representative-group selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GroupActivity:
+    """Activity of one vector group.
+
+    ``switching_probability`` is the average per-net toggle rate per cycle
+    (the paper's y-axis); ``toggles`` maps net name -> count for the power
+    engine.
+    """
+
+    index: int
+    cycles: int
+    total_toggles: int
+    nets: int
+    toggles: dict = field(default_factory=dict)
+
+    @property
+    def switching_probability(self):
+        """Average toggles per net per cycle."""
+        if self.cycles == 0 or self.nets == 0:
+            return 0.0
+        return self.total_toggles / (self.cycles * self.nets)
+
+
+@dataclass
+class ActivityTrace:
+    """A full run's per-group activity plus representative groups."""
+
+    groups: list = field(default_factory=list)
+
+    @property
+    def series(self):
+        """Switching probability per group (Fig. 7's y series)."""
+        return [g.switching_probability for g in self.groups]
+
+    def representative_groups(self):
+        """The paper's max / min / average trio.
+
+        Returns a dict with keys ``max``, ``min``, ``avg`` -- the group with
+        the highest, lowest, and closest-to-mean switching probability.
+        """
+        if not self.groups:
+            raise ValueError("no activity groups recorded")
+        by_prob = sorted(self.groups, key=lambda g: g.switching_probability)
+        mean = sum(self.series) / len(self.groups)
+        avg_group = min(
+            self.groups,
+            key=lambda g: abs(g.switching_probability - mean),
+        )
+        return {"max": by_prob[-1], "min": by_prob[0], "avg": avg_group}
+
+    def average_switching_probability(self):
+        """Cycle-weighted mean switching probability of the whole run."""
+        total_cycles = sum(g.cycles for g in self.groups)
+        if total_cycles == 0:
+            return 0.0
+        return (
+            sum(g.switching_probability * g.cycles for g in self.groups)
+            / total_cycles
+        )
+
+
+class GroupRecorder:
+    """Incrementally collect toggle counts into fixed-size cycle groups."""
+
+    def __init__(self, sim, group_size=10):
+        self.sim = sim
+        self.group_size = group_size
+        self.trace = ActivityTrace()
+        self._cycles_in_group = 0
+        self._base = dict(sim.toggle_snapshot())
+        self._nets = len([n for n in sim.module.nets() if not n.is_const])
+
+    def after_cycle(self):
+        """Call once per simulated cycle."""
+        self._cycles_in_group += 1
+        if self._cycles_in_group >= self.group_size:
+            self.flush()
+
+    def flush(self):
+        """Close the current group (no-op when empty)."""
+        if self._cycles_in_group == 0:
+            return
+        snap = self.sim.toggle_snapshot()
+        deltas = {
+            name: snap[name] - self._base.get(name, 0)
+            for name in snap
+            if snap[name] != self._base.get(name, 0)
+        }
+        self.trace.groups.append(
+            GroupActivity(
+                index=len(self.trace.groups),
+                cycles=self._cycles_in_group,
+                total_toggles=sum(deltas.values()),
+                nets=self._nets,
+                toggles=deltas,
+            )
+        )
+        self._base = snap
+        self._cycles_in_group = 0
+
+
+def group_activity(module, vectors, group_size=10, clock="clk"):
+    """Run ``vectors`` through ``module`` and return the grouped
+    :class:`ActivityTrace` (paper Fig. 7 pipeline for open-loop stimuli)."""
+    from .testbench import ClockedTestbench
+
+    tb = ClockedTestbench(module, clock=clock)
+    tb.reset_flops()
+    recorder = GroupRecorder(tb.sim, group_size)
+    for vec in vectors:
+        tb.cycle(vec)
+        recorder.after_cycle()
+    recorder.flush()
+    return recorder.trace

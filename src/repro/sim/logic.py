@@ -1,0 +1,93 @@
+"""Ternary logic values and compiled cell evaluators.
+
+Values are ``0``, ``1`` and :data:`X` (unknown, encoded as ``2``).  Cell
+boolean functions (:class:`~repro.tech.boolfunc.BoolExpr`) are compiled once
+per cell into dense ternary truth tables -- a 3-input cell needs 27 entries
+-- so the inner simulation loop is a list lookup instead of an AST walk.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+#: The unknown value.  Chosen as an int so net values pack into lists.
+X = 2
+
+_TO_TERNARY = {0: 0, 1: 1, X: X, None: X, False: 0, True: 1}
+
+
+def to_ternary(value):
+    """Normalise ``value`` to 0/1/X."""
+    try:
+        return _TO_TERNARY[value]
+    except KeyError:
+        raise SimulationError(
+            "not a logic value: {!r}".format(value)
+        ) from None
+
+
+def from_ternary(value):
+    """Map 0/1 to ints and X to ``None`` (for BoolExpr interop)."""
+    return None if value == X else value
+
+
+class CompiledCell:
+    """Evaluation tables for one combinational library cell.
+
+    ``input_names`` fixes the operand order; ``tables`` maps each output pin
+    to a dense list indexed by ``sum(v_k * 3**k)`` over the ternary input
+    values.
+    """
+
+    __slots__ = ("cell", "input_names", "tables")
+
+    def __init__(self, cell, input_names, tables):
+        self.cell = cell
+        self.input_names = input_names
+        self.tables = tables
+
+    def evaluate(self, values):
+        """Evaluate all outputs for ``values`` (sequence matching
+        ``input_names``); returns a dict pin -> 0/1/X."""
+        idx = 0
+        stride = 1
+        for v in values:
+            idx += v * stride
+            stride *= 3
+        return {pin: table[idx] for pin, table in self.tables.items()}
+
+
+_CACHE = {}
+
+
+def compile_cell(cell):
+    """Compile (and cache) evaluation tables for a combinational cell."""
+    key = id(cell)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    input_names = tuple(p.name for p in cell.inputs)
+    n = len(input_names)
+    if n > 8:
+        raise SimulationError(
+            "cell {} has too many inputs to tabulate".format(cell.name)
+        )
+    tables = {}
+    for out in cell.outputs:
+        if out.expr is None:
+            raise SimulationError(
+                "cell {} output {} has no function".format(cell.name, out.name)
+            )
+        table = []
+        for idx in range(3 ** n):
+            assignment = {}
+            rest = idx
+            for name in input_names:
+                assignment[name] = from_ternary(rest % 3)
+                rest //= 3
+            result = out.expr.eval(assignment)
+            table.append(X if result is None else result)
+        tables[out.name] = table
+    compiled = CompiledCell(cell, input_names, tables)
+    _CACHE[key] = compiled
+    return compiled

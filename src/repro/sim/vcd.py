@@ -1,0 +1,140 @@
+"""VCD (value change dump) writer and a small parser.
+
+The paper's methodology creates a VCD from ModelSim and feeds it to
+PrimeTime-PX.  Our simulator can stream net changes into a VCD file through
+:class:`VcdWriter` (attach it as a watcher), and :func:`parse_vcd` reads
+the subset back (toggle counting, cross-checking).
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..errors import SimulationError
+from .logic import X
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index):
+    """Short VCD identifier code for signal ``index``."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Stream net value changes as VCD.
+
+    Usage::
+
+        writer = VcdWriter(out_file, [net.name for net in nets])
+        sim.add_watcher(writer.on_change)
+        ...
+        writer.set_time(cycle * period_ns)
+        tb.cycle(vec)
+        writer.close()
+    """
+
+    def __init__(self, stream, net_names, timescale="1ns",
+                 module_name="top"):
+        self._stream = stream if hasattr(stream, "write") else None
+        if self._stream is None:
+            raise SimulationError("VcdWriter needs a writable stream")
+        self._ids = {}
+        self._time = 0
+        self._time_written = None
+        out = self._stream
+        out.write("$date repro $end\n")
+        out.write("$version repro gate-level simulator $end\n")
+        out.write("$timescale {} $end\n".format(timescale))
+        out.write("$scope module {} $end\n".format(module_name))
+        for i, name in enumerate(net_names):
+            ident = _identifier(i)
+            self._ids[name] = ident
+            out.write("$var wire 1 {} {} $end\n".format(ident, name))
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        out.write("$dumpvars\n")
+        for name in net_names:
+            out.write("x{}\n".format(self._ids[name]))
+        out.write("$end\n")
+
+    def set_time(self, time):
+        """Advance the VCD timestamp (monotonic)."""
+        if time < self._time:
+            raise SimulationError("VCD time must not go backwards")
+        self._time = time
+
+    def on_change(self, net, old, new):
+        """Watcher callback for :meth:`Simulator.add_watcher`."""
+        ident = self._ids.get(net.name)
+        if ident is None:
+            return
+        if self._time_written != self._time:
+            self._stream.write("#{}\n".format(self._time))
+            self._time_written = self._time
+        symbol = "x" if new == X else str(new)
+        self._stream.write("{}{}\n".format(symbol, ident))
+
+    def close(self):
+        """Flush the stream (caller owns closing files)."""
+        self._stream.flush()
+
+
+def dump_simulation(module, vectors, clock="clk", period_ns=10,
+                    net_names=None):
+    """Convenience: run ``vectors`` through a testbench, return VCD text."""
+    from .testbench import ClockedTestbench
+
+    tb = ClockedTestbench(module)
+    tb.reset_flops()
+    names = net_names or [n.name for n in module.nets() if not n.is_const]
+    out = io.StringIO()
+    writer = VcdWriter(out, names, module_name=module.name)
+    tb.sim.add_watcher(writer.on_change)
+    for i, vec in enumerate(vectors):
+        writer.set_time(i * period_ns)
+        tb.apply(vec)
+        writer.set_time(i * period_ns + period_ns // 2)
+        tb.posedge()
+        tb.negedge()
+        tb.cycles += 1
+    writer.close()
+    return out.getvalue()
+
+
+def parse_vcd(text):
+    """Parse VCD text into ``(changes, name_by_id)``.
+
+    ``changes`` is a list of ``(time, identifier, value)`` with value 0/1/X.
+    """
+    name_by_id = {}
+    changes = []
+    time = 0
+    in_defs = True
+    tokens = iter(text.split("\n"))
+    for line in tokens:
+        line = line.strip()
+        if not line:
+            continue
+        if in_defs:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire 1 <id> <name> $end
+                name_by_id[parts[3]] = parts[4]
+            elif line.startswith("$enddefinitions"):
+                in_defs = False
+            continue
+        if line.startswith("$"):
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+            continue
+        symbol, ident = line[0], line[1:]
+        if symbol in "01xX":
+            value = X if symbol in "xX" else int(symbol)
+            changes.append((time, ident, value))
+    return changes, name_by_id

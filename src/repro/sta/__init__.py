@@ -1,0 +1,28 @@
+"""Static timing analysis over flat netlists.
+
+Computes the quantities the SCPG timing model (paper Figs 1 and 4) needs:
+``T_eval`` (the longest register-to-register evaluation path including
+clock-to-Q), ``T_setup``/``T_hold`` at the capturing flops, the minimum
+no-power-gating clock period, and their scaling with supply voltage through
+the library's device model.
+"""
+
+from .delay import net_load, cell_delay
+from .analysis import TimingAnalysis, TimingPath, TimingResult
+from .constraints import ClockSpec
+from .corners import CornerTiming, MultiCornerTiming, multi_corner_timing
+from .report import render_timing_report, write_timing_report
+
+__all__ = [
+    "net_load",
+    "cell_delay",
+    "TimingAnalysis",
+    "TimingPath",
+    "TimingResult",
+    "ClockSpec",
+    "CornerTiming",
+    "MultiCornerTiming",
+    "multi_corner_timing",
+    "render_timing_report",
+    "write_timing_report",
+]

@@ -1,0 +1,227 @@
+"""Arrival-time propagation, critical paths and Fmax.
+
+The analysis walks combinational instances in topological order,
+propagating worst-case (and best-case, for hold) arrival times from launch
+points -- sequential cell outputs (offset by clock-to-Q) and primary inputs
+(assumed registered externally at time 0) -- to capture points (flip-flop D
+pins and primary outputs).
+
+Results are reported at the library's nominal voltage and can be rescaled
+to any supply with :meth:`TimingResult.at_vdd`, which is how the Section IV
+sub-threshold frequency sweep gets its ``Fmax(VDD)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TimingError
+from ..netlist.traverse import topological_instances
+from ..tech.library import CellKind
+from .delay import net_load
+
+
+@dataclass
+class TimingPath:
+    """One timing path: launch -> pins -> capture."""
+
+    delay: float
+    points: list = field(default_factory=list)  # (instance, pin, arrival)
+    capture: str = ""
+
+    def __str__(self):
+        lines = ["path delay {:.3e} s -> {}".format(self.delay, self.capture)]
+        for inst_name, pin, at in self.points:
+            lines.append("  {:<30} {:<6} {:.3e}".format(inst_name, pin, at))
+        return "\n".join(lines)
+
+
+@dataclass
+class TimingResult:
+    """Outcome of :class:`TimingAnalysis` at the nominal voltage.
+
+    ``eval_delay`` is the paper's ``T_eval`` (clock-to-Q plus combinational
+    logic, excluding the capture setup); ``setup``/``hold`` are the worst
+    capture-flop constraints; ``min_period`` is the no-power-gating limit
+    ``T_eval + T_setup``.
+    """
+
+    eval_delay: float
+    setup: float
+    hold: float
+    min_path_delay: float
+    critical_path: TimingPath
+    vdd: float
+
+    @property
+    def min_period(self):
+        """Minimum clock period without SCPG (s)."""
+        return self.eval_delay + self.setup
+
+    @property
+    def fmax(self):
+        """Maximum clock frequency without SCPG (Hz)."""
+        return 1.0 / self.min_period
+
+    def scaled(self, factor, vdd=None):
+        """All delays multiplied by ``factor`` (hold requirements too)."""
+        return TimingResult(
+            eval_delay=self.eval_delay * factor,
+            setup=self.setup * factor,
+            hold=self.hold * factor,
+            min_path_delay=self.min_path_delay * factor,
+            critical_path=self.critical_path,
+            vdd=self.vdd if vdd is None else vdd,
+        )
+
+
+class TimingAnalysis:
+    """Run STA on a flat module.
+
+    Parameters
+    ----------
+    module:
+        Flat module (cells only).
+    library:
+        The cell library.
+    """
+
+    def __init__(self, module, library):
+        self.module = module
+        self.library = library
+        self._order = topological_instances(module)
+
+    def run(self, vdd=None):
+        """Compute a :class:`TimingResult` at ``vdd`` (default nominal)."""
+        lib = self.library
+        vdd = lib.vdd_nom if vdd is None else vdd
+        scale = lib.delay_scale(vdd)
+
+        # arrival[net id] = (worst arrival, driver instance, min arrival)
+        arrivals = {}
+        trace = {}
+
+        def arrive(net, at, at_min, source):
+            key = id(net)
+            worst, best = arrivals.get(key, (None, None))
+            if worst is None or at > worst:
+                trace[key] = source
+                worst = at
+            best = at_min if best is None else min(best, at_min)
+            arrivals[key] = (worst, best)
+
+        # Launch points.
+        for port in self.module.input_ports():
+            arrive(port.net, 0.0, 0.0, ("port", port.name))
+        for inst in self.module.cell_instances():
+            if inst.cell.kind is CellKind.SEQUENTIAL:
+                q_net = inst.connections.get("Q")
+                if q_net is None:
+                    continue
+                c2q = inst.cell.delay(net_load(q_net, lib), scale)
+                arrive(q_net, c2q, c2q, ("clk2q", inst.name))
+
+        # Propagate through combinational logic.
+        for inst in self._order:
+            worst_in = 0.0
+            best_in = None
+            have_input = False
+            for pin_name in inst.input_pins():
+                net = inst.connections.get(pin_name)
+                if net is None or net.is_const:
+                    continue
+                entry = arrivals.get(id(net))
+                if entry is None:
+                    continue  # undriven (lint catches it) or tie
+                have_input = True
+                worst_in = max(worst_in, entry[0])
+                best_in = entry[1] if best_in is None \
+                    else min(best_in, entry[1])
+            for pin_name in inst.output_pins():
+                net = inst.connections.get(pin_name)
+                if net is None:
+                    continue
+                d = inst.cell.delay(net_load(net, lib), scale)
+                base_w = worst_in if have_input else 0.0
+                base_b = best_in if (have_input and best_in is not None) \
+                    else 0.0
+                arrive(net, base_w + d, base_b + d, ("cell", inst.name))
+
+        # Capture points.
+        eval_delay = 0.0
+        min_path = float("inf")
+        setup = 0.0
+        hold = 0.0
+        worst_capture = None
+        for inst in self.module.cell_instances():
+            if inst.cell.kind is not CellKind.SEQUENTIAL:
+                continue
+            hold = max(hold, inst.cell.hold * scale)
+            d_net = inst.connections.get("D")
+            if d_net is None:
+                continue
+            entry = arrivals.get(id(d_net))
+            if entry is None:
+                continue
+            if entry[0] > eval_delay:
+                eval_delay = entry[0]
+                setup = inst.cell.setup * scale
+                worst_capture = ("{}/D".format(inst.name), d_net)
+            min_path = min(min_path, entry[1])
+        for port in self.module.output_ports():
+            entry = arrivals.get(id(port.net))
+            if entry is None:
+                continue
+            if entry[0] > eval_delay:
+                eval_delay = entry[0]
+                setup = 0.0
+                worst_capture = ("port {}".format(port.name), port.net)
+            min_path = min(min_path, entry[1])
+
+        if worst_capture is None:
+            raise TimingError(
+                "module {} has no capture points".format(self.module.name)
+            )
+        if min_path == float("inf"):
+            min_path = 0.0
+
+        path = self._trace_path(worst_capture, arrivals, trace)
+        return TimingResult(
+            eval_delay=eval_delay,
+            setup=setup,
+            hold=hold,
+            min_path_delay=min_path,
+            critical_path=path,
+            vdd=vdd,
+        )
+
+    def _trace_path(self, capture, arrivals, trace):
+        name, net = capture
+        points = []
+        seen = set()
+        while net is not None and id(net) in trace and id(net) not in seen:
+            seen.add(id(net))
+            kind, inst_name = trace[id(net)]
+            at = arrivals[id(net)][0]
+            points.append((inst_name, net.name, at))
+            if kind != "cell":
+                break
+            inst = self.module.instance(inst_name)
+            # Step to the worst input net of this instance.
+            best = None
+            for pin_name in inst.input_pins():
+                candidate = inst.connections.get(pin_name)
+                if candidate is None or candidate.is_const:
+                    continue
+                entry = arrivals.get(id(candidate))
+                if entry is None:
+                    continue
+                if best is None or entry[0] > arrivals[id(best)][0]:
+                    best = candidate
+            net = best
+        points.reverse()
+        return TimingPath(
+            delay=arrivals[id(capture[1])][0],
+            points=points,
+            capture=name,
+        )

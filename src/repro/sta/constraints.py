@@ -1,0 +1,51 @@
+"""Clock constraints, including the duty cycle SCPG manipulates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TimingError
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """A clock: frequency (Hz) and high-phase duty cycle.
+
+    The paper's SCPG gates the combinational domain during the clock's
+    *high* phase, so evaluation must fit in the *low* phase:
+    ``t_low = (1 - duty) * period``.  A 50% duty is the base SCPG
+    configuration; SCPG-Max raises the duty to extend the gated phase.
+    """
+
+    freq_hz: float
+    duty: float = 0.5
+    name: str = "clk"
+
+    def __post_init__(self):
+        if self.freq_hz <= 0:
+            raise TimingError("clock frequency must be positive")
+        if not 0.0 < self.duty < 1.0:
+            raise TimingError("duty cycle must be in (0, 1)")
+
+    @property
+    def period(self):
+        """Clock period (s)."""
+        return 1.0 / self.freq_hz
+
+    @property
+    def t_high(self):
+        """High-phase duration (s) -- the power-gated window under SCPG."""
+        return self.period * self.duty
+
+    @property
+    def t_low(self):
+        """Low-phase duration (s) -- the evaluation window under SCPG."""
+        return self.period * (1.0 - self.duty)
+
+    def with_duty(self, duty):
+        """Same clock with a different duty cycle."""
+        return ClockSpec(self.freq_hz, duty, self.name)
+
+    def with_freq(self, freq_hz):
+        """Same duty with a different frequency."""
+        return ClockSpec(freq_hz, self.duty, self.name)

@@ -1,0 +1,92 @@
+"""Multi-corner timing sign-off.
+
+Runs the timing analysis across process/temperature corners and applies
+the classic sign-off policy: *setup* (Fmax, the SCPG evaluation window)
+is judged at the slowest corner, *hold* at the fastest.  For SCPG this
+matters doubly -- the feasible duty cycle at a given frequency must hold
+at the slow corner, and the rail-collapse hold contract at the fast one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..subvt.variation import Corner, STANDARD_CORNERS, corner_library
+from .analysis import TimingAnalysis
+
+
+@dataclass
+class CornerTiming:
+    """Timing of one corner."""
+
+    corner: Corner
+    result: object            # TimingResult, scaled to the corner
+    delay_scale: float
+
+
+@dataclass
+class MultiCornerTiming:
+    """All corners plus the sign-off picks."""
+
+    corners: list = field(default_factory=list)
+
+    @property
+    def slowest(self):
+        """The setup-critical corner (largest delays)."""
+        return max(self.corners, key=lambda c: c.result.eval_delay)
+
+    @property
+    def fastest(self):
+        """The hold-critical corner (smallest delays)."""
+        return min(self.corners, key=lambda c: c.result.min_path_delay
+                   if c.result.min_path_delay else c.result.eval_delay)
+
+    @property
+    def signoff_fmax(self):
+        """Fmax guaranteed across all corners."""
+        return self.slowest.result.fmax
+
+    def signoff_scpg_demand(self, t_pgstart_nominal):
+        """Worst-corner SCPG low-phase demand (scaled T_PGStart included)."""
+        worst = self.slowest
+        return (worst.result.eval_delay + worst.result.setup
+                + t_pgstart_nominal * worst.delay_scale)
+
+    def report(self):
+        """Tabular summary."""
+        lines = ["{:>10} {:>10} {:>14} {:>12}".format(
+            "corner", "scale", "T_eval", "Fmax")]
+        for c in sorted(self.corners, key=lambda c: c.result.eval_delay):
+            lines.append("{:>10} {:>10.3f} {:>12.2f}ns {:>10.2f}MHz".format(
+                c.corner.name, c.delay_scale,
+                c.result.eval_delay * 1e9, c.result.fmax / 1e6))
+        lines.append("sign-off Fmax (slowest corner {}): {:.2f} MHz".format(
+            self.slowest.corner.name, self.signoff_fmax / 1e6))
+        return "\n".join(lines)
+
+
+def multi_corner_timing(module, library, corners=STANDARD_CORNERS,
+                        vdd=None):
+    """Run STA at every corner; returns :class:`MultiCornerTiming`.
+
+    The netlist is analysed once at the characterisation point and
+    rescaled per corner (delays shift together under a global Vth/
+    temperature shift -- the same first-order model the device scaling
+    uses everywhere else).
+    """
+    vdd = library.vdd_nom if vdd is None else vdd
+    base = TimingAnalysis(module, library).run(vdd=vdd)
+    nominal_scale = library.delay_scale(vdd)
+    out = MultiCornerTiming()
+    for corner in corners:
+        clib = corner_library(library, corner)
+        scale = clib.delay_scale(vdd, temp_c=corner.temp_c) \
+            / nominal_scale
+        out.corners.append(
+            CornerTiming(
+                corner=corner,
+                result=base.scaled(scale),
+                delay_scale=scale,
+            )
+        )
+    return out

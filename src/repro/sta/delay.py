@@ -1,0 +1,33 @@
+"""Load and delay calculation for timing arcs.
+
+scl90's timing model is a linear CMOS delay: ``d = intrinsic + R_drive *
+C_load`` characterised at the library's nominal voltage, multiplied by the
+device model's :meth:`~repro.tech.transistor.DeviceModel.delay_scale` at
+the operating point.  ``C_load`` is the sum of the fanout input-pin
+capacitances plus a per-fanout wire estimate (standing in for extracted
+post-route parasitics).
+"""
+
+from __future__ import annotations
+
+
+def net_load(net, library):
+    """Capacitive load (F) seen by the driver of ``net``."""
+    total = 0.0
+    fanout = 0
+    for load in net.loads:
+        if isinstance(load, tuple):
+            inst, pin_name = load
+            if inst.is_cell:
+                total += inst.cell.input_capacitance(pin_name)
+            fanout += 1
+        else:
+            # Output port: model a fixed external load of one fanout.
+            fanout += 1
+    total += fanout * library.wire_cap_per_fanout
+    return total
+
+
+def cell_delay(cell, c_load, scale=1.0):
+    """Propagation delay (s) of ``cell`` into ``c_load``, voltage-scaled."""
+    return cell.delay(c_load, scale)

@@ -1,0 +1,73 @@
+"""Timing report writer (PrimeTime-style ``report_timing`` text).
+
+Renders a :class:`~repro.sta.analysis.TimingResult` -- the critical path
+point-by-point, the Fmax summary, and the SCPG-specific numbers (the
+50%-duty Fmax and the feasible-duty table the technique cares about).
+"""
+
+from __future__ import annotations
+
+import io
+
+from ..units import fmt_freq, fmt_time
+
+
+def render_timing_report(result, design="design", clock="clk",
+                         scpg_timing=None):
+    """Text report for a :class:`~repro.sta.analysis.TimingResult`.
+
+    ``scpg_timing`` (a :class:`~repro.scpg.clocking.ScpgTimingParams`)
+    adds the SCPG section.
+    """
+    out = io.StringIO()
+    w = out.write
+    w("Timing Report -- {}\n".format(design))
+    w("{}\n".format("=" * 64))
+    w("operating point : {:.2f} V\n".format(result.vdd))
+    w("clock           : {}\n\n".format(clock))
+
+    w("Critical path (capture: {})\n".format(result.critical_path.capture))
+    w("{}\n".format("-" * 64))
+    w("  {:<32} {:<10} {:>12}\n".format("point", "net", "arrival"))
+    for inst_name, net_name, arrival in result.critical_path.points:
+        w("  {:<32} {:<10} {:>12}\n".format(
+            inst_name[:32], net_name[:10], fmt_time(arrival)))
+    w("\n")
+
+    w("Summary\n")
+    w("{}\n".format("-" * 64))
+    w("  T_eval (clk->Q + logic)  {:>12}\n".format(
+        fmt_time(result.eval_delay)))
+    w("  T_setup                  {:>12}\n".format(fmt_time(result.setup)))
+    w("  T_hold                   {:>12}\n".format(fmt_time(result.hold)))
+    w("  min period (no PG)       {:>12}\n".format(
+        fmt_time(result.min_period)))
+    w("  Fmax (no PG)             {:>12}\n".format(fmt_freq(result.fmax)))
+    w("  Fmax (SCPG, 50% duty)    {:>12}\n".format(
+        fmt_freq(1.0 / (2 * result.min_period))))
+
+    if scpg_timing is not None:
+        w("\nSCPG window (Fig. 4)\n")
+        w("{}\n".format("-" * 64))
+        w("  T_PGStart (restore+ctl)  {:>12}\n".format(
+            fmt_time(scpg_timing.t_pgstart)))
+        w("  low-phase demand         {:>12}\n".format(
+            fmt_time(scpg_timing.low_phase_demand)))
+        w("  feasible duty at:\n")
+        from ..scpg.duty import optimise_duty
+        from ..errors import ScpgError
+
+        for freq in (1e4, 1e5, 1e6, 5e6, 1e7):
+            try:
+                duty = optimise_duty(freq, scpg_timing)
+                w("    {:>8}  duty <= {:.3f}\n".format(fmt_freq(freq),
+                                                       duty))
+            except ScpgError:
+                w("    {:>8}  SCPG infeasible\n".format(fmt_freq(freq)))
+    return out.getvalue()
+
+
+def write_timing_report(result, path, **kwargs):
+    """Write the rendered report to ``path``."""
+    with open(path, "w") as f:
+        f.write(render_timing_report(result, **kwargs))

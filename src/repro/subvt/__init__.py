@@ -1,0 +1,34 @@
+"""Sub-threshold operation and the Section IV comparative analysis.
+
+Sub-threshold design lowers VDD past Vth until dynamic energy equals
+leakage energy -- the minimum-energy point (Figs 9 and 10).  This package
+sweeps the supply with the same device model that scales timing and
+leakage everywhere else, finds the minimum-energy point, and reproduces
+the paper's comparison: sub-threshold wins on energy, SCPG wins on
+performance range, stability and the override escape hatch.
+"""
+
+from .energy import EnergyPoint, SubvtModel, energy_sweep, \
+    minimum_energy_point
+from .compare import SubvtComparison, compare_with_scpg
+from .variation import (
+    Corner,
+    STANDARD_CORNERS,
+    VariationStudy,
+    corner_study,
+    monte_carlo,
+)
+
+__all__ = [
+    "Corner",
+    "STANDARD_CORNERS",
+    "VariationStudy",
+    "corner_study",
+    "monte_carlo",
+    "EnergyPoint",
+    "SubvtModel",
+    "energy_sweep",
+    "minimum_energy_point",
+    "SubvtComparison",
+    "compare_with_scpg",
+]

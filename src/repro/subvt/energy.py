@@ -1,0 +1,103 @@
+"""Energy-per-operation versus supply voltage (Figs 9 and 10).
+
+At each supply the design runs at its voltage-scaled Fmax; energy per
+operation is::
+
+    E(V) = E_cycle * (V / Vnom)^2  +  P_leak(V) / Fmax(V)
+
+Dynamic energy falls quadratically while the leakage term *rises* as the
+clock slows exponentially below threshold -- the two cross at the
+minimum-energy point.  A design with a higher leakage-to-dynamic ratio
+(the Cortex-M0's "increased density of logic") reaches its minimum at a
+higher supply, exactly the Fig. 9 vs Fig. 10 contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PowerError
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """One operating point of the sub-threshold sweep."""
+
+    vdd: float
+    fmax_hz: float
+    e_dynamic: float
+    e_leakage: float
+    power: float
+
+    @property
+    def energy(self):
+        """Total energy per operation (J)."""
+        return self.e_dynamic + self.e_leakage
+
+
+class SubvtModel:
+    """Voltage-scaled energy model for one design.
+
+    Parameters
+    ----------
+    library:
+        Cell library (provides the device scaling).
+    e_cycle:
+        Switched energy per cycle at ``vdd_nom`` (J).
+    leak_nominal:
+        Total leakage power at ``vdd_nom`` (W).
+    min_period:
+        Minimum clock period at ``vdd_nom`` (s) -- the STA result.
+    """
+
+    def __init__(self, library, e_cycle, leak_nominal, min_period):
+        if min_period <= 0:
+            raise PowerError("min_period must be positive")
+        self.library = library
+        self.e_cycle = e_cycle
+        self.leak_nominal = leak_nominal
+        self.min_period = min_period
+
+    def point(self, vdd):
+        """Evaluate one supply voltage."""
+        lib = self.library
+        fmax = 1.0 / (self.min_period * lib.delay_scale(vdd))
+        p_leak = self.leak_nominal * lib.leakage_scale(vdd)
+        e_dyn = self.e_cycle * lib.energy_scale(vdd)
+        return EnergyPoint(
+            vdd=vdd,
+            fmax_hz=fmax,
+            e_dynamic=e_dyn,
+            e_leakage=p_leak / fmax,
+            power=e_dyn * fmax + p_leak,
+        )
+
+
+def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76):
+    """Sweep the supply; returns a list of :class:`EnergyPoint`."""
+    if steps < 2 or v_hi <= v_lo:
+        raise PowerError("bad sweep range")
+    return [
+        model.point(v_lo + (v_hi - v_lo) * k / (steps - 1))
+        for k in range(steps)
+    ]
+
+
+def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3):
+    """Golden-section search for the minimum-energy supply voltage."""
+    phi = (5 ** 0.5 - 1) / 2.0
+    lo, hi = v_lo, v_hi
+    a = hi - phi * (hi - lo)
+    b = lo + phi * (hi - lo)
+    ea = model.point(a).energy
+    eb = model.point(b).energy
+    while hi - lo > tolerance:
+        if ea < eb:
+            hi, b, eb = b, a, ea
+            a = hi - phi * (hi - lo)
+            ea = model.point(a).energy
+        else:
+            lo, a, ea = a, b, eb
+            b = lo + phi * (hi - lo)
+            eb = model.point(b).energy
+    return model.point((lo + hi) / 2.0)

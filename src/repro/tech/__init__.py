@@ -1,0 +1,51 @@
+"""Technology modelling: devices, cells, libraries and the synthetic 90nm kit.
+
+The paper uses the Synopsys 90nm Education Kit and HSpice.  Neither is
+redistributable, so this package provides:
+
+* :mod:`repro.tech.transistor` -- a continuous (EKV-style) MOSFET model giving
+  on-current, sub-threshold leakage and gate leakage versus supply voltage,
+  width and temperature.  It is the single source of voltage scaling for both
+  timing (:mod:`repro.sta`) and power (:mod:`repro.power`, :mod:`repro.subvt`).
+* :mod:`repro.tech.library` -- the cell-library object model (cells, pins,
+  functions, per-state leakage, timing/power coefficients).
+* :mod:`repro.tech.liberty` -- a reader/writer for a small Liberty subset so
+  libraries are file-based artefacts like in a real EDA flow.
+* :mod:`repro.tech.scl90` -- the synthetic 90nm library ("scl90") calibrated
+  against the paper's anchor points (see :mod:`repro.tech.calibration`).
+"""
+
+from .transistor import DeviceParams, DeviceModel, thermal_voltage
+from .library import (
+    Cell,
+    CellKind,
+    Library,
+    LeakageState,
+    Pin,
+    PinDirection,
+)
+from .scl90 import build_scl90, SCL90_VDD_NOM, SCL90_VDD_PAPER
+from .liberty import read_liberty, write_liberty, loads_liberty, dumps_liberty
+from .calibration import PaperAnchors, MULTIPLIER_ANCHORS, CORTEX_M0_ANCHORS
+
+__all__ = [
+    "DeviceParams",
+    "DeviceModel",
+    "thermal_voltage",
+    "Cell",
+    "CellKind",
+    "Library",
+    "LeakageState",
+    "Pin",
+    "PinDirection",
+    "build_scl90",
+    "SCL90_VDD_NOM",
+    "SCL90_VDD_PAPER",
+    "read_liberty",
+    "write_liberty",
+    "loads_liberty",
+    "dumps_liberty",
+    "PaperAnchors",
+    "MULTIPLIER_ANCHORS",
+    "CORTEX_M0_ANCHORS",
+]

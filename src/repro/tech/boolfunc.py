@@ -1,0 +1,185 @@
+"""Tiny boolean-expression language for cell functions and leakage states.
+
+Liberty cell functions are strings such as ``"!((A & B) | C)"`` or
+``"A ^ B"``.  This module parses that subset into an evaluable AST that the
+logic simulator and the state-dependent leakage engine share.
+
+Supported grammar (precedence low to high)::
+
+    expr   := term ('|' | '+') term ...
+    term   := factor ('^') factor ...
+    factor := atom ('&' | '*') atom ...
+    atom   := '!' atom | '(' expr ')' | identifier | '0' | '1'
+
+Evaluation is ternary: pin values are ``0``, ``1`` or ``None`` (unknown /
+X).  Unknowns propagate pessimistically except where a controlling value
+decides the output (``0 & X == 0``, ``1 | X == 1``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import LibraryError
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_][A-Za-z_0-9]*|[01()!&|^*+])")
+
+
+class BoolExpr:
+    """A parsed boolean expression over named pins."""
+
+    __slots__ = ("_root", "text", "inputs")
+
+    def __init__(self, text):
+        self.text = text
+        tokens = _tokenize(text)
+        parser = _Parser(tokens, text)
+        self._root = parser.parse_expr()
+        parser.expect_end()
+        self.inputs = tuple(sorted(_collect_vars(self._root)))
+
+    def eval(self, values):
+        """Evaluate with ``values`` mapping pin name -> 0 / 1 / None."""
+        return _eval_node(self._root, values)
+
+    def truth_table(self):
+        """Yield ``(assignment_dict, output)`` for every input combination."""
+        names = self.inputs
+        for bits in range(1 << len(names)):
+            assignment = {
+                name: (bits >> i) & 1 for i, name in enumerate(names)
+            }
+            yield assignment, self.eval(assignment)
+
+    def __repr__(self):
+        return "BoolExpr({!r})".format(self.text)
+
+    def __eq__(self, other):
+        return isinstance(other, BoolExpr) and self.text == other.text
+
+    def __hash__(self):
+        return hash(self.text)
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise LibraryError(
+                "bad character {!r} in function {!r}".format(text[pos], text)
+            )
+        tokens.append(m.group(1))
+        pos = m.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self):
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect_end(self):
+        if self.peek() is not None:
+            raise LibraryError(
+                "trailing tokens in function {!r}".format(self.text)
+            )
+
+    def parse_expr(self):
+        node = self.parse_xor()
+        while self.peek() in ("|", "+"):
+            self.take()
+            node = ("or", node, self.parse_xor())
+        return node
+
+    def parse_xor(self):
+        node = self.parse_and()
+        while self.peek() == "^":
+            self.take()
+            node = ("xor", node, self.parse_and())
+        return node
+
+    def parse_and(self):
+        node = self.parse_atom()
+        while self.peek() in ("&", "*"):
+            self.take()
+            node = ("and", node, self.parse_atom())
+        return node
+
+    def parse_atom(self):
+        tok = self.take()
+        if tok is None:
+            raise LibraryError(
+                "unexpected end of function {!r}".format(self.text)
+            )
+        if tok == "!":
+            return ("not", self.parse_atom())
+        if tok == "(":
+            node = self.parse_expr()
+            if self.take() != ")":
+                raise LibraryError(
+                    "missing ')' in function {!r}".format(self.text)
+                )
+            return node
+        if tok == "0":
+            return ("const", 0)
+        if tok == "1":
+            return ("const", 1)
+        if tok in (")", "&", "|", "^", "*", "+"):
+            raise LibraryError(
+                "unexpected {!r} in function {!r}".format(tok, self.text)
+            )
+        return ("var", tok)
+
+
+def _collect_vars(node):
+    kind = node[0]
+    if kind == "var":
+        return {node[1]}
+    if kind == "const":
+        return set()
+    if kind == "not":
+        return _collect_vars(node[1])
+    return _collect_vars(node[1]) | _collect_vars(node[2])
+
+
+def _eval_node(node, values):
+    kind = node[0]
+    if kind == "const":
+        return node[1]
+    if kind == "var":
+        return values.get(node[1])
+    if kind == "not":
+        v = _eval_node(node[1], values)
+        return None if v is None else 1 - v
+    a = _eval_node(node[1], values)
+    b = _eval_node(node[2], values)
+    if kind == "and":
+        if a == 0 or b == 0:
+            return 0
+        if a is None or b is None:
+            return None
+        return 1
+    if kind == "or":
+        if a == 1 or b == 1:
+            return 1
+        if a is None or b is None:
+            return None
+        return 0
+    # xor
+    if a is None or b is None:
+        return None
+    return a ^ b

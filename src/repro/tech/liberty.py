@@ -1,0 +1,361 @@
+"""Reader/writer for a Liberty-subset (".lib") text format.
+
+Real flows exchange cell libraries as Liberty files; to keep the library a
+file-based artefact (and to let users edit or version a technology), scl90
+can be serialised to and parsed from a Liberty-like syntax::
+
+    library (scl90) {
+      nom_voltage : 0.6;
+      device (svt) { vth : 0.26; ... }
+      cell (NAND2_X1) {
+        area : 2.6;
+        leakage_power () { when : "A & !B"; value : 1.2e-08; }
+        pin (A) { direction : input; capacitance : 1.8e-15; }
+        pin (Y) { direction : output; function : "!(A & B)"; }
+      }
+    }
+
+Only the constructs the object model needs are supported; unknown
+attributes are ignored on read (as EDA tools commonly do), so files written
+by other tools with extra attributes still load.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+
+from ..errors import LibertySyntaxError
+from .library import Cell, CellKind, LeakageState, Library, Pin, PinDirection
+from .transistor import DeviceParams
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<comment>/\*.*?\*/|//[^\n]*)
+      | (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<punct>[(){};:,])
+      | (?P<word>[^\s(){};:,"]+)
+    )
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+# ---------------------------------------------------------------------------
+# Generic group tree
+# ---------------------------------------------------------------------------
+
+class Group:
+    """A Liberty group: ``name (args) { attributes... subgroups... }``."""
+
+    def __init__(self, name, args=()):
+        self.name = name
+        self.args = list(args)
+        self.attributes = {}
+        self.groups = []
+
+    def get(self, key, default=None):
+        """Attribute value or ``default``."""
+        return self.attributes.get(key, default)
+
+    def subgroups(self, name):
+        """All subgroups called ``name``."""
+        return [g for g in self.groups if g.name == name]
+
+    def first(self, name):
+        """First subgroup called ``name`` or ``None``."""
+        for g in self.groups:
+            if g.name == name:
+                return g
+        return None
+
+
+def _tokenize(text):
+    pos = 0
+    tokens = []
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m or m.end() == pos:
+            if text[pos:].strip():
+                raise LibertySyntaxError(
+                    "unexpected character {!r}".format(text[pos])
+                )
+            break
+        pos = m.end()
+        if m.group("comment"):
+            continue
+        if m.group("string") is not None:
+            tokens.append(("string", m.group("string")[1:-1]))
+        elif m.group("punct"):
+            tokens.append(("punct", m.group("punct")))
+        elif m.group("word"):
+            tokens.append(("word", m.group("word")))
+    return tokens
+
+
+class _GroupParser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return (None, None)
+
+    def take(self, expect=None):
+        kind, value = self.peek()
+        if kind is None:
+            raise LibertySyntaxError("unexpected end of file")
+        if expect is not None and value != expect:
+            raise LibertySyntaxError(
+                "expected {!r}, got {!r}".format(expect, value)
+            )
+        self.pos += 1
+        return kind, value
+
+    def parse_group(self):
+        _, name = self.take()
+        self.take(expect="(")
+        args = []
+        while self.peek()[1] != ")":
+            kind, value = self.take()
+            if value != ",":
+                args.append(value)
+        self.take(expect=")")
+        self.take(expect="{")
+        group = Group(name, args)
+        while self.peek()[1] != "}":
+            group_or_attr = self._parse_statement()
+            if isinstance(group_or_attr, Group):
+                group.groups.append(group_or_attr)
+            else:
+                key, value = group_or_attr
+                group.attributes[key] = value
+        self.take(expect="}")
+        return group
+
+    def _parse_statement(self):
+        # lookahead: NAME '(' -> group; NAME ':' -> attribute
+        kind, _name = self.peek()
+        if kind is None:
+            raise LibertySyntaxError("unexpected end of file")
+        next_punct = (
+            self.tokens[self.pos + 1][1]
+            if self.pos + 1 < len(self.tokens)
+            else None
+        )
+        if next_punct == "(":
+            return self.parse_group()
+        if next_punct == ":":
+            _, key = self.take()
+            self.take(expect=":")
+            vkind, value = self.take()
+            if self.peek()[1] == ";":
+                self.take()
+            return key, _coerce(value, vkind)
+        raise LibertySyntaxError(
+            "expected ':' or '(' after {!r}".format(_name)
+        )
+
+
+def _coerce(value, kind):
+    if kind == "string":
+        return value
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        f = float(value)
+    except ValueError:
+        return value
+    return int(f) if f.is_integer() and "e" not in value.lower() \
+        and "." not in value else f
+
+
+# ---------------------------------------------------------------------------
+# Library <-> group tree
+# ---------------------------------------------------------------------------
+
+def _library_to_group(lib):
+    root = Group("library", [lib.name])
+    root.attributes["nom_voltage"] = lib.vdd_nom
+    root.attributes["nom_temperature"] = lib.temp_c
+    root.attributes["wire_cap_per_fanout"] = lib.wire_cap_per_fanout
+    for flavour, dev in lib.devices.items():
+        g = Group("device", [flavour])
+        g.attributes.update(
+            {
+                "vth": dev.vth,
+                "n": dev.n,
+                "i_spec": dev.i_spec,
+                "dibl": dev.dibl,
+                "gate_leak0": dev.gate_leak0,
+                "gate_leak_exp": dev.gate_leak_exp,
+                "vdd_ref": dev.vdd_ref,
+                "temp_exp": dev.temp_exp,
+            }
+        )
+        root.groups.append(g)
+    for cell in lib.cells():
+        root.groups.append(_cell_to_group(cell))
+    return root
+
+
+def _cell_to_group(cell):
+    g = Group("cell", [cell.name])
+    g.attributes["area"] = cell.area
+    g.attributes["cell_kind"] = cell.kind.value
+    g.attributes["cell_leakage_power"] = cell.leakage
+    g.attributes["drive_strength"] = cell.drive_strength
+    if cell.intrinsic_delay:
+        g.attributes["intrinsic_delay"] = cell.intrinsic_delay
+    if cell.drive_resistance:
+        g.attributes["drive_resistance"] = cell.drive_resistance
+    if cell.c_internal:
+        g.attributes["internal_capacitance"] = cell.c_internal
+    if cell.setup:
+        g.attributes["setup"] = cell.setup
+    if cell.hold:
+        g.attributes["hold"] = cell.hold
+    if cell.header_ron:
+        g.attributes["header_ron"] = cell.header_ron
+    if cell.header_width:
+        g.attributes["header_width"] = cell.header_width
+    for state in cell.leakage_states:
+        sg = Group("leakage_power", [])
+        if state.when:
+            sg.attributes["when"] = state.when
+        sg.attributes["value"] = state.power
+        g.groups.append(sg)
+    for pin in cell.pins:
+        pg = Group("pin", [pin.name])
+        pg.attributes["direction"] = pin.direction.value
+        if pin.capacitance:
+            pg.attributes["capacitance"] = pin.capacitance
+        if pin.function is not None:
+            pg.attributes["function"] = pin.function
+        if pin.is_clock:
+            pg.attributes["clock"] = True
+        g.groups.append(pg)
+    return g
+
+
+def _group_to_library(root):
+    if root.name != "library" or not root.args:
+        raise LibertySyntaxError("top-level group must be library(name)")
+    devices = {}
+    for g in root.subgroups("device"):
+        devices[g.args[0]] = DeviceParams(
+            name=g.args[0],
+            vth=float(g.get("vth")),
+            n=float(g.get("n")),
+            i_spec=float(g.get("i_spec")),
+            dibl=float(g.get("dibl", 0.08)),
+            gate_leak0=float(g.get("gate_leak0", 0.0)),
+            gate_leak_exp=float(g.get("gate_leak_exp", 6.0)),
+            vdd_ref=float(g.get("vdd_ref", 1.0)),
+            temp_exp=float(g.get("temp_exp", 1.3)),
+        )
+    lib = Library(
+        root.args[0],
+        vdd_nom=float(root.get("nom_voltage", 1.0)),
+        devices=devices,
+        temp_c=float(root.get("nom_temperature", 25.0)),
+        wire_cap_per_fanout=float(root.get("wire_cap_per_fanout", 0.0)),
+    )
+    for g in root.subgroups("cell"):
+        lib.add_cell(_group_to_cell(g))
+    return lib
+
+
+def _group_to_cell(g):
+    pins = []
+    for pg in g.subgroups("pin"):
+        pins.append(
+            Pin(
+                name=pg.args[0],
+                direction=PinDirection(pg.get("direction", "input")),
+                capacitance=float(pg.get("capacitance", 0.0)),
+                function=pg.get("function"),
+                is_clock=bool(pg.get("clock", False)),
+            )
+        )
+    states = [
+        LeakageState(power=float(sg.get("value", 0.0)), when=sg.get("when"))
+        for sg in g.subgroups("leakage_power")
+    ]
+    return Cell(
+        name=g.args[0],
+        kind=CellKind(g.get("cell_kind", "comb")),
+        area=float(g.get("area", 0.0)),
+        pins=pins,
+        leakage=float(g.get("cell_leakage_power", 0.0)),
+        leakage_states=states,
+        intrinsic_delay=float(g.get("intrinsic_delay", 0.0)),
+        drive_resistance=float(g.get("drive_resistance", 0.0)),
+        c_internal=float(g.get("internal_capacitance", 0.0)),
+        setup=float(g.get("setup", 0.0)),
+        hold=float(g.get("hold", 0.0)),
+        header_ron=float(g.get("header_ron", 0.0)),
+        header_width=float(g.get("header_width", 0.0)),
+        drive_strength=int(g.get("drive_strength", 1)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+_QUOTED_ATTRS = {"when", "function"}
+
+
+def _format_value(key, value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        if key in _QUOTED_ATTRS or " " in value:
+            return '"{}"'.format(value)
+        return value
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _write_group(group, out, indent=0):
+    pad = "  " * indent
+    out.write("{}{} ({}) {{\n".format(pad, group.name, ", ".join(group.args)))
+    for key, value in group.attributes.items():
+        out.write(
+            "{}  {} : {};\n".format(pad, key, _format_value(key, value))
+        )
+    for sub in group.groups:
+        _write_group(sub, out, indent + 1)
+    out.write("{}}}\n".format(pad))
+
+
+def dumps_liberty(lib):
+    """Serialise a :class:`Library` to Liberty-lite text."""
+    out = io.StringIO()
+    _write_group(_library_to_group(lib), out)
+    return out.getvalue()
+
+
+def loads_liberty(text):
+    """Parse Liberty-lite text into a :class:`Library`."""
+    tokens = _tokenize(text)
+    parser = _GroupParser(tokens)
+    root = parser.parse_group()
+    return _group_to_library(root)
+
+
+def write_liberty(lib, path):
+    """Write ``lib`` to ``path`` as Liberty-lite text."""
+    with open(path, "w") as f:
+        f.write(dumps_liberty(lib))
+
+
+def read_liberty(path):
+    """Read a Liberty-lite file into a :class:`Library`."""
+    with open(path) as f:
+        return loads_liberty(f.read())

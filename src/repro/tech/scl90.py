@@ -1,0 +1,354 @@
+"""scl90 -- the synthetic 90nm cell library.
+
+Replaces the Synopsys 90nm Education Kit used by the paper.  The library is
+characterised directly at the paper's operating point, VDD = 0.6 V, and the
+device models supply scaling to any other voltage (Section IV sweeps down to
+150 mV).
+
+The constants in :class:`Scl90Tuning` were calibrated against the paper's
+anchor points (see ``repro.tech.calibration`` and DESIGN.md section 5):
+the zero-frequency leakage split of the two test designs, the dynamic energy
+per cycle, and the critical-path targets that put the multiplier's 50%-duty
+Fmax near 14.3 MHz.
+
+Cell naming follows familiar standard-cell conventions: ``NAND2_X1`` is a
+two-input NAND of drive strength 1.  The library also provides the special
+cells SCPG needs: isolation clamps (``ISO_AND_X1`` / ``ISO_OR_X1``), tie
+cells, clock buffers, and high-Vt PMOS header (sleep) transistors in sizes
+X1-X8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import Cell, CellKind, LeakageState, Library, Pin, PinDirection
+from .transistor import DeviceParams
+
+#: Characterisation (nominal) voltage of scl90.
+SCL90_VDD_NOM = 0.6
+
+#: The supply used throughout the paper's evaluation.
+SCL90_VDD_PAPER = 0.6
+
+
+@dataclass(frozen=True)
+class Scl90Tuning:
+    """Calibration constants for the scl90 library.
+
+    Attributes
+    ----------
+    leak_per_t:
+        Average leakage power per transistor at 0.6 V (W).  Fitted to the
+        zero-frequency rows of Tables I/II.
+    cap_per_input:
+        Input pin capacitance of an X1 input (F).
+    wire_cap_per_fanout:
+        Estimated routed-wire capacitance per fanout (F); stands in for the
+        extracted parasitics of the paper's post-P&R netlists.
+    r_drive_x1:
+        Output drive resistance of an X1 cell at 0.6 V (ohm).
+    t_unit:
+        Base intrinsic delay unit at 0.6 V (s); per-cell intrinsics are
+        multiples of it.
+    c_internal_per_t:
+        Internal switched capacitance per transistor (F).
+    header_width_x1:
+        Channel width of the X1 sleep header (um).
+    header_cap_per_um:
+        Gate capacitance of the header device (F/um).
+    """
+
+    leak_per_t: float = 3.05e-9
+    cap_per_input: float = 1.8e-15
+    wire_cap_per_fanout: float = 2.0e-15
+    r_drive_x1: float = 12.0e3
+    t_unit: float = 0.139e-9
+    c_internal_per_t: float = 0.55e-15
+    header_width_x1: float = 25.0
+    header_cap_per_um: float = 0.6e-15
+
+
+#: Standard-Vt logic transistor flavour (leaky, fast -- a "G" process).
+SVT = DeviceParams(
+    name="svt",
+    vth=0.26,
+    n=1.35,
+    i_spec=1.0e-5,
+    dibl=0.08,
+    gate_leak0=2.0e-10,
+    gate_leak_exp=5.0,
+    vdd_ref=SCL90_VDD_NOM,
+)
+
+#: High-Vt flavour used for the PMOS sleep headers (low leak, weaker drive).
+HVT = DeviceParams(
+    name="hvt",
+    vth=0.38,
+    n=1.40,
+    i_spec=0.5e-5,
+    dibl=0.06,
+    gate_leak0=0.5e-10,
+    gate_leak_exp=5.0,
+    vdd_ref=SCL90_VDD_NOM,
+)
+
+
+# (name, function(s), n_transistors, area um^2, intrinsic delay units, inputs)
+# Compound arithmetic cells model the library's full/half adders; their two
+# outputs get separate intrinsic delays (sum slower than carry).
+_COMB_SPECS = [
+    ("INV", {"Y": "!A"}, 2, 2.0, 1.0, ["A"]),
+    ("BUF", {"Y": "A"}, 4, 2.6, 1.6, ["A"]),
+    ("NAND2", {"Y": "!(A & B)"}, 4, 2.6, 1.2, ["A", "B"]),
+    ("NAND3", {"Y": "!(A & B & C)"}, 6, 3.4, 1.5, ["A", "B", "C"]),
+    ("NOR2", {"Y": "!(A | B)"}, 4, 2.6, 1.4, ["A", "B"]),
+    ("NOR3", {"Y": "!(A | B | C)"}, 6, 3.4, 1.8, ["A", "B", "C"]),
+    ("AND2", {"Y": "A & B"}, 6, 3.2, 1.8, ["A", "B"]),
+    ("AND3", {"Y": "A & B & C"}, 8, 4.0, 2.1, ["A", "B", "C"]),
+    ("OR2", {"Y": "A | B"}, 6, 3.2, 2.0, ["A", "B"]),
+    ("OR3", {"Y": "A | B | C"}, 8, 4.0, 2.3, ["A", "B", "C"]),
+    ("XOR2", {"Y": "A ^ B"}, 10, 4.8, 2.6, ["A", "B"]),
+    ("XNOR2", {"Y": "!(A ^ B)"}, 10, 4.8, 2.6, ["A", "B"]),
+    ("AOI21", {"Y": "!((A & B) | C)"}, 6, 3.4, 1.6, ["A", "B", "C"]),
+    ("OAI21", {"Y": "!((A | B) & C)"}, 6, 3.4, 1.6, ["A", "B", "C"]),
+    ("MUX2", {"Y": "(A & !S) | (B & S)"}, 12, 5.4, 2.2, ["A", "B", "S"]),
+    (
+        "HA",
+        {"S": "A ^ B", "CO": "A & B"},
+        14,
+        6.8,
+        {"S": 3.0, "CO": 2.2},
+        ["A", "B"],
+    ),
+    (
+        "FA",
+        {"S": "A ^ B ^ CI", "CO": "(A & B) | (CI & (A ^ B))"},
+        28,
+        11.6,
+        {"S": 6.0, "CO": 4.6},
+        ["A", "B", "CI"],
+    ),
+]
+
+#: Drive strengths generated for the simple gates.
+_STRENGTHS = {
+    "INV": (1, 2, 4),
+    "BUF": (1, 2, 4),
+    "NAND2": (1, 2),
+    "NOR2": (1, 2),
+    "AND2": (1, 2),
+    "OR2": (1,),
+    "NAND3": (1,),
+    "NOR3": (1,),
+    "AND3": (1,),
+    "OR3": (1,),
+    "XOR2": (1,),
+    "XNOR2": (1,),
+    "AOI21": (1,),
+    "OAI21": (1,),
+    "MUX2": (1,),
+    "HA": (1,),
+    "FA": (1,),
+}
+
+#: Sleep header sizes offered by the kit (paper: "a range of power gating
+#: transistor sizes"; X2 was found best for the multiplier, X4 for the M0).
+HEADER_SIZES = (1, 2, 4, 8)
+
+
+def _leakage_states(inputs, base):
+    """Synthesised state-dependent leakage: stacked-off inputs leak less.
+
+    The factor ramps from 0.7 (all inputs low: maximum stacking) to 1.3
+    (all inputs high), matching the classic transistor-stack effect [4].
+    """
+    states = []
+    n = len(inputs)
+    if n == 0:
+        return states
+    for bits in range(1 << n):
+        highs = [name for i, name in enumerate(inputs) if (bits >> i) & 1]
+        lows = [name for i, name in enumerate(inputs) if not (bits >> i) & 1]
+        frac = len(highs) / n
+        factor = 0.7 + 0.6 * frac
+        terms = ["{}".format(p) for p in highs]
+        terms += ["!{}".format(p) for p in lows]
+        states.append(LeakageState(power=base * factor, when=" & ".join(terms)))
+    return states
+
+
+def _comb_cell(tuning, base_name, funcs, n_t, area, delay_units, inputs,
+               strength, kind=CellKind.COMBINATIONAL):
+    name = "{}_X{}".format(base_name, strength)
+    pins = [
+        Pin(p, PinDirection.INPUT,
+            capacitance=tuning.cap_per_input * (1 + 0.5 * (strength - 1)))
+        for p in inputs
+    ]
+    for out, func in funcs.items():
+        pins.append(Pin(out, PinDirection.OUTPUT, function=func))
+    if isinstance(delay_units, dict):
+        intrinsic = tuning.t_unit * max(delay_units.values())
+    else:
+        intrinsic = tuning.t_unit * delay_units
+    base_leak = tuning.leak_per_t * n_t * (1 + 0.35 * (strength - 1))
+    return Cell(
+        name=name,
+        kind=kind,
+        area=area * (1 + 0.45 * (strength - 1)),
+        pins=pins,
+        leakage=base_leak,
+        leakage_states=_leakage_states(inputs, base_leak),
+        intrinsic_delay=intrinsic,
+        drive_resistance=tuning.r_drive_x1 / strength,
+        c_internal=tuning.c_internal_per_t * n_t,
+        drive_strength=strength,
+    )
+
+
+def _dff_cell(tuning, name, extra_pins, n_t, area):
+    pins = [
+        Pin("D", PinDirection.INPUT, capacitance=tuning.cap_per_input),
+        Pin("CK", PinDirection.INPUT,
+            capacitance=tuning.cap_per_input, is_clock=True),
+    ]
+    pins += extra_pins
+    pins.append(Pin("Q", PinDirection.OUTPUT))
+    base_leak = tuning.leak_per_t * n_t
+    input_names = [p.name for p in pins
+                   if p.direction is PinDirection.INPUT and not p.is_clock]
+    return Cell(
+        name=name,
+        kind=CellKind.SEQUENTIAL,
+        area=area,
+        pins=pins,
+        leakage=base_leak,
+        leakage_states=_leakage_states(input_names, base_leak),
+        intrinsic_delay=tuning.t_unit * 5.3,  # clock-to-Q
+        drive_resistance=tuning.r_drive_x1,
+        c_internal=tuning.c_internal_per_t * n_t,
+        setup=tuning.t_unit * 3.3,
+        hold=tuning.t_unit * 1.0,
+        drive_strength=1,
+    )
+
+
+def build_scl90(tuning=None):
+    """Build the scl90 :class:`~repro.tech.library.Library`.
+
+    Pass a custom :class:`Scl90Tuning` to re-generate the library with
+    different calibration constants (used by the calibration tests).
+    """
+    tuning = tuning or Scl90Tuning()
+    lib = Library(
+        "scl90",
+        vdd_nom=SCL90_VDD_NOM,
+        devices={"svt": SVT, "hvt": HVT},
+        temp_c=25.0,
+        wire_cap_per_fanout=tuning.wire_cap_per_fanout,
+    )
+
+    # Combinational gates in their drive strengths.
+    for base, funcs, n_t, area, units, inputs in _COMB_SPECS:
+        for strength in _STRENGTHS[base]:
+            lib.add_cell(
+                _comb_cell(tuning, base, funcs, n_t, area, units, inputs,
+                           strength)
+            )
+
+    # Clock buffers: same as BUF but classified for CTS/always-on handling.
+    for strength in (2, 4, 8):
+        lib.add_cell(
+            _comb_cell(tuning, "CLKBUF", {"Y": "A"}, 4, 3.0, 1.4, ["A"],
+                       strength, kind=CellKind.CLOCK)
+        )
+
+    # Flip-flops.
+    lib.add_cell(_dff_cell(tuning, "DFF_X1", [], 24, 12.0))
+    lib.add_cell(
+        _dff_cell(
+            tuning,
+            "DFFR_X1",
+            [Pin("RN", PinDirection.INPUT, capacitance=tuning.cap_per_input)],
+            28,
+            14.0,
+        )
+    )
+    lib.add_cell(
+        _dff_cell(
+            tuning,
+            "DFFE_X1",
+            [Pin("EN", PinDirection.INPUT, capacitance=tuning.cap_per_input)],
+            32,
+            16.5,
+        )
+    )
+
+    # Isolation clamps (outputs of the power-gated domain; Fig. 2 "Isol").
+    for name, func in (("ISO_AND_X1", "A & !ISO"), ("ISO_OR_X1", "A | ISO")):
+        base_leak = tuning.leak_per_t * 6
+        lib.add_cell(
+            Cell(
+                name=name,
+                kind=CellKind.ISOLATION,
+                area=2.6,
+                pins=[
+                    Pin("A", PinDirection.INPUT,
+                        capacitance=tuning.cap_per_input),
+                    Pin("ISO", PinDirection.INPUT,
+                        capacitance=tuning.cap_per_input),
+                    Pin("Y", PinDirection.OUTPUT, function=func),
+                ],
+                leakage=base_leak,
+                leakage_states=_leakage_states(["A", "ISO"], base_leak),
+                intrinsic_delay=tuning.t_unit * 1.8,
+                drive_resistance=tuning.r_drive_x1,
+                c_internal=tuning.c_internal_per_t * 6,
+            )
+        )
+
+    # Tie cells (the Fig. 3 isolation controller senses VDDV via a TIEHI).
+    lib.add_cell(
+        Cell(
+            name="TIEHI_X1",
+            kind=CellKind.TIE,
+            area=1.6,
+            pins=[Pin("Y", PinDirection.OUTPUT, function="1")],
+            leakage=tuning.leak_per_t * 2,
+        )
+    )
+    lib.add_cell(
+        Cell(
+            name="TIELO_X1",
+            kind=CellKind.TIE,
+            area=1.6,
+            pins=[Pin("Y", PinDirection.OUTPUT, function="0")],
+            leakage=tuning.leak_per_t * 2,
+        )
+    )
+
+    # High-Vt PMOS sleep headers.  SLEEP=1 cuts the virtual rail.  Leakage
+    # here is the *gated* residual that still flows when the header is off.
+    hvt_model = lib.device_model("hvt")
+    for size in HEADER_SIZES:
+        width = tuning.header_width_x1 * size
+        i_off = hvt_model.total_leakage(SCL90_VDD_NOM, width)
+        lib.add_cell(
+            Cell(
+                name="HEADER_X{}".format(size),
+                kind=CellKind.HEADER,
+                area=1.4 * width / 10.0,
+                pins=[
+                    Pin("SLEEP", PinDirection.INPUT,
+                        capacitance=tuning.header_cap_per_um * width),
+                ],
+                leakage=i_off * SCL90_VDD_NOM,
+                header_ron=hvt_model.on_resistance(SCL90_VDD_NOM, width),
+                header_width=width,
+                c_internal=tuning.header_cap_per_um * width,
+                drive_strength=size,
+            )
+        )
+
+    return lib

@@ -1,0 +1,186 @@
+"""Continuous MOSFET model used for voltage/temperature scaling.
+
+The model is an EKV-flavoured interpolation that is smooth across the
+sub-threshold / super-threshold boundary, which matters because the paper's
+Section IV sweeps the supply from well above threshold down to 150 mV:
+
+* drain current (per um of width)::
+
+      I(vgs) = i_spec * ln(1 + exp((vgs - vth_eff) / (2 n vT)))^2
+
+  which tends to ``i_spec * exp((vgs - vth_eff)/(n vT))`` in weak inversion
+  and to a quadratic law in strong inversion,
+* DIBL lowers the effective threshold with the drain (supply) voltage:
+  ``vth_eff = vth - dibl * vdd``, which is what makes leakage grow
+  super-linearly with VDD,
+* sub-threshold leakage is the same expression evaluated at ``vgs = 0`` with
+  the classic ``(1 - exp(-vdd/vT))`` drain-saturation term,
+* gate leakage grows exponentially with VDD (tunnelling),
+* temperature enters through ``vT = kT/q`` and a mobility-style derating of
+  the drive current.
+
+All currents are *per micrometre of transistor width*; cells scale them by
+their effective P/N widths.  The constants in :mod:`repro.tech.scl90` are
+calibrated against the paper's Tables I/II and Figs 9/10 anchor points --
+see DESIGN.md section 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+BOLTZMANN_OVER_Q = 8.617333262e-5  # V / K
+
+
+def thermal_voltage(temp_c=25.0):
+    """Thermal voltage kT/q in volts at ``temp_c`` degrees Celsius."""
+    return BOLTZMANN_OVER_Q * (temp_c + 273.15)
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Parameters of one device flavour (e.g. standard-Vt NMOS, high-Vt PMOS).
+
+    Attributes
+    ----------
+    name:
+        Flavour label, e.g. ``"svt_n"`` or ``"hvt_p"``.
+    vth:
+        Zero-bias threshold voltage (V).
+    n:
+        Sub-threshold slope factor (dimensionless, typically 1.2-1.6).
+    i_spec:
+        Specific current per um of width (A/um); sets the current scale of
+        the EKV interpolation.
+    dibl:
+        Drain-induced barrier lowering coefficient (V of Vth shift per V of
+        VDD).
+    gate_leak0:
+        Gate tunnelling leakage per um width at ``vdd_ref`` (A/um).
+    gate_leak_exp:
+        Exponential voltage sensitivity of gate leakage (1/V).
+    vdd_ref:
+        Reference supply for ``gate_leak0`` (V).
+    temp_exp:
+        Temperature exponent for drive-current derating (mobility).
+    """
+
+    name: str
+    vth: float
+    n: float
+    i_spec: float
+    dibl: float = 0.08
+    gate_leak0: float = 0.0
+    gate_leak_exp: float = 6.0
+    vdd_ref: float = 1.0
+    temp_exp: float = 1.3
+
+    def scaled(self, **kwargs):
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class DeviceModel:
+    """Evaluate currents and leakage for a :class:`DeviceParams` flavour."""
+
+    def __init__(self, params, temp_c=25.0):
+        self.params = params
+        self.temp_c = float(temp_c)
+
+    # -- internals ----------------------------------------------------------
+
+    def _vt(self):
+        return thermal_voltage(self.temp_c)
+
+    def _vth_eff(self, vdd):
+        return self.params.vth - self.params.dibl * vdd
+
+    def _ekv_current(self, vgs, vdd, width_um):
+        """EKV interpolation current (A) at gate overdrive ``vgs``."""
+        p = self.params
+        vt = self._vt()
+        x = (vgs - self._vth_eff(vdd)) / (2.0 * p.n * vt)
+        # log1p(exp(x)) computed stably for large |x|.
+        if x > 40.0:
+            soft = x
+        else:
+            soft = math.log1p(math.exp(x))
+        i = p.i_spec * width_um * soft * soft
+        # Mobility derating: drive drops as temperature rises.
+        t_ratio = (self.temp_c + 273.15) / 298.15
+        return i * t_ratio ** (-p.temp_exp)
+
+    # -- public API ---------------------------------------------------------
+
+    def on_current(self, vdd, width_um=1.0):
+        """Drive current (A) with gate and drain at ``vdd``."""
+        if vdd <= 0:
+            return 0.0
+        return self._ekv_current(vdd, vdd, width_um)
+
+    def subthreshold_leakage(self, vdd, width_um=1.0):
+        """Off-state channel leakage current (A) at supply ``vdd``.
+
+        Evaluated at ``vgs = 0``; includes the drain saturation term and a
+        strong positive temperature dependence (leakage roughly doubles every
+        ~10 degC through the ``exp(-vth/nvT)`` factor).
+        """
+        if vdd <= 0:
+            return 0.0
+        vt = self._vt()
+        i = self._ekv_current(0.0, vdd, width_um)
+        return i * (1.0 - math.exp(-vdd / vt))
+
+    def gate_leakage(self, vdd, width_um=1.0):
+        """Gate tunnelling leakage current (A) at supply ``vdd``."""
+        p = self.params
+        if vdd <= 0 or p.gate_leak0 <= 0:
+            return 0.0
+        return p.gate_leak0 * width_um * math.exp(
+            p.gate_leak_exp * (vdd - p.vdd_ref)
+        )
+
+    def total_leakage(self, vdd, width_um=1.0):
+        """Sub-threshold plus gate leakage current (A)."""
+        return self.subthreshold_leakage(vdd, width_um) + self.gate_leakage(
+            vdd, width_um
+        )
+
+    def on_resistance(self, vdd, width_um=1.0):
+        """Effective switch resistance (ohm) ``vdd / I_on``.
+
+        Used for sleep-transistor IR-drop analysis.  Diverges as the supply
+        approaches the sub-threshold region, which is physically what makes
+        sub-threshold operation slow.
+        """
+        i = self.on_current(vdd, width_um)
+        if i <= 0:
+            return math.inf
+        return vdd / i
+
+    def delay_scale(self, vdd, vdd_ref):
+        """Ratio ``t_d(vdd) / t_d(vdd_ref)`` for a gate delay ``C V / I_on``.
+
+        This single scalar carries all voltage dependence of timing: cell
+        delays characterised at ``vdd_ref`` are multiplied by it.
+        """
+        i_ref = self.on_current(vdd_ref, 1.0)
+        i = self.on_current(vdd, 1.0)
+        if i <= 0:
+            return math.inf
+        return (vdd / i) / (vdd_ref / i_ref)
+
+    def leakage_scale(self, vdd, vdd_ref):
+        """Ratio ``I_leak(vdd) / I_leak(vdd_ref)`` (channel leakage only)."""
+        ref = self.subthreshold_leakage(vdd_ref, 1.0)
+        if ref <= 0:
+            return 0.0
+        return self.subthreshold_leakage(vdd, 1.0) / ref
+
+    def at_temperature(self, temp_c):
+        """A copy of this model evaluated at a different temperature."""
+        return DeviceModel(self.params, temp_c)
+
+    def __repr__(self):
+        return "DeviceModel({}, {:.1f}C)".format(self.params.name, self.temp_c)

@@ -1,0 +1,135 @@
+"""Engineering-unit helpers used across the library.
+
+Internally every quantity is SI (seconds, hertz, watts, joules, farads,
+volts, amps, square micrometres for area).  These helpers exist for the
+boundaries: parsing user input such as ``"14.3MHz"`` and producing the
+human-readable strings that appear in reports, tables and benchmark output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import ReproError
+
+#: SI prefixes, exponent -> symbol.  ``u`` is accepted as an alias of ``µ``.
+_PREFIXES = {
+    -15: "f",
+    -12: "p",
+    -9: "n",
+    -6: "u",
+    -3: "m",
+    0: "",
+    3: "k",
+    6: "M",
+    9: "G",
+}
+
+_PREFIX_VALUES = {sym: 10.0 ** exp for exp, sym in _PREFIXES.items()}
+_PREFIX_VALUES["µ"] = 1e-6
+_PREFIX_VALUES["K"] = 1e3  # tolerated in input only
+
+
+class UnitError(ReproError):
+    """A quantity string could not be parsed."""
+
+
+def format_si(value, unit="", digits=4):
+    """Format ``value`` with an SI prefix: ``format_si(2.94e-5, 'W')`` -> ``'29.4uW'``.
+
+    ``digits`` is the number of significant digits.  Zero, NaN and infinities
+    are passed through in an obvious representation.
+    """
+    if value is None:
+        return "n/a"
+    if value == 0:
+        return "0{}".format(unit)
+    if math.isnan(value):
+        return "nan{}".format(unit)
+    if math.isinf(value):
+        return ("inf" if value > 0 else "-inf") + unit
+    exp3 = int(math.floor(math.log10(abs(value)) / 3.0) * 3)
+    exp3 = max(min(exp3, 9), -15)
+    scaled = value / 10.0 ** exp3
+    # Rounding can push e.g. 999.96 to 1000; renormalize.
+    text = "{:.{d}g}".format(scaled, d=digits)
+    if abs(float(text)) >= 1000 and exp3 < 9:
+        exp3 += 3
+        scaled = value / 10.0 ** exp3
+        text = "{:.{d}g}".format(scaled, d=digits)
+    return "{}{}{}".format(text, _PREFIXES[exp3], unit)
+
+
+def parse_si(text, unit=""):
+    """Parse ``'14.3MHz'`` / ``'250uW'`` / ``'0.6'`` into a float (SI units).
+
+    ``unit`` is the expected unit suffix; it is optional in the input.  Raises
+    :class:`UnitError` on malformed input.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    s = text.strip()
+    if unit and s.endswith(unit):
+        s = s[: -len(unit)].strip()
+    prefix = 1.0
+    if s and s[-1] in _PREFIX_VALUES and not _is_number(s):
+        prefix = _PREFIX_VALUES[s[-1]]
+        s = s[:-1].strip()
+    if not _is_number(s):
+        raise UnitError("cannot parse quantity {!r}".format(text))
+    return float(s) * prefix
+
+
+def _is_number(s):
+    try:
+        float(s)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+# Convenience wrappers -------------------------------------------------------
+
+def fmt_freq(hz, digits=4):
+    """Format a frequency in Hz, e.g. ``fmt_freq(14.3e6) == '14.3MHz'``."""
+    return format_si(hz, "Hz", digits)
+
+
+def fmt_power(watts, digits=4):
+    """Format a power in W, e.g. ``fmt_power(29.23e-6) == '29.23uW'``."""
+    return format_si(watts, "W", digits)
+
+
+def fmt_energy(joules, digits=4):
+    """Format an energy in J, e.g. ``fmt_energy(2.94e-10) == '294pJ'``."""
+    return format_si(joules, "J", digits)
+
+
+def fmt_time(seconds, digits=4):
+    """Format a time in s, e.g. ``fmt_time(70e-9) == '70ns'``."""
+    return format_si(seconds, "s", digits)
+
+
+def mhz(value):
+    """Megahertz to Hz."""
+    return value * 1e6
+
+
+def khz(value):
+    """Kilohertz to Hz."""
+    return value * 1e3
+
+
+def uw(value):
+    """Microwatts to W."""
+    return value * 1e-6
+
+
+def pj(value):
+    """Picojoules to J."""
+    return value * 1e-12
+
+
+def ns(value):
+    """Nanoseconds to s."""
+    return value * 1e-9

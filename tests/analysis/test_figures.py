@@ -1,0 +1,96 @@
+"""Figure series builders and the ASCII plotter."""
+
+import math
+
+import pytest
+
+from repro.analysis.ascii_plot import ascii_chart
+from repro.analysis.figures import (
+    FigureSeries,
+    energy_series,
+    power_series,
+    subvt_series,
+    switching_series,
+)
+from repro.scpg.power_model import Mode
+
+
+class TestPowerSeries:
+    def test_three_labelled_series(self, mult_study):
+        freqs = [0.5e6 * k for k in range(1, 20)]
+        series = power_series(mult_study.model, freqs)
+        labels = {s.label for s in series}
+        assert labels == {"No Power Gating", "SCPG", "SCPG-Max"}
+        for s in series:
+            assert len(s.x) == len(s.y) == len(freqs)
+
+    def test_convergence_visible(self, mult_study):
+        """Fig. 6(a): the curves converge with rising frequency."""
+        freqs = [1e5, 14e6]
+        series = {s.label: s for s in power_series(mult_study.model,
+                                                   freqs)}
+        nopg = series["No Power Gating"].y
+        scpg = series["SCPG"].y
+        gap_low = nopg[0] - scpg[0]
+        gap_high = nopg[1] - scpg[1]
+        assert gap_high < 0.35 * gap_low
+
+
+class TestEnergySeries:
+    def test_energy_decreases_with_frequency(self, mult_study):
+        """Fig. 6(b): energy per operation falls as the clock rises."""
+        freqs = [1e5, 1e6, 5e6, 10e6]
+        series = {s.label: s for s in energy_series(mult_study.model,
+                                                    freqs)}
+        for s in series.values():
+            finite = [y for y in s.y if y is not None]
+            assert finite == sorted(finite, reverse=True)
+
+    def test_scpg_below_nopg(self, mult_study):
+        freqs = [1e5, 1e6]
+        series = {s.label: s for s in energy_series(mult_study.model,
+                                                    freqs)}
+        for a, b in zip(series["SCPG"].y, series["No Power Gating"].y):
+            assert a < b
+
+
+class TestSubvtSeries:
+    def test_u_shape(self, mult_study):
+        series = subvt_series(mult_study.subvt, 0.15, 0.9, steps=40)
+        min_idx = series.y.index(min(series.y))
+        assert 0 < min_idx < len(series.y) - 1
+
+
+class TestSwitchingSeries:
+    def test_from_trace(self, m0_study):
+        series = switching_series(m0_study.activity_trace)
+        assert len(series.x) == len(series.y)
+        assert len(series.y) >= 10
+        assert all(y >= 0 for y in series.y)
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        s1 = FigureSeries("sine", x=list(range(30)),
+                          y=[math.sin(i / 5) + 2 for i in range(30)])
+        s2 = FigureSeries("flat", x=list(range(30)), y=[2.0] * 30)
+        text = ascii_chart([s1, s2], width=40, height=10, title="demo")
+        assert "demo" in text
+        assert "* = sine" in text
+        assert "+ = flat" in text
+        assert text.count("\n") > 10
+
+    def test_log_scale(self):
+        s = FigureSeries("exp", x=[0, 1, 2, 3],
+                         y=[1e-12, 1e-11, 1e-10, 1e-9])
+        text = ascii_chart([s], logy=True, width=20, height=8)
+        assert "1e-12" in text or "1e-09" in text
+
+    def test_none_points_skipped(self):
+        s = FigureSeries("partial", x=[0, 1, 2], y=[1.0, None, 3.0])
+        text = ascii_chart([s], width=10, height=5)
+        assert "*" in text
+
+    def test_empty(self):
+        s = FigureSeries("empty", x=[], y=[])
+        assert "no plottable points" in ascii_chart([s])

@@ -1,0 +1,56 @@
+"""Design-size scaling study."""
+
+import pytest
+
+from repro.analysis.scaling import ScalingStudy, evaluate_width, \
+    scaling_study
+
+
+@pytest.fixture(scope="module")
+def study(lib):
+    return scaling_study(lib, widths=(6, 10, 16))
+
+
+class TestScalingStudy:
+    def test_points_per_width(self, study):
+        assert [p.width for p in study.points] == [6, 10, 16]
+
+    def test_gate_counts_grow_quadratically(self, study):
+        g = study.trend("comb_gates")
+        # 16/6 width ratio ~2.7 -> gates ratio ~7x.
+        assert g[-1] > 5 * g[0]
+
+    def test_comb_leak_tracks_gates(self, study):
+        gates = study.trend("comb_gates")
+        leaks = study.trend("comb_leak")
+        per_gate = [l / g for l, g in zip(leaks, gates)]
+        # Same cell mix: leakage per gate roughly constant.
+        assert max(per_gate) < 1.5 * min(per_gate)
+
+    def test_savings_grow_with_size(self, study):
+        saves = study.trend("saving_10k_pct")
+        assert saves == sorted(saves)
+        assert all(10 < s < 60 for s in saves)
+
+    def test_area_overhead_amortises(self, study):
+        areas = study.trend("area_overhead_pct")
+        assert areas == sorted(areas, reverse=True)
+
+    def test_overhead_energy_grows(self, study):
+        overheads = study.trend("overhead_energy")
+        assert overheads == sorted(overheads)
+
+    def test_single_point(self, lib):
+        point = evaluate_width(lib, 8)
+        assert point.width == 8
+        assert point.header_size in (1, 2, 4, 8)
+        assert point.savingmax_10k_pct > point.saving_10k_pct
+
+    def test_trend_ordering_by_size(self):
+        from repro.analysis.scaling import ScalingPoint
+
+        study = ScalingStudy(points=[
+            ScalingPoint(16, 500, 1, 1, 1, None, 1, 1, 2, 1),
+            ScalingPoint(8, 100, 2, 1, 1, None, 1, 1, 1, 1),
+        ])
+        assert study.trend("comb_leak") == [2, 1]  # ordered by gates

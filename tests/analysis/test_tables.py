@@ -1,0 +1,77 @@
+"""Table I/II builders and formatting."""
+
+import pytest
+
+from repro.analysis.tables import (
+    TABLE_I_FREQS,
+    TABLE_II_FREQS,
+    build_table,
+    format_table,
+)
+from repro.tech.calibration import MULTIPLIER_ANCHORS, relative_error
+
+
+class TestBuildTable:
+    def test_row_count_and_grid(self, mult_study):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        assert len(rows) == 8
+        assert [r.freq_hz for r in rows] == TABLE_I_FREQS
+
+    def test_energy_equals_power_over_freq(self, mult_study):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        for row in rows:
+            assert row.energy_nopg == pytest.approx(
+                row.power_nopg / row.freq_hz)
+
+    def test_savings_consistent(self, mult_study):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        for row in rows:
+            if row.power_scpg is None:
+                continue
+            expected = 100 * (row.power_nopg - row.power_scpg) \
+                / row.power_nopg
+            assert row.saving_scpg_pct == pytest.approx(expected)
+
+    def test_against_paper_table_i(self, mult_study):
+        """Row-by-row power comparison with Table I: the no-PG column must
+        match within 15%, the SCPG columns within 45% (shape claim)."""
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        for row, paper in zip(rows, MULTIPLIER_ANCHORS.rows):
+            assert relative_error(row.power_nopg, paper.power_nopg) < 0.15
+            if row.power_scpg is not None:
+                assert relative_error(
+                    row.power_scpg, paper.power_scpg) < 0.45
+
+    def test_savings_shrink_with_frequency(self, mult_study):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        savings = [r.saving_scpg_pct for r in rows
+                   if r.saving_scpg_pct is not None]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_low_frequency_savings_match_paper(self, mult_study):
+        """10 kHz row: paper 39.9% (SCPG) and 80.2% (SCPG-Max)."""
+        rows = build_table(mult_study.model, [0.01e6])
+        assert rows[0].saving_scpg_pct == pytest.approx(39.9, abs=6.0)
+        assert rows[0].saving_scpgmax_pct == pytest.approx(80.2, abs=8.0)
+
+    def test_m0_low_frequency_savings(self, m0_study):
+        """Table II 10 kHz row: 28.1% and 57.1%."""
+        rows = build_table(m0_study.model, [0.01e6])
+        assert rows[0].saving_scpg_pct == pytest.approx(28.1, abs=8.0)
+        assert rows[0].saving_scpgmax_pct == pytest.approx(57.1, abs=10.0)
+
+
+class TestFormatTable:
+    def test_layout(self, mult_study):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        text = format_table(rows, title="TABLE I")
+        lines = text.splitlines()
+        assert "TABLE I" in lines[0]
+        assert "(MHz)" in lines[2]
+        assert len(lines) == 4 + len(rows)
+
+    def test_infeasible_rendered_as_dash(self, mult_study):
+        # At the no-PG Fmax the SCPG columns are infeasible.
+        rows = build_table(mult_study.model, [mult_study.sta.fmax])
+        text = format_table(rows)
+        assert "-" in text.splitlines()[-1]

@@ -1,0 +1,165 @@
+"""The M0-lite core: structure and targeted instruction behaviours.
+
+Full randomised ISS-vs-netlist equivalence lives in
+``tests/integration/test_cosim_random.py``; these tests pin down specific
+architectural corners.
+"""
+
+import pytest
+
+from repro.circuits.m0lite import M0LITE_PORTS
+from repro.isa.assembler import assemble
+from repro.isa.trace import GateLevelCpu, cosimulate
+from repro.netlist.stats import module_stats
+from repro.netlist.validate import validate_module
+
+
+class TestStructure:
+    def test_valid(self, m0_module):
+        assert validate_module(m0_module).ok
+
+    def test_ports_match_contract(self, m0_module):
+        for name, width in M0LITE_PORTS.items():
+            if width == 0:
+                assert m0_module.has_port(name), name
+            else:
+                assert m0_module.has_port("{}_0".format(name))
+                assert m0_module.has_port("{}_{}".format(name, width - 1))
+
+    def test_scale(self, m0_module):
+        stats = module_stats(m0_module)
+        assert stats.comb_gates > 4500
+        assert stats.seq_cells >= 512 + 32  # regfile + PC at least
+
+
+def _run(core, source, memory=None, max_cycles=20_000):
+    result = cosimulate(core, assemble(source), memory,
+                        max_cycles=max_cycles)
+    assert result.ok, result.mismatches
+    return result
+
+
+class TestInstructions:
+    def test_movi_and_addi(self, m0_module):
+        _run(m0_module, """
+            movi r1, #200
+            addi r1, #-73
+            halt
+        """)
+
+    def test_all_alu_ops(self, m0_module):
+        _run(m0_module, """
+            movi r1, #170
+            movi r2, #5
+            mov  r3, r1
+            add  r3, r2
+            sub  r3, r2
+            and  r3, r1
+            orr  r3, r2
+            eor  r3, r1
+            lsl  r3, r2
+            lsr  r3, r2
+            asr  r3, r2
+            mul  r3, r1
+            mvn  r4, r3
+            cmp  r3, r4
+            halt
+        """)
+
+    def test_memory_roundtrip(self, m0_module):
+        result = _run(m0_module, """
+            movi r1, #64
+            movi r2, #123
+            str  r2, [r1, #0]
+            str  r2, [r1, #4]
+            ldr  r3, [r1, #4]
+            add  r3, r2
+            str  r3, [r1, #8]
+            halt
+        """)
+        assert result.instructions == 8
+
+    def test_backward_branch_loop(self, m0_module):
+        result = _run(m0_module, """
+            movi r1, #5
+            movi r2, #0
+        loop:
+            add  r2, r1
+            addi r1, #-1
+            bne  loop
+            halt
+        """)
+        # 5 loop iterations; taken branches cost 2 flush bubbles each.
+        assert result.cycles > result.instructions
+
+    def test_halt_stops_pipeline(self, m0_module):
+        core = m0_module
+        prog = assemble("""
+            movi r1, #1
+            halt
+            movi r1, #99
+        """)
+        gate = GateLevelCpu(core, prog)
+        gate.run()
+        assert gate.register(1) == 1  # shadow instruction never retires
+
+    def test_branch_shadow_squashed(self, m0_module):
+        _run(m0_module, """
+            movi r1, #0
+            b    over
+            movi r1, #66     ; must be flushed
+            movi r1, #77     ; must be flushed
+        over:
+            addi r1, #1
+            halt
+        """)
+
+    def test_flags_survive_intervening_loads(self, m0_module):
+        """Loads/stores must not disturb flags set by an earlier CMP."""
+        _run(m0_module, """
+            movi r1, #32
+            movi r2, #9
+            movi r3, #9
+            cmp  r2, r3       ; Z=1
+            str  r2, [r1, #0]
+            ldr  r4, [r1, #0]
+            beq  good
+            movi r5, #1
+            b    done
+        good:
+            movi r5, #2
+        done:
+            halt
+        """)
+
+    def test_unsigned_vs_signed_compare(self, m0_module):
+        _run(m0_module, """
+            movi r1, #0
+            addi r1, #-1      ; r1 = 0xFFFFFFFF (-1 signed, max unsigned)
+            movi r2, #1
+            movi r6, #0
+            movi r7, #0
+            cmp  r1, r2
+            blt  signed_less
+            b    check_unsigned
+        signed_less:
+            movi r6, #1
+        check_unsigned:
+            cmp  r1, r2
+            bgeu unsigned_ge
+            b    finish
+        unsigned_ge:
+            movi r7, #1
+        finish:
+            halt
+        """)
+
+    def test_cpi_reasonable(self, m0_module):
+        result = _run(m0_module, """
+            movi r1, #50
+        loop:
+            addi r1, #-1
+            bne  loop
+            halt
+        """)
+        assert 1.0 < result.cpi < 3.0

@@ -1,0 +1,27 @@
+"""Flow bookkeeping objects."""
+
+from repro.flows.base import FlowResult, StepReport
+
+
+class TestStepReport:
+    def test_log_and_render(self):
+        step = StepReport("synthesize")
+        step.log("hello")
+        step.metrics["cells"] = 42
+        text = str(step)
+        assert "[synthesize]" in text
+        assert "hello" in text
+        assert "cells = 42" in text
+
+
+class TestFlowResult:
+    def test_step_lookup_and_summary(self):
+        result = FlowResult("flow:x", design=None, flat=None)
+        result.steps.append(StepReport("a"))
+        result.steps.append(StepReport("b"))
+        result.metrics["area"] = 1.5
+        assert result.step("a") is result.steps[0]
+        assert result.step("missing") is None
+        text = result.summary()
+        assert "flow flow:x" in text
+        assert "area = 1.5" in text

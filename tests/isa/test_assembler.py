@@ -1,0 +1,115 @@
+"""The two-pass assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.encoding import Funct, Op, decode
+
+
+class TestBasics:
+    def test_simple_program(self):
+        words = assemble("""
+            movi r1, #10
+            addi r1, #-1
+            halt
+        """)
+        assert len(words) == 3
+        assert decode(words[0]).op is Op.MOVI
+        assert decode(words[1]).imm == -1
+        assert decode(words[2]).op is Op.SYS
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("""
+            ; full line comment
+            movi r1, #1   // trailing
+            // another
+
+            halt          ; done
+        """)
+        assert len(words) == 2
+
+    def test_all_alu_mnemonics(self):
+        source = "\n".join(
+            "{} r1, r2".format(f.name.lower()) for f in Funct)
+        words = assemble(source)
+        assert len(words) == len(Funct)
+        for word, funct in zip(words, Funct):
+            assert decode(word).funct is funct
+
+    def test_memory_operands(self):
+        words = assemble("""
+            ldr r1, [r2, #4]
+            ldr r1, [r2]
+            str r3, [r4, #60]
+        """)
+        i0, i1, i2 = (decode(w) for w in words)
+        assert (i0.rd, i0.rs, i0.imm) == (1, 2, 4)
+        assert i1.imm == 0
+        assert (i2.op, i2.imm) == (Op.STR, 60)
+
+    def test_dot_word(self):
+        words = assemble(".word 0xBEEF")
+        assert words == [0xBEEF]
+
+    def test_hex_immediates(self):
+        words = assemble("movi r1, #0x7F")
+        assert decode(words[0]).imm == 0x7F
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        words = assemble("""
+        loop:
+            addi r1, #-1
+            bne  loop
+        """)
+        assert decode(words[1]).imm == -2  # back over bne+addi
+
+    def test_forward_branch(self):
+        words = assemble("""
+            b    end
+            nop
+            nop
+        end:
+            halt
+        """)
+        assert decode(words[0]).imm == 2
+
+    def test_label_on_own_line(self):
+        words = assemble("""
+        start:
+            b start
+        """)
+        assert decode(words[0]).imm == -1
+
+    def test_numeric_offsets(self):
+        words = assemble("b #5\nb -3")
+        assert decode(words[0]).imm == 5
+        assert decode(words[1]).imm == -3
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x:\nnop\nx:\nnop")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError, match="unknown label"):
+            assemble("b nowhere")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad,msg", [
+        ("movi r16, #1", "bad register"),
+        ("movi rx, #1", "bad register"),
+        ("movi r1, #zzz", "bad immediate"),
+        ("frobnicate r1, r2", "unknown mnemonic"),
+        ("ldr r1, [bad]", "bad memory operand"),
+        ("movi r1", "missing operand"),
+        (".word 70000", "word out of range"),
+    ])
+    def test_messages(self, bad, msg):
+        with pytest.raises(AssemblyError, match=msg):
+            assemble(bad)
+
+    def test_line_numbers_reported(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")

@@ -1,0 +1,157 @@
+"""The instruction-set simulator (golden model)."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.assembler import assemble
+from repro.isa.cpu import M0LiteCpu
+
+MASK = 0xFFFFFFFF
+
+
+def _run(source, memory=None, max_steps=100_000):
+    cpu = M0LiteCpu(assemble(source), memory)
+    cpu.run(max_steps=max_steps)
+    return cpu
+
+
+class TestArithmetic:
+    def test_movi_addi(self):
+        cpu = _run("movi r1, #100\naddi r1, #-30\nhalt")
+        assert cpu.state.regs[1] == 70
+
+    def test_addi_wraps_32bit(self):
+        cpu = _run("movi r1, #0\naddi r1, #-1\nhalt")
+        assert cpu.state.regs[1] == MASK
+
+    def test_alu_suite(self):
+        cpu = _run("""
+            movi r1, #12
+            movi r2, #10
+            mov  r3, r1
+            mul  r3, r2     ; 120
+            movi r4, #3
+            lsl  r3, r4     ; 960
+            movi r5, #0xF0
+            and  r3, r5     ; 960 & 0xF0 = 0xC0
+            halt
+        """)
+        assert cpu.state.regs[3] == (((12 * 10) << 3) & 0xF0)
+
+    def test_mvn(self):
+        cpu = _run("movi r1, #0\nmvn r2, r1\nhalt")
+        assert cpu.state.regs[2] == MASK
+
+    def test_asr_sign_extends(self):
+        cpu = _run("""
+            movi r1, #0
+            addi r1, #-8     ; r1 = -8
+            movi r2, #2
+            asr  r1, r2      ; -2
+            halt
+        """)
+        assert cpu.state.regs[1] == (-2) & MASK
+
+
+class TestFlags:
+    def test_cmp_sets_without_writeback(self):
+        cpu = _run("movi r1, #5\nmovi r2, #5\ncmp r1, r2\nhalt")
+        assert cpu.state.flags["z"] is True
+        assert cpu.state.regs[1] == 5
+
+    def test_carry_semantics(self):
+        cpu = _run("movi r1, #9\nmovi r2, #3\ncmp r1, r2\nhalt")
+        assert cpu.state.flags["c"] is True  # no borrow
+        cpu = _run("movi r1, #3\nmovi r2, #9\ncmp r1, r2\nhalt")
+        assert cpu.state.flags["c"] is False
+
+    def test_movi_sets_nz_only(self):
+        cpu = _run("""
+            movi r1, #1
+            movi r2, #1
+            cmp  r1, r2      ; Z=1 C=1
+            movi r3, #5      ; NZ updated (Z=0), C preserved
+            halt
+        """)
+        assert cpu.state.flags["z"] is False
+        assert cpu.state.flags["c"] is True
+
+    def test_overflow(self):
+        cpu = _run("""
+            movi r1, #127
+            movi r2, #24
+            lsl  r1, r2      ; 127 << 24 = 0x7F000000
+            mov  r3, r1
+            add  r3, r1      ; 0xFE000000: pos+pos -> neg = overflow
+            halt
+        """)
+        assert cpu.state.flags["v"] is True
+
+
+class TestMemory:
+    def test_load_store(self):
+        cpu = _run("""
+            movi r1, #64
+            movi r2, #42
+            str  r2, [r1, #4]
+            ldr  r3, [r1, #4]
+            halt
+        """)
+        assert cpu.state.regs[3] == 42
+        assert cpu.memory[68] == 42
+
+    def test_uninitialised_reads_zero(self):
+        cpu = _run("movi r1, #0\nldr r2, [r1, #0]\nhalt")
+        assert cpu.state.regs[2] == 0
+
+    def test_initial_memory(self):
+        cpu = _run("movi r1, #8\nldr r2, [r1, #0]\nhalt",
+                   memory={8: 0xCAFE})
+        assert cpu.state.regs[2] == 0xCAFE
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(IsaError):
+            _run("movi r1, #2\nldr r2, [r1, #0]\nhalt")
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        cpu = _run("""
+            movi r1, #10
+            movi r2, #0
+        loop:
+            add  r2, r1
+            addi r1, #-1
+            bne  loop
+            halt
+        """)
+        assert cpu.state.regs[2] == sum(range(1, 11))
+
+    def test_unconditional_branch_skips(self):
+        cpu = _run("""
+            movi r1, #1
+            b    end
+            movi r1, #2
+        end:
+            halt
+        """)
+        assert cpu.state.regs[1] == 1
+
+    def test_fetch_past_end_is_nop_until_limit(self):
+        cpu = M0LiteCpu(assemble("movi r1, #1"))  # no halt
+        with pytest.raises(IsaError, match="did not halt"):
+            cpu.run(max_steps=100)
+
+    def test_writeback_log(self):
+        cpu = _run("movi r1, #5\nmovi r2, #6\nhalt")
+        assert cpu.writeback_log[:2] == [(1, 5), (2, 6)]
+
+    def test_state_copy_independent(self):
+        cpu = _run("movi r1, #5\nhalt")
+        snap = cpu.state.copy()
+        cpu.state.regs[1] = 99
+        assert snap.regs[1] == 5
+
+    def test_step_after_halt_is_none(self):
+        cpu = _run("halt")
+        assert cpu.step() is None

@@ -1,0 +1,103 @@
+"""M0-lite instruction encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IsaError
+from repro.isa.encoding import (
+    Cond,
+    Funct,
+    HALT_WORD,
+    Instruction,
+    NOP_WORD,
+    Op,
+    decode,
+    encode,
+    evaluate_cond,
+)
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("instr", [
+        Instruction(Op.MOVI, rd=3, imm=255),
+        Instruction(Op.MOVI, rd=15, imm=0),
+        Instruction(Op.ADDI, rd=7, imm=-128),
+        Instruction(Op.ADDI, rd=0, imm=127),
+        Instruction(Op.ALU, funct=Funct.MUL, rd=4, rs=11),
+        Instruction(Op.ALU, funct=Funct.CMP, rd=1, rs=2),
+        Instruction(Op.LDR, rd=5, rs=6, imm=60),
+        Instruction(Op.STR, rd=9, rs=10, imm=0),
+        Instruction(Op.B, imm=-2048),
+        Instruction(Op.B, imm=2047),
+        Instruction(Op.BCOND, cond=Cond.GEU, imm=-1),
+        Instruction(Op.SYS, imm=0),
+        Instruction(Op.SYS, imm=1),
+    ])
+    def test_roundtrip(self, instr):
+        word = encode(instr)
+        assert 0 <= word <= 0xFFFF
+        back = decode(word)
+        assert back.op == instr.op
+        assert back.rd == instr.rd or instr.op in (Op.B, Op.BCOND, Op.SYS)
+        assert back.imm == instr.imm
+
+    def test_nop_halt_words(self):
+        assert encode(Instruction(Op.SYS, imm=0)) == NOP_WORD
+        assert encode(Instruction(Op.SYS, imm=1)) == HALT_WORD
+        assert decode(NOP_WORD).imm == 0
+        assert decode(HALT_WORD).imm == 1
+
+    @pytest.mark.parametrize("instr", [
+        Instruction(Op.MOVI, rd=1, imm=256),
+        Instruction(Op.ADDI, rd=1, imm=128),
+        Instruction(Op.LDR, rd=1, rs=2, imm=64),
+        Instruction(Op.STR, rd=1, rs=2, imm=6),   # unaligned
+        Instruction(Op.B, imm=2048),
+        Instruction(Op.BCOND, cond=Cond.EQ, imm=-129),
+    ])
+    def test_out_of_range(self, instr):
+        with pytest.raises(IsaError):
+            encode(instr)
+
+    def test_decode_rejects_bad_funct(self):
+        word = (2 << 12) | (0xF << 8)
+        with pytest.raises(IsaError):
+            decode(word)
+
+    def test_decode_rejects_bad_word(self):
+        with pytest.raises(IsaError):
+            decode(0x10000)
+
+    @given(st.integers(0, 0xFFFF))
+    def test_decode_total_or_error(self, word):
+        """decode either returns a re-encodable instruction or raises."""
+        try:
+            instr = decode(word)
+        except IsaError:
+            return
+        word2 = encode(instr)
+        assert decode(word2) == instr
+
+    def test_str_rendering(self):
+        assert str(decode(encode(Instruction(Op.MOVI, rd=2, imm=7)))) \
+            == "movi r2, #7"
+        assert "ldr" in str(Instruction(Op.LDR, rd=1, rs=2, imm=3))
+        assert str(Instruction(Op.SYS, imm=1)) == "halt"
+
+
+class TestConditions:
+    @pytest.mark.parametrize("cond,flags,expected", [
+        (Cond.EQ, dict(n=0, z=1, c=0, v=0), True),
+        (Cond.EQ, dict(n=0, z=0, c=0, v=0), False),
+        (Cond.NE, dict(n=0, z=0, c=0, v=0), True),
+        (Cond.LT, dict(n=1, z=0, c=0, v=0), True),
+        (Cond.LT, dict(n=1, z=0, c=0, v=1), False),
+        (Cond.GE, dict(n=1, z=0, c=0, v=1), True),
+        (Cond.LTU, dict(n=0, z=0, c=0, v=0), True),
+        (Cond.GEU, dict(n=0, z=0, c=1, v=0), True),
+        (Cond.MI, dict(n=1, z=0, c=0, v=0), True),
+        (Cond.PL, dict(n=0, z=0, c=0, v=0), True),
+    ])
+    def test_evaluate(self, cond, flags, expected):
+        flags = {k: bool(v) for k, v in flags.items()}
+        assert evaluate_cond(cond, flags) == expected

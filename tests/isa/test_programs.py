@@ -1,0 +1,63 @@
+"""Dhrystone-lite workload."""
+
+import pytest
+
+from repro.isa.cpu import M0LiteCpu
+from repro.isa.programs import (
+    DHRYSTONE_ITERATIONS,
+    dhrystone_memory,
+    dhrystone_program,
+)
+from repro.isa.programs.dhrystone import DST_BASE, RESULT_BASE, SRC_BASE
+
+
+class TestDhrystone:
+    def test_assembles(self):
+        words = dhrystone_program()
+        assert 40 < len(words) < 200
+        assert all(0 <= w <= 0xFFFF for w in words)
+
+    def test_runs_to_halt_on_iss(self):
+        cpu = M0LiteCpu(dhrystone_program(5), dhrystone_memory())
+        retired = cpu.run()
+        assert cpu.state.halted
+        assert retired > 5 * 30  # a few dozen instructions per iteration
+
+    def test_copies_source_buffer(self):
+        cpu = M0LiteCpu(dhrystone_program(2), dhrystone_memory())
+        cpu.run()
+        src = dhrystone_memory()
+        for i in range(8):
+            assert cpu.memory[DST_BASE + 4 * i] == src[SRC_BASE + 4 * i]
+
+    def test_results_stored(self):
+        cpu = M0LiteCpu(dhrystone_program(3), dhrystone_memory())
+        cpu.run()
+        assert RESULT_BASE in cpu.memory       # checksum
+        assert RESULT_BASE + 4 in cpu.memory   # final seed
+        assert cpu.memory[RESULT_BASE] != 0
+
+    def test_deterministic(self):
+        runs = []
+        for _ in range(2):
+            cpu = M0LiteCpu(dhrystone_program(4), dhrystone_memory())
+            cpu.run()
+            runs.append((cpu.memory[RESULT_BASE], cpu.retired))
+        assert runs[0] == runs[1]
+
+    def test_iteration_scaling(self):
+        short = M0LiteCpu(dhrystone_program(2), dhrystone_memory())
+        long = M0LiteCpu(dhrystone_program(8), dhrystone_memory())
+        short.run()
+        long.run()
+        assert long.retired > 3 * short.retired
+
+    def test_default_matches_paper_vector_count(self):
+        """The default run must land near the paper's 3700 vectors
+        (gate-level cycles); the ISS count times typical CPI bounds it."""
+        cpu = M0LiteCpu(dhrystone_program(DHRYSTONE_ITERATIONS),
+                        dhrystone_memory())
+        cpu.run()
+        # Gate-level CPI is ~1.2; the cycle-count check lives in the
+        # integration suite.  Here: instruction count in a sane band.
+        assert 2500 <= cpu.retired <= 3600

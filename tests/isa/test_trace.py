@@ -1,0 +1,96 @@
+"""Gate-level CPU wrapper and co-simulation plumbing."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.trace import GateLevelCpu, cosimulate
+
+
+class TestGateLevelCpu:
+    def test_reset_state(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("halt"))
+        assert not gate.halted
+        assert gate.register(0) == 0
+
+    def test_run_to_halt(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("movi r1, #9\nhalt"))
+        cycles = gate.run()
+        assert gate.halted
+        assert cycles >= 4  # pipeline fill + two instructions
+        assert gate.register(1) == 9
+
+    def test_registers_list(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("""
+            movi r14, #3
+            movi r15, #4
+            halt
+        """))
+        gate.run()
+        regs = gate.registers()
+        assert regs[14] == 3 and regs[15] == 4
+
+    def test_memory_writes_committed(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("""
+            movi r1, #32
+            movi r2, #7
+            str  r2, [r1, #0]
+            halt
+        """))
+        gate.run()
+        assert gate.memory[32] == 7
+
+    def test_max_cycles_guard(self, m0_module):
+        from repro.errors import SimulationError
+
+        gate = GateLevelCpu(m0_module, assemble("""
+        spin:
+            b spin
+        """))
+        with pytest.raises(SimulationError, match="halt"):
+            gate.run(max_cycles=50)
+
+    def test_activity_trace_produced(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("""
+            movi r1, #25
+        loop:
+            addi r1, #-1
+            bne  loop
+            halt
+        """), group_size=10)
+        gate.run()
+        trace = gate.activity_trace()
+        assert len(trace.groups) >= 5
+        assert all(g.switching_probability > 0 for g in trace.groups)
+
+
+class TestCosimulate:
+    def test_result_fields(self, m0_module):
+        result = cosimulate(m0_module, assemble("""
+            movi r1, #2
+            movi r2, #3
+            mul  r1, r2
+            halt
+        """))
+        assert result.ok
+        assert result.registers_match and result.memory_match
+        assert result.instructions == 4
+        assert result.cycles >= result.instructions
+        assert result.cpi == pytest.approx(
+            result.cycles / result.instructions)
+        assert result.trace is not None
+
+    def test_detects_divergence_via_memory(self, m0_module):
+        """Same program, different initial memory on the two sides would
+        diverge -- emulate by checking a store-dependent result."""
+        result = cosimulate(
+            m0_module,
+            assemble("""
+                movi r1, #16
+                ldr  r2, [r1, #0]
+                addi r2, #1
+                str  r2, [r1, #0]
+                halt
+            """),
+            memory={16: 41},
+        )
+        assert result.ok

@@ -1,0 +1,177 @@
+"""Netlist object model: modules, nets, ports, instances, hierarchy."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.core import Design, Module, PortDirection
+
+
+class TestNetsAndPorts:
+    def test_input_port_drives_its_net(self, lib):
+        m = Module("m")
+        net = m.add_input("a")
+        assert net.is_driven
+        assert m.port("a").direction is PortDirection.INPUT
+
+    def test_output_port_loads_its_net(self, lib):
+        m = Module("m")
+        net = m.add_output("y")
+        assert not net.is_driven
+        assert net.fanout() == 1  # the port itself
+
+    def test_duplicate_port_rejected(self):
+        m = Module("m")
+        m.add_input("a")
+        with pytest.raises(NetlistError):
+            m.add_port("a", PortDirection.OUTPUT)
+
+    def test_duplicate_net_rejected(self):
+        m = Module("m")
+        m.add_net("n")
+        with pytest.raises(NetlistError):
+            m.add_net("n")
+
+    def test_auto_net_names_unique(self):
+        m = Module("m")
+        names = {m.add_net().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_const_nets_shared(self):
+        m = Module("m")
+        assert m.const(0) is m.const(0)
+        assert m.const(1) is not m.const(0)
+        assert m.const(1).const_value == 1
+        assert m.const(0).is_driven
+
+    def test_const_range(self):
+        m = Module("m")
+        with pytest.raises(NetlistError):
+            m.const(2)
+
+    def test_unknown_lookups_raise(self):
+        m = Module("m")
+        with pytest.raises(NetlistError):
+            m.net("ghost")
+        with pytest.raises(NetlistError):
+            m.port("ghost")
+        with pytest.raises(NetlistError):
+            m.instance("ghost")
+
+
+class TestInstances:
+    def test_connectivity_bookkeeping(self, lib):
+        m = Module("m")
+        a, b = m.add_input("a"), m.add_input("b")
+        y = m.add_net("y")
+        inst = m.add_instance("g", "NAND2_X1", {"A": a, "B": b, "Y": y},
+                              library=lib)
+        assert y.driver == (inst, "Y")
+        assert (inst, "A") in a.loads
+        assert inst.net("A") is a
+        assert inst.net("Z") is None
+        assert inst.ref_name == "NAND2_X1"
+
+    def test_multiple_drivers_rejected(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        y = m.add_net("y")
+        m.add_instance("g1", "INV_X1", {"A": a, "Y": y}, library=lib)
+        with pytest.raises(NetlistError):
+            m.add_instance("g2", "INV_X1", {"A": a, "Y": y}, library=lib)
+
+    def test_driving_const_rejected(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        with pytest.raises(NetlistError):
+            m.add_instance("g", "INV_X1", {"A": a, "Y": m.const(0)},
+                           library=lib)
+
+    def test_duplicate_instance_rejected(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        m.add_instance("g", "INV_X1", {"A": a, "Y": m.add_net()},
+                       library=lib)
+        with pytest.raises(NetlistError):
+            m.add_instance("g", "INV_X1", {"A": a, "Y": m.add_net()},
+                           library=lib)
+
+    def test_cell_name_requires_library(self):
+        m = Module("m")
+        with pytest.raises(NetlistError):
+            m.add_instance("g", "INV_X1", {})
+
+    def test_foreign_net_rejected(self, lib):
+        m1, m2 = Module("m1"), Module("m2")
+        a = m1.add_input("a")
+        with pytest.raises(NetlistError):
+            m2.add_instance("g", "INV_X1", {"A": a, "Y": m2.add_net()},
+                            library=lib)
+
+    def test_remove_instance_detaches(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        y = m.add_net("y")
+        inst = m.add_instance("g", "INV_X1", {"A": a, "Y": y}, library=lib)
+        m.remove_instance("g")
+        assert y.driver is None
+        assert (inst, "A") not in a.loads
+        assert not any(i.name == "g" for i in m.instances())
+
+
+class TestHierarchyAndFlatten:
+    def _hier(self, lib):
+        child = Module("child")
+        ca = child.add_input("a")
+        cy = child.add_output("y")
+        child.add_instance("inv", "INV_X1", {"A": ca, "Y": cy}, library=lib)
+
+        top = Module("top")
+        a = top.add_input("a")
+        y = top.add_output("y")
+        mid = top.add_net("mid")
+        top.add_instance("u0", child, {"a": a, "y": mid})
+        top.add_instance("u1", child, {"a": mid, "y": y})
+        return Design(top, lib)
+
+    def test_design_registers_modules(self, lib):
+        d = self._hier(lib)
+        assert set(d.modules) == {"top", "child"}
+
+    def test_flatten_structure(self, lib):
+        flat = self._hier(lib).flatten()
+        names = sorted(i.name for i in flat.top.instances())
+        assert names == ["u0/inv", "u1/inv"]
+        assert all(i.is_cell for i in flat.top.instances())
+
+    def test_flatten_preserves_function(self, lib):
+        from repro.sim.event import Simulator
+
+        flat = self._hier(lib).flatten()
+        sim = Simulator(flat.top)
+        sim.set_input("a", 1)
+        assert sim.value("y") == 1  # double inversion
+        sim.set_input("a", 0)
+        assert sim.value("y") == 0
+
+    def test_flatten_maps_constants(self, lib):
+        child = Module("c")
+        cy = child.add_output("y")
+        child.add_instance("g", "OR2_X1",
+                           {"A": child.const(1), "B": child.const(0),
+                            "Y": cy}, library=lib)
+        top = Module("t")
+        y = top.add_output("y")
+        top.add_instance("u", child, {"y": y})
+        flat = Design(top, lib).flatten()
+        g = flat.top.instance("u/g")
+        assert g.net("A").const_value == 1
+        assert g.net("B").const_value == 0
+
+    def test_two_modules_same_name_rejected(self, lib):
+        m1 = Module("dup")
+        m2 = Module("dup")
+        top = Module("top")
+        top.add_instance("u0", m1, {})
+        top.add_instance("u1", m2, {})
+        with pytest.raises(NetlistError):
+            Design(top, lib)

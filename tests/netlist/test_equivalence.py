@@ -1,0 +1,95 @@
+"""Simulation-based equivalence checking."""
+
+import pytest
+
+from repro.circuits.builder import new_module
+from repro.errors import NetlistError
+from repro.netlist.equivalence import check_equivalence
+
+
+def _xor_direct(lib):
+    module, b = new_module("x1", lib)
+    a = module.add_input("a")
+    c = module.add_input("b")
+    y = module.add_output("y")
+    b.cell("XOR2_X1", A=a, B=c, Y=y)
+    return module
+
+
+def _xor_from_nands(lib):
+    """XOR built from four NANDs: structurally different, same function."""
+    module, b = new_module("x2", lib)
+    a = module.add_input("a")
+    c = module.add_input("b")
+    y = module.add_output("y")
+    n1 = b.nand2(a, c)
+    n2 = b.nand2(a, n1)
+    n3 = b.nand2(c, n1)
+    b.cell("NAND2_X1", A=n2, B=n3, Y=y)
+    return module
+
+
+def _and_gate(lib):
+    module, b = new_module("x3", lib)
+    a = module.add_input("a")
+    c = module.add_input("b")
+    y = module.add_output("y")
+    b.cell("AND2_X1", A=a, B=c, Y=y)
+    return module
+
+
+class TestCombinational:
+    def test_equivalent_structures(self, lib):
+        report = check_equivalence(_xor_direct(lib), _xor_from_nands(lib))
+        assert report.equivalent
+        assert report.mode == "exhaustive"
+        assert report.vectors == 4
+
+    def test_detects_difference(self, lib):
+        report = check_equivalence(_xor_direct(lib), _and_gate(lib))
+        assert not report.equivalent
+        assert report.mismatches
+        assert "y" in report.mismatches[0]
+
+    def test_port_mismatch_rejected(self, lib):
+        module, b = new_module("x4", lib)
+        a = module.add_input("a")
+        y = module.add_output("y")
+        b.inv(a, y=y)
+        with pytest.raises(NetlistError):
+            check_equivalence(_xor_direct(lib), module)
+
+    def test_random_mode_for_wide_inputs(self, lib, mult_module):
+        from repro.circuits.multiplier import build_mult16
+
+        comb_a = build_mult16(lib, registered=False)
+        comb_b = build_mult16(lib, registered=False, name="mult16b")
+        comb_b.name = comb_a.name  # names don't matter, ports do
+        report = check_equivalence(comb_a, comb_b, vectors=40)
+        assert report.equivalent
+        assert report.mode == "random"
+
+    def test_report_str(self, lib):
+        text = str(check_equivalence(_xor_direct(lib), _and_gate(lib)))
+        assert "DIFFERENT" in text
+
+
+class TestSequential:
+    def test_clocked_equivalence(self, lib):
+        from repro.circuits.counters import build_counter
+
+        a = build_counter(lib, width=5)
+        b = build_counter(lib, width=5)
+        report = check_equivalence(a, b, vectors=40, clock="clk")
+        assert report.equivalent
+
+    def test_clocked_difference_found(self, lib):
+        from repro.circuits.counters import build_counter, build_lfsr
+
+        # Same port shapes only if widths chosen right; counter vs lfsr
+        # share clk + q bus at width 16.
+        a = build_counter(lib, width=16)
+        b = build_lfsr(lib, width=16)
+        b.name = a.name
+        report = check_equivalence(a, b, vectors=10, clock="clk")
+        assert not report.equivalent

@@ -1,0 +1,41 @@
+"""Gate-count / area / leakage roll-ups."""
+
+import pytest
+
+from repro.netlist.stats import module_stats
+
+
+class TestModuleStats:
+    def test_toy(self, toy_design):
+        stats = module_stats(toy_design.top)
+        assert stats.cells == 3
+        assert stats.comb_gates == 2
+        assert stats.seq_cells == 1
+        assert stats.by_cell == {"NAND2_X1": 1, "DFF_X1": 1, "INV_X1": 1}
+        assert stats.area > 0
+        assert stats.leakage_nominal > 0
+
+    def test_multiplier_matches_paper_scale(self, mult_module):
+        stats = module_stats(mult_module)
+        # Paper: 556 combinational gates, 64 operand/product registers.
+        assert 400 <= stats.comb_gates <= 700
+        assert stats.seq_cells == 64
+
+    def test_m0_matches_paper_scale(self, m0_module):
+        stats = module_stats(m0_module)
+        # Paper: 6747 combinational gates.
+        assert 4500 <= stats.comb_gates <= 8500
+        assert stats.seq_cells > 500  # regfile alone is 512
+
+    def test_hierarchy_rolls_up(self, toy_design, lib):
+        from repro.netlist.transform import split_combinational
+
+        flat_stats = module_stats(toy_design.top)
+        split = split_combinational(toy_design)
+        hier_stats = module_stats(split.top)
+        assert hier_stats.by_cell == flat_stats.by_cell
+        assert hier_stats.area == pytest.approx(flat_stats.area)
+
+    def test_str(self, toy_design):
+        text = str(module_stats(toy_design.top))
+        assert "3 cells" in text

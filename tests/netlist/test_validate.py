@@ -1,0 +1,82 @@
+"""Netlist lint."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.core import Module
+from repro.netlist.validate import validate_module
+
+
+class TestValidate:
+    def test_clean_design(self, toy_design):
+        report = validate_module(toy_design.top)
+        assert report.ok
+        assert report.errors == []
+        report.raise_if_errors()  # no-op
+
+    def test_floating_input_is_error(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        y = m.add_net("y")
+        m.add_instance("g", "NAND2_X1", {"A": a, "Y": y}, library=lib)
+        report = validate_module(m)
+        assert not report.ok
+        assert any("input pin B" in e for e in report.errors)
+        with pytest.raises(NetlistError):
+            report.raise_if_errors()
+
+    def test_undriven_loaded_net_is_error(self, lib):
+        m = Module("m")
+        ghost = m.add_net("ghost")
+        y = m.add_net("y")
+        m.add_instance("g", "INV_X1", {"A": ghost, "Y": y}, library=lib)
+        report = validate_module(m)
+        assert any("no driver" in e for e in report.errors)
+
+    def test_dangling_net_is_warning(self, lib):
+        m = Module("m")
+        a = m.add_input("a")
+        m.add_instance("g", "INV_X1", {"A": a, "Y": m.add_net("dang")},
+                       library=lib)
+        report = validate_module(m)
+        assert report.ok
+        assert any("dangling" in w for w in report.warnings)
+
+    def test_undriven_output_port_is_warning(self):
+        m = Module("m")
+        m.add_output("y")
+        report = validate_module(m)
+        assert any("undriven" in w for w in report.warnings)
+
+    def test_comb_loop_reported(self, lib):
+        m = Module("m")
+        a = m.add_net("a")
+        b = m.add_net("b")
+        m.add_instance("i1", "INV_X1", {"A": a, "Y": b}, library=lib)
+        m.add_instance("i2", "INV_X1", {"A": b, "Y": a}, library=lib)
+        report = validate_module(m)
+        assert any("loop" in e for e in report.errors)
+
+    def test_loop_check_can_be_skipped(self, lib):
+        m = Module("m")
+        a = m.add_net("a")
+        b = m.add_net("b")
+        m.add_instance("i1", "INV_X1", {"A": a, "Y": b}, library=lib)
+        m.add_instance("i2", "INV_X1", {"A": b, "Y": a}, library=lib)
+        report = validate_module(m, check_loops=False)
+        assert report.ok
+
+    def test_hierarchical_flagged(self, toy_design):
+        from repro.netlist.transform import split_combinational
+
+        split = split_combinational(toy_design)
+        report = validate_module(split.top)
+        assert any("hierarchical" in e for e in report.errors)
+
+    def test_str_rendering(self, toy_design):
+        text = str(validate_module(toy_design.top))
+        assert "validation of toy: ok" in text
+
+    def test_generated_designs_clean(self, mult_module, m0_module):
+        assert validate_module(mult_module).ok
+        assert validate_module(m0_module).ok

@@ -1,0 +1,88 @@
+"""Sleep-transistor sizing (the paper's §III header study)."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power.headers import (
+    HeaderNetwork,
+    evaluate_header_sizes,
+    peak_current,
+    size_header_network,
+)
+from repro.power.rails import VirtualRailModel
+from repro.sta.analysis import TimingAnalysis
+
+
+class TestHeaderNetwork:
+    def test_parallel_resistance(self, lib):
+        net = HeaderNetwork(cell=lib.cell("HEADER_X2"), count=10, vdd=0.6)
+        assert net.ron == pytest.approx(
+            lib.cell("HEADER_X2").header_ron / 10)
+
+    def test_aggregates(self, lib):
+        cell = lib.cell("HEADER_X4")
+        net = HeaderNetwork(cell=cell, count=3, vdd=0.6)
+        assert net.total_width == pytest.approx(3 * cell.header_width)
+        assert net.gate_cap == pytest.approx(3 * cell.c_internal)
+        assert net.area == pytest.approx(3 * cell.area)
+        assert net.leakage_off == pytest.approx(3 * cell.leakage)
+
+    def test_ir_drop(self, lib):
+        net = HeaderNetwork(cell=lib.cell("HEADER_X1"), count=1, vdd=0.6)
+        assert net.ir_drop(1e-3) == pytest.approx(1e-3 * net.ron)
+
+
+class TestPeakCurrent:
+    def test_formula(self):
+        i = peak_current(2e-12, 30e-9, 0.6, crest=10)
+        assert i == pytest.approx(10 * 2e-12 / (0.6 * 30e-9))
+
+    def test_invalid(self):
+        with pytest.raises(PowerError):
+            peak_current(1e-12, 0, 0.6)
+
+
+class TestSizingStudy:
+    def _study(self, lib, module, e_cycle):
+        rail = VirtualRailModel(module, lib)
+        sta = TimingAnalysis(module, lib).run()
+        return size_header_network(lib, rail, e_cycle, sta.eval_delay)
+
+    def test_multiplier_picks_x2(self, lib, mult_module, mult_study):
+        sizings, best = self._study(lib, mult_module, mult_study.e_cycle)
+        assert best.size == 2  # paper's finding
+
+    def test_m0_picks_x4(self, lib, m0_module, m0_study):
+        sizings, best = self._study(lib, m0_module, m0_study.e_cycle)
+        assert best.size == 4  # paper's finding
+
+    def test_ir_drop_falls_with_size(self, lib, mult_module, mult_study):
+        sizings = evaluate_header_sizes(
+            lib, VirtualRailModel(mult_module, lib), mult_study.e_cycle,
+            TimingAnalysis(mult_module, lib).run().eval_delay)
+        drops = [s.ir_drop for s in sizings]
+        assert drops == sorted(drops, reverse=True)
+
+    def test_oversizing_penalties_rise(self, lib, mult_module, mult_study):
+        sizings = evaluate_header_sizes(
+            lib, VirtualRailModel(mult_module, lib), mult_study.e_cycle,
+            TimingAnalysis(mult_module, lib).run().eval_delay)
+        inrush = [s.inrush_current for s in sizings]
+        areas = [s.area for s in sizings]
+        leaks = [s.leakage_off for s in sizings]
+        assert inrush == sorted(inrush)
+        assert areas == sorted(areas)
+        assert leaks == sorted(leaks)
+
+    def test_best_meets_budget(self, lib, mult_module, mult_study):
+        _sizings, best = self._study(lib, mult_module, mult_study.e_cycle)
+        assert best.meets_budget
+        assert best.ir_drop_fraction <= 0.05
+
+    def test_fallback_to_largest_when_nothing_meets(self, lib,
+                                                    mult_module):
+        rail = VirtualRailModel(mult_module, lib)
+        # Absurd switched energy: nothing meets the budget.
+        _sizings, best = size_header_network(lib, rail, 1e-9, 1e-9)
+        assert best.size == 8
+        assert not best.meets_budget

@@ -1,0 +1,77 @@
+"""Leakage analysis."""
+
+import pytest
+
+from repro.power.leakage import GATABLE_KINDS, leakage_power
+from repro.sim.event import Simulator
+from repro.tech.library import CellKind
+
+
+class TestAverageLeakage:
+    def test_totals_add_up(self, mult_module, lib):
+        report = leakage_power(mult_module, lib)
+        assert report.total == pytest.approx(
+            sum(report.by_kind.values()))
+        assert report.total == pytest.approx(sum(report.by_cell.values()))
+
+    def test_split_properties(self, mult_module, lib):
+        report = leakage_power(mult_module, lib)
+        assert report.combinational > 0
+        assert report.always_on > 0
+        assert report.headers == 0.0  # no headers yet
+        assert report.total == pytest.approx(
+            report.combinational + report.always_on + report.headers)
+
+    def test_gatable_kinds_sane(self):
+        assert CellKind.COMBINATIONAL in GATABLE_KINDS
+        assert CellKind.SEQUENTIAL not in GATABLE_KINDS
+        assert CellKind.ISOLATION not in GATABLE_KINDS
+
+    def test_voltage_scaling(self, mult_module, lib):
+        nom = leakage_power(mult_module, lib)
+        low = leakage_power(mult_module, lib, vdd=0.4)
+        high = leakage_power(mult_module, lib, vdd=0.9)
+        assert low.total < nom.total < high.total
+        assert low.total / nom.total == pytest.approx(
+            lib.leakage_scale(0.4), rel=1e-6)
+
+    def test_temperature_scaling(self, mult_module, lib):
+        nom = leakage_power(mult_module, lib)
+        hot = leakage_power(mult_module, lib, temp_c=85.0)
+        assert hot.total > 2 * nom.total  # leakage is strongly thermal
+
+    def test_str(self, mult_module, lib):
+        text = str(leakage_power(mult_module, lib))
+        assert "leakage @" in text
+
+
+class TestStateDependentLeakage:
+    def test_state_changes_total(self, mult_module, lib):
+        sim = Simulator(mult_module)
+        sim.force_flop_state(0)
+        from repro.sim.testbench import bus_values
+
+        sim.set_inputs({**bus_values("a", 16, 0), **bus_values("b", 16, 0),
+                        "clk": 0})
+        low = leakage_power(mult_module, lib,
+                            state=sim.state_snapshot())
+
+        sim.set_inputs({**bus_values("a", 16, 0xFFFF),
+                        **bus_values("b", 16, 0xFFFF)})
+        sim.set_input("clk", 1)
+        sim.set_input("clk", 0)
+        high = leakage_power(mult_module, lib,
+                             state=sim.state_snapshot())
+
+        # All-ones operands turn on far more transistors (stack effect).
+        assert high.total > low.total
+
+    def test_state_bounded_by_extremes(self, toy_design, lib):
+        avg = leakage_power(toy_design.top, lib)
+        sim = Simulator(toy_design.top)
+        sim.force_flop_state(0)
+        sim.set_inputs({"a": 0, "b": 0, "clk": 0})
+        stated = leakage_power(toy_design.top, lib,
+                               state=sim.state_snapshot())
+        # State-dependent values stay within the library's 0.7..1.3 band.
+        assert 0.5 * avg.total < stated.total < 1.5 * avg.total

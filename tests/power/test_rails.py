@@ -1,0 +1,80 @@
+"""Virtual-rail model."""
+
+import pytest
+
+from repro.power.rails import RailParams, VirtualRailModel
+
+
+@pytest.fixture(scope="module")
+def rail(lib, mult_module):
+    return VirtualRailModel(mult_module, lib)
+
+
+class TestSwing:
+    def test_zero_time_no_swing(self, rail):
+        assert rail.swing_fraction(0.0) == 0.0
+        assert rail.swing_fraction(-1.0) == 0.0
+
+    def test_monotone_saturating(self, rail):
+        s1 = rail.swing_fraction(1e-9)
+        s2 = rail.swing_fraction(10e-9)
+        s3 = rail.swing_fraction(1e-6)
+        assert 0 < s1 < s2 < s3
+        assert s3 == rail.params.full_swing_fraction  # capped
+
+    def test_time_constant(self, lib, mult_module):
+        params = RailParams(tau_collapse=10e-9, full_swing_fraction=1.0)
+        rail = VirtualRailModel(mult_module, lib, params)
+        assert rail.swing_fraction(10e-9) == pytest.approx(
+            1 - 0.3679, rel=1e-3)
+
+
+class TestLeakTime:
+    def test_short_window_leaks_almost_fully(self, rail):
+        t = 0.1e-9
+        assert rail.effective_leak_time(t) == pytest.approx(t, rel=0.05)
+
+    def test_long_window_saturates_at_tau(self, rail):
+        assert rail.effective_leak_time(1e-3) == pytest.approx(
+            rail.params.tau_collapse)
+
+    def test_never_exceeds_window(self, rail):
+        for t in (1e-10, 1e-9, 5e-9, 50e-9):
+            assert rail.effective_leak_time(t) <= t
+
+
+class TestOverheadEnergies:
+    def test_recharge_scales_with_swing(self, rail):
+        short = rail.recharge_energy(0.6, 1e-9)
+        long = rail.recharge_energy(0.6, 100e-9)
+        assert short < long
+        assert long == pytest.approx(
+            rail.c_rail * 0.36 * rail.params.full_swing_fraction)
+
+    def test_crowbar_superlinear_in_gates(self, lib, mult_module,
+                                          m0_module):
+        mult_rail = VirtualRailModel(mult_module, lib)
+        m0_rail = VirtualRailModel(m0_module, lib)
+        gate_ratio = m0_rail.n_gates / mult_rail.n_gates
+        energy_ratio = m0_rail.crowbar_energy(0.6, 1e-6) \
+            / mult_rail.crowbar_energy(0.6, 1e-6)
+        # Paper: crowbar is "more significant in a larger design".
+        assert energy_ratio > gate_ratio
+
+    def test_cycle_overhead_composition(self, rail):
+        base = rail.cycle_overhead(0.6, 50e-9)
+        with_hdr = rail.cycle_overhead(0.6, 50e-9, header_gate_cap=1e-12)
+        assert with_hdr == pytest.approx(base + 1e-12 * 0.36)
+
+    def test_quadratic_voltage(self, rail):
+        e1 = rail.recharge_energy(0.3, 1e-6)
+        e2 = rail.recharge_energy(0.6, 1e-6)
+        assert e2 == pytest.approx(4 * e1)
+
+    def test_m0_overhead_dwarfs_multiplier(self, lib, mult_module,
+                                           m0_module):
+        """The overhead gap drives the different convergence points
+        (~15 MHz vs ~5 MHz)."""
+        mult = VirtualRailModel(mult_module, lib).cycle_overhead(0.6, 1e-6)
+        m0 = VirtualRailModel(m0_module, lib).cycle_overhead(0.6, 1e-6)
+        assert m0 > 6 * mult

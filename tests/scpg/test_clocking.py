@@ -1,0 +1,84 @@
+"""SCPG intra-cycle timing (Fig. 4)."""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.power.rails import RailParams, VirtualRailModel
+from repro.scpg.clocking import (
+    ScpgTimingParams,
+    check_hold,
+    gated_window,
+    scpg_feasible,
+    scpg_max_frequency,
+    timing_from_sta,
+)
+from repro.sta.constraints import ClockSpec
+
+TIMING = ScpgTimingParams(
+    t_eval=30e-9, t_setup=0.5e-9, t_hold=0.15e-9, t_pgstart=1e-9)
+
+
+class TestTimingParams:
+    def test_low_phase_demand(self):
+        assert TIMING.low_phase_demand == pytest.approx(31.5e-9)
+
+    def test_scaled(self):
+        double = TIMING.scaled(2.0)
+        assert double.t_eval == pytest.approx(60e-9)
+        assert double.low_phase_demand == pytest.approx(63e-9)
+
+
+class TestFeasibility:
+    def test_50pct_duty_boundary(self):
+        fmax = scpg_max_frequency(TIMING, duty=0.5)
+        assert scpg_feasible(ClockSpec(fmax * 0.999, 0.5), TIMING)
+        assert not scpg_feasible(ClockSpec(fmax * 1.05, 0.5), TIMING)
+
+    def test_tolerates_exact_boundary(self):
+        fmax = scpg_max_frequency(TIMING, duty=0.5)
+        assert scpg_feasible(ClockSpec(fmax, 0.5), TIMING)
+
+    def test_lower_duty_extends_fmax(self):
+        """The paper: duty below 50% keeps SCPG applicable when
+        T_clk/2 < T_eval < T_clk."""
+        assert scpg_max_frequency(TIMING, duty=0.3) > \
+            scpg_max_frequency(TIMING, duty=0.5)
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(ScpgError):
+            scpg_max_frequency(TIMING, duty=0.0)
+
+    def test_gated_window_is_high_phase(self):
+        clock = ClockSpec(1e6, 0.7)
+        assert gated_window(clock) == pytest.approx(0.7e-6)
+
+
+class TestHoldCheck:
+    def test_slow_collapse_ok(self, lib, mult_module):
+        rail = VirtualRailModel(mult_module, lib)
+        swing = check_hold(TIMING, rail)
+        assert swing < 0.1
+
+    def test_fast_collapse_fails(self, lib, mult_module):
+        rail = VirtualRailModel(
+            mult_module, lib, RailParams(tau_collapse=0.1e-9))
+        slow_hold = ScpgTimingParams(
+            t_eval=30e-9, t_setup=0.5e-9, t_hold=2e-9, t_pgstart=1e-9)
+        with pytest.raises(ScpgError, match="hold"):
+            check_hold(slow_hold, rail)
+
+
+class TestTimingFromSta:
+    def test_composition(self, lib, mult_module, mult_study):
+        from repro.power.headers import HeaderNetwork
+        from repro.sta.analysis import TimingAnalysis
+
+        sta = TimingAnalysis(mult_module, lib).run()
+        rail = VirtualRailModel(mult_module, lib)
+        network = HeaderNetwork(cell=lib.cell("HEADER_X2"), count=12,
+                                vdd=0.6)
+        timing = timing_from_sta(sta, rail, network,
+                                 controller_delay=0.4e-9)
+        assert timing.t_eval == sta.eval_delay
+        assert timing.t_setup == sta.setup
+        assert timing.t_pgstart > 0.4e-9  # restore + controller

@@ -1,0 +1,66 @@
+"""SCPG-Max duty-cycle optimisation."""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.scpg.clocking import ScpgTimingParams, scpg_feasible
+from repro.scpg.duty import DUTY_CYCLE_CAP, duty_sweep, optimise_duty
+from repro.scpg.power_model import Mode
+from repro.sta.constraints import ClockSpec
+
+TIMING = ScpgTimingParams(
+    t_eval=30e-9, t_setup=0.5e-9, t_hold=0.15e-9, t_pgstart=1e-9)
+
+
+class TestOptimiseDuty:
+    def test_low_frequency_hits_cap(self):
+        assert optimise_duty(1e4, TIMING) == DUTY_CYCLE_CAP
+
+    def test_result_always_feasible(self):
+        for freq in (1e4, 1e5, 1e6, 5e6, 1e7, 2e7):
+            duty = optimise_duty(freq, TIMING)
+            assert scpg_feasible(ClockSpec(freq, duty), TIMING)
+
+    def test_mid_frequency_exact(self):
+        freq = 10e6
+        duty = optimise_duty(freq, TIMING)
+        assert duty == pytest.approx(1.0 - TIMING.low_phase_demand * freq)
+
+    def test_duty_below_50pct_near_fmax(self):
+        """When T_clk/2 < demand < T_clk, the optimiser drops below 50%
+        (the paper's extension of SCPG's applicability)."""
+        freq = 0.7 / TIMING.low_phase_demand  # demand = 0.7 T
+        duty = optimise_duty(freq, TIMING)
+        assert 0 < duty < 0.5
+
+    def test_impossible_frequency_raises(self):
+        with pytest.raises(ScpgError, match="duty"):
+            optimise_duty(1.2 / TIMING.low_phase_demand, TIMING)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ScpgError):
+            optimise_duty(0, TIMING)
+
+
+class TestDutySweep:
+    def test_power_monotone_in_duty(self, mult_study):
+        model = mult_study.model
+        points = duty_sweep(1e6, model.timing, model, steps=10)
+        powers = [b.total for _d, b in points]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_sweep_covers_feasible_range(self, mult_study):
+        model = mult_study.model
+        points = duty_sweep(1e6, model.timing, model, steps=10)
+        duties = [d for d, _b in points]
+        assert duties[0] < 0.1
+        assert duties[-1] == pytest.approx(
+            optimise_duty(1e6, model.timing))
+
+    def test_scpgmax_equals_best_sweep_point(self, mult_study):
+        model = mult_study.model
+        best_sweep = min(
+            b.total for _d, b in duty_sweep(1e6, model.timing, model,
+                                            steps=15))
+        scpg_max = model.power(1e6, Mode.SCPG_MAX).total
+        assert scpg_max == pytest.approx(best_sweep, rel=1e-6)

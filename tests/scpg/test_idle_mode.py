@@ -1,0 +1,87 @@
+"""Traditional idle-mode power gating versus (and combined with) SCPG."""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.scpg.idle_mode import (
+    GatingScheme,
+    WorkloadProfile,
+    crossover_activity,
+    evaluate_scheme,
+    idle_mode_study,
+)
+
+
+class TestWorkloadProfile:
+    def test_validation(self):
+        with pytest.raises(ScpgError):
+            WorkloadProfile(1.5, 1e6)
+        with pytest.raises(ScpgError):
+            WorkloadProfile(0.5, 0)
+
+
+class TestSchemePowers:
+    @pytest.fixture(scope="class")
+    def study_50(self, mult_study):
+        return idle_mode_study(mult_study.model,
+                               WorkloadProfile(0.5, 2e6))
+
+    def test_all_schemes_present(self, study_50):
+        assert set(study_50) == set(GatingScheme)
+
+    def test_average_is_weighted_mix(self, mult_study):
+        profile = WorkloadProfile(0.25, 2e6)
+        result = evaluate_scheme(mult_study.model, GatingScheme.SCPG,
+                                 profile)
+        assert result.average == pytest.approx(
+            0.25 * result.active_power + 0.75 * result.idle_power)
+
+    def test_traditional_does_not_touch_active_mode(self, study_50):
+        assert study_50[GatingScheme.TRADITIONAL].active_power == \
+            pytest.approx(study_50[GatingScheme.NONE].active_power)
+
+    def test_scpg_does_not_touch_idle_mode_much(self, study_50):
+        """SCPG with the clock stopped low leaves the domain powered."""
+        none_idle = study_50[GatingScheme.NONE].idle_power
+        scpg_idle = study_50[GatingScheme.SCPG].idle_power
+        assert scpg_idle == pytest.approx(none_idle, rel=0.10)
+
+    def test_combined_idle_is_headers_only(self, study_50, mult_study):
+        combined = study_50[GatingScheme.COMBINED]
+        assert combined.idle_power == pytest.approx(
+            mult_study.model.leak_alwayson
+            + mult_study.model.leak_header_off)
+
+    def test_combined_never_worse_than_scpg(self, mult_study):
+        for fraction in (0.01, 0.2, 0.5, 0.9, 1.0):
+            study = idle_mode_study(mult_study.model,
+                                    WorkloadProfile(fraction, 2e6))
+            assert study[GatingScheme.COMBINED].average <= \
+                study[GatingScheme.SCPG].average * 1.0001
+
+
+class TestCrossover:
+    def test_traditional_wins_when_mostly_idle(self, mult_study):
+        study = idle_mode_study(mult_study.model,
+                                WorkloadProfile(0.01, 2e6))
+        assert study[GatingScheme.TRADITIONAL].average < \
+            study[GatingScheme.SCPG].average
+
+    def test_scpg_wins_when_mostly_active(self, mult_study):
+        study = idle_mode_study(mult_study.model,
+                                WorkloadProfile(0.95, 2e6))
+        assert study[GatingScheme.SCPG].average < \
+            study[GatingScheme.TRADITIONAL].average
+
+    def test_crossover_found_and_consistent(self, mult_study):
+        model = mult_study.model
+        cross = crossover_activity(model, 2e6)
+        assert cross is not None
+        assert 0.0 < cross < 1.0
+        below = idle_mode_study(model, WorkloadProfile(cross * 0.8, 2e6))
+        above = idle_mode_study(
+            model, WorkloadProfile(min(1.0, cross * 1.2), 2e6))
+        assert below[GatingScheme.TRADITIONAL].average < \
+            below[GatingScheme.SCPG].average
+        assert above[GatingScheme.SCPG].average < \
+            above[GatingScheme.TRADITIONAL].average

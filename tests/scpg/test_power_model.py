@@ -1,0 +1,104 @@
+"""The SCPG cycle power model (Tables I/II engine)."""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.scpg.power_model import Mode, ScpgPowerModel
+
+
+@pytest.fixture(scope="module")
+def model(mult_study):
+    return mult_study.model
+
+
+class TestBreakdown:
+    def test_total_is_sum_of_parts(self, model):
+        b = model.power(1e6, Mode.SCPG)
+        assert b.total == pytest.approx(
+            b.p_dynamic + b.p_overhead + b.p_leak_alwayson
+            + b.p_leak_comb + b.p_leak_header)
+
+    def test_energy_per_op(self, model):
+        b = model.power(2e6, Mode.NO_PG)
+        assert b.energy_per_op == pytest.approx(b.total / 2e6)
+
+    def test_saving_vs(self, model):
+        nopg = model.power(1e6, Mode.NO_PG)
+        scpg = model.power(1e6, Mode.SCPG)
+        assert scpg.saving_vs(nopg) > 0
+        assert nopg.saving_vs(nopg) == 0.0
+
+
+class TestModeRelationships:
+    @pytest.mark.parametrize("freq", [1e4, 1e5, 1e6, 2e6])
+    def test_low_frequency_ordering(self, model, freq):
+        """SCPG-Max < SCPG < No-PG in power at low frequency."""
+        nopg = model.power(freq, Mode.NO_PG).total
+        scpg = model.power(freq, Mode.SCPG).total
+        scpg_max = model.power(freq, Mode.SCPG_MAX).total
+        assert scpg_max < scpg < nopg
+
+    def test_scpg50_saves_half_comb_leak_at_low_f(self, model):
+        nopg = model.power(1e4, Mode.NO_PG)
+        scpg = model.power(1e4, Mode.SCPG)
+        saving = nopg.total - scpg.total
+        assert saving == pytest.approx(model.leak_comb_base * 0.5,
+                                       rel=0.15)
+
+    def test_scpgmax_approaches_alwayson_floor(self, model):
+        scpg_max = model.power(1e4, Mode.SCPG_MAX)
+        assert scpg_max.total < model.leak_alwayson * 1.5
+
+    def test_no_pg_power_linear_in_frequency(self, model):
+        p1 = model.power(1e6, Mode.NO_PG).total
+        p2 = model.power(2e6, Mode.NO_PG).total
+        leak = model.leak_comb_base + model.leak_alwayson_base
+        assert p2 - p1 == pytest.approx(model.e_cycle * 1e6, rel=1e-6)
+        assert p1 == pytest.approx(leak + model.e_cycle * 1e6, rel=1e-6)
+
+    def test_override_close_to_nopg(self, model):
+        """Override mode pays only the small iso/controller taxes."""
+        nopg = model.power(1e6, Mode.NO_PG).total
+        override = model.power(1e6, Mode.OVERRIDE).total
+        assert override >= nopg * 0.99
+        assert override < nopg * 1.15
+
+    def test_override_unlocks_peak_performance(self, model):
+        """The paper's override use-case: the SCPG design can 'peak to
+        maximum performance' -- frequencies where gating is infeasible."""
+        f_peak = model.feasible_fmax(Mode.NO_PG)
+        assert f_peak > model.feasible_fmax(Mode.SCPG)
+        breakdown = model.power(f_peak, Mode.OVERRIDE)
+        assert breakdown.total > 0
+        with pytest.raises(ScpgError):
+            model.power(f_peak, Mode.SCPG)
+
+
+class TestFeasibilityLimits:
+    def test_scpg_infeasible_beyond_fmax(self, model):
+        fmax = model.feasible_fmax(Mode.SCPG)
+        with pytest.raises(ScpgError):
+            model.power(fmax * 1.1, Mode.SCPG)
+
+    def test_nopg_fmax_higher_than_scpg50(self, model):
+        assert model.feasible_fmax(Mode.NO_PG) > \
+            model.feasible_fmax(Mode.SCPG)
+
+    def test_table_row_marks_infeasible(self, model):
+        row = model.table_row(model.feasible_fmax(Mode.NO_PG))
+        assert row[Mode.NO_PG] is not None
+        assert row[Mode.SCPG] is None
+
+    def test_zero_frequency_rejected(self, model):
+        with pytest.raises(ScpgError):
+            model.power(0, Mode.NO_PG)
+
+
+class TestVoltageScaling:
+    def test_model_at_lower_vdd(self, mult_study):
+        low = ScpgPowerModel.from_scpg_design(
+            mult_study.scpg, mult_study.e_cycle, vdd=0.4)
+        nom = mult_study.model
+        assert low.e_cycle < nom.e_cycle
+        assert low.leak_comb < nom.leak_comb
+        assert low.timing.t_eval > nom.timing.t_eval

@@ -1,0 +1,36 @@
+"""UPF-lite power-intent writer."""
+
+import pytest
+
+from repro.scpg.upf import dumps_upf, write_upf
+
+
+class TestUpf:
+    def test_structure(self, mult_study):
+        text = mult_study.scpg.upf
+        for required in (
+            "create_supply_net VDDV",
+            "create_power_domain PD_TOP",
+            "create_power_domain PD_COMB",
+            "create_power_switch SW_COMB",
+            "set_isolation ISO_COMB",
+            "-clamp_value 0",
+            "ISO_AND_X1",
+        ):
+            assert required in text, required
+
+    def test_sleep_control_names_clock_and_override(self, mult_study):
+        text = dumps_upf(mult_study.scpg, clock_port="clk",
+                         override_port="override_n")
+        assert "clk_and_override_n" in text
+
+    def test_no_retention_strategy(self, mult_study):
+        """SCPG's selling point: no retention registers."""
+        text = mult_study.scpg.upf
+        assert "set_retention" not in text
+        assert "No retention" in text
+
+    def test_write_file(self, mult_study, tmp_path):
+        path = tmp_path / "scpg.upf"
+        write_upf(mult_study.scpg, path)
+        assert path.read_text() == dumps_upf(mult_study.scpg)

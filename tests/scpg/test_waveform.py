@@ -1,0 +1,60 @@
+"""Fig. 4 waveform renderer."""
+
+import pytest
+
+from repro.errors import ScpgError
+from repro.scpg.clocking import ScpgTimingParams
+from repro.scpg.waveform import render_waveforms
+from repro.sta.constraints import ClockSpec
+
+TIMING = ScpgTimingParams(
+    t_eval=30e-9, t_setup=0.5e-9, t_hold=0.2e-9, t_pgstart=1e-9)
+
+
+class TestRenderWaveforms:
+    def test_lanes_present(self):
+        text = render_waveforms(ClockSpec(1e6, 0.5), TIMING)
+        for lane in ("CLK", "SLEEP", "VVDD", "ISOLATE", "EVAL"):
+            assert lane in text
+
+    def test_lane_widths_equal(self):
+        text = render_waveforms(ClockSpec(1e6, 0.5), TIMING, width=60)
+        lanes = [l for l in text.splitlines()
+                 if l.strip().startswith(("CLK", "SLEEP", "VVDD",
+                                          "ISOLATE", "EVAL"))]
+        widths = {len(l) for l in lanes}
+        assert len(widths) == 1
+
+    def test_sleep_follows_clock(self):
+        text = render_waveforms(ClockSpec(1e6, 0.5), TIMING)
+        lines = {l.split()[0]: l.split()[1]
+                 for l in text.splitlines()
+                 if l.strip().startswith(("CLK", "SLEEP"))}
+        assert lines["CLK"] == lines["SLEEP"]
+
+    def test_isolation_outlasts_clock_high(self):
+        text = render_waveforms(ClockSpec(5e6, 0.5), TIMING, width=72)
+        lanes = {}
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2:
+                lanes[parts[0]] = parts[1]
+        clk_high = lanes["CLK"].count("~")
+        iso_high = lanes["ISOLATE"].count("~")
+        assert iso_high >= clk_high
+
+    def test_rail_shape_with_model(self, mult_study):
+        text = render_waveforms(
+            ClockSpec(1e6, 0.9), mult_study.model.timing,
+            rail=mult_study.scpg.rail)
+        vvdd = [l for l in text.splitlines() if "VVDD" in l][0]
+        assert "_" in vvdd  # collapsed portion visible at 90% duty
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ScpgError):
+            render_waveforms(ClockSpec(20e6, 0.5), TIMING)
+
+    def test_eval_window_marked(self):
+        text = render_waveforms(ClockSpec(1e6, 0.5), TIMING)
+        eval_lane = [l for l in text.splitlines() if "EVAL" in l][0]
+        assert "#" in eval_lane

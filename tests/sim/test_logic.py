@@ -1,0 +1,78 @@
+"""Compiled cell evaluation tables."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.logic import X, compile_cell, from_ternary, to_ternary
+
+
+class TestTernary:
+    def test_normalisation(self):
+        assert to_ternary(0) == 0
+        assert to_ternary(True) == 1
+        assert to_ternary(None) == X
+        assert to_ternary(X) == X
+
+    def test_bad_value(self):
+        with pytest.raises(SimulationError):
+            to_ternary(7)
+
+    def test_from_ternary(self):
+        assert from_ternary(X) is None
+        assert from_ternary(1) == 1
+
+
+class TestCompile:
+    def test_nand_table(self, lib):
+        compiled = compile_cell(lib.cell("NAND2_X1"))
+        assert compiled.evaluate([1, 1])["Y"] == 0
+        assert compiled.evaluate([0, 1])["Y"] == 1
+        assert compiled.evaluate([0, X])["Y"] == 1   # controlling 0
+        assert compiled.evaluate([1, X])["Y"] == X
+
+    def test_fa_both_outputs(self, lib):
+        compiled = compile_cell(lib.cell("FA_X1"))
+        outs = compiled.evaluate([1, 1, 1])
+        assert outs == {"S": 1, "CO": 1}
+        outs = compiled.evaluate([1, 0, 0])
+        assert outs["S"] == 1 and outs["CO"] == 0
+
+    def test_mux_x_select_with_equal_inputs(self, lib):
+        """MUX2 with A==B: our AND/OR form is X-pessimistic on select=X
+        only when inputs differ."""
+        compiled = compile_cell(lib.cell("MUX2_X1"))
+        # A=1 B=1 S=X -> (A&!S)|(B&S): both terms X -> X | X = X
+        # (pessimism documented; exact result depends on decomposition)
+        assert compiled.evaluate([1, 1, X])["Y"] in (1, X)
+        assert compiled.evaluate([0, 1, 1])["Y"] == 1
+
+    def test_tie_cells(self, lib):
+        assert compile_cell(lib.cell("TIEHI_X1")).evaluate([])["Y"] == 1
+        assert compile_cell(lib.cell("TIELO_X1")).evaluate([])["Y"] == 0
+
+    def test_cache_reuses_tables(self, lib):
+        a = compile_cell(lib.cell("INV_X1"))
+        b = compile_cell(lib.cell("INV_X1"))
+        assert a is b
+
+    def test_exhaustive_against_expr(self, lib):
+        """Every compiled table entry matches direct BoolExpr evaluation."""
+        for cell_name in ("NAND2_X1", "XOR2_X1", "AOI21_X1", "FA_X1",
+                          "ISO_AND_X1", "MUX2_X1"):
+            cell = lib.cell(cell_name)
+            compiled = compile_cell(cell)
+            names = compiled.input_names
+            for idx in range(3 ** len(names)):
+                vals = []
+                rest = idx
+                for _ in names:
+                    vals.append(rest % 3)
+                    rest //= 3
+                outs = compiled.evaluate(vals)
+                assignment = {
+                    n: from_ternary(v) for n, v in zip(names, vals)
+                }
+                for out_pin in cell.outputs:
+                    expected = out_pin.expr.eval(assignment)
+                    expected = X if expected is None else expected
+                    assert outs[out_pin.name] == expected, (cell_name, vals)

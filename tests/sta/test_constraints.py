@@ -1,0 +1,33 @@
+"""Clock specifications."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.sta.constraints import ClockSpec
+
+
+class TestClockSpec:
+    def test_basic_quantities(self):
+        clk = ClockSpec(10e6, duty=0.5)
+        assert clk.period == pytest.approx(100e-9)
+        assert clk.t_high == pytest.approx(50e-9)
+        assert clk.t_low == pytest.approx(50e-9)
+
+    def test_asymmetric_duty(self):
+        clk = ClockSpec(1e6, duty=0.9)
+        assert clk.t_high == pytest.approx(900e-9)
+        assert clk.t_low == pytest.approx(100e-9)
+
+    def test_modifiers(self):
+        clk = ClockSpec(1e6, duty=0.5, name="core")
+        assert clk.with_duty(0.8).duty == 0.8
+        assert clk.with_duty(0.8).name == "core"
+        assert clk.with_freq(2e6).freq_hz == 2e6
+        assert clk.with_freq(2e6).duty == 0.5
+
+    @pytest.mark.parametrize("freq,duty", [
+        (0, 0.5), (-1, 0.5), (1e6, 0.0), (1e6, 1.0), (1e6, -0.1),
+    ])
+    def test_invalid(self, freq, duty):
+        with pytest.raises(TimingError):
+            ClockSpec(freq, duty)

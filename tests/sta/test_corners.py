@@ -1,0 +1,46 @@
+"""Multi-corner timing sign-off."""
+
+import pytest
+
+from repro.sta.corners import multi_corner_timing
+from repro.subvt.variation import Corner
+
+
+@pytest.fixture(scope="module")
+def mct(mult_module, lib):
+    return multi_corner_timing(mult_module, lib)
+
+
+class TestMultiCorner:
+    def test_all_corners_present(self, mct):
+        assert len(mct.corners) == 5
+
+    def test_slow_hot_is_setup_critical(self, mct):
+        assert mct.slowest.corner.name == "ss_hot"
+
+    def test_signoff_fmax_is_worst(self, mct):
+        fmaxes = [c.result.fmax for c in mct.corners]
+        assert mct.signoff_fmax == min(fmaxes)
+
+    def test_scales_bracket_nominal(self, mct):
+        scales = [c.delay_scale for c in mct.corners]
+        assert min(scales) < 1.0 < max(scales)
+        tt = [c for c in mct.corners if c.corner.name == "tt"][0]
+        assert tt.delay_scale == pytest.approx(1.0)
+
+    def test_signoff_scpg_demand_exceeds_nominal(self, mct, mult_study):
+        nominal = mult_study.model.timing.low_phase_demand
+        signoff = mct.signoff_scpg_demand(
+            mult_study.model.timing.t_pgstart)
+        assert signoff > nominal
+
+    def test_report_renders(self, mct):
+        text = mct.report()
+        assert "sign-off Fmax" in text
+        assert "ss_hot" in text
+
+    def test_custom_corner_set(self, mult_module, lib):
+        corners = (Corner("slow", +0.06, 125.0),)
+        mct = multi_corner_timing(mult_module, lib, corners=corners)
+        assert len(mct.corners) == 1
+        assert mct.corners[0].delay_scale > 1.3

@@ -1,0 +1,51 @@
+"""Section IV: SCPG vs sub-threshold."""
+
+import pytest
+
+from repro.scpg.power_model import Mode
+from repro.subvt.compare import compare_with_scpg
+from repro.subvt.energy import minimum_energy_point
+
+
+class TestComparison:
+    def test_default_budget_is_mep_power(self, mult_study):
+        result = compare_with_scpg(mult_study.subvt, mult_study.model)
+        mep = minimum_energy_point(mult_study.subvt)
+        assert result.budget == pytest.approx(mep.power)
+
+    def test_subthreshold_wins_energy(self, mult_study):
+        """The paper: sub-threshold offers better energy efficiency than
+        SCPG (it is minimum-energy by construction); ~5x for the
+        multiplier."""
+        result = compare_with_scpg(mult_study.subvt, mult_study.model)
+        assert result.energy_ratio > 1.5
+        assert result.energy_ratio < 20
+
+    def test_performance_gap_exists(self, mult_study):
+        result = compare_with_scpg(mult_study.subvt, mult_study.model)
+        assert result.performance_ratio > 1.0
+
+    def test_gap_narrows_with_bigger_budget(self, mult_study):
+        """Paper: 'if the power budget is increased, the difference
+        between the two approaches narrows' (5x -> 2.9x at 40 uW)."""
+        tight = compare_with_scpg(mult_study.subvt, mult_study.model)
+        loose = compare_with_scpg(mult_study.subvt, mult_study.model,
+                                  budget=tight.budget * 2.0)
+        assert loose.energy_ratio < tight.energy_ratio
+
+    def test_m0_comparison(self, m0_study):
+        """Paper: ~4.8x energy and ~5x performance gap for the M0."""
+        result = compare_with_scpg(m0_study.subvt, m0_study.model)
+        assert result.energy_ratio > 1.2
+        assert result.performance_ratio > 1.0
+
+    def test_scpg_max_shrinks_gap_vs_scpg50(self, mult_study):
+        base = compare_with_scpg(mult_study.subvt, mult_study.model,
+                                 mode=Mode.SCPG)
+        better = compare_with_scpg(mult_study.subvt, mult_study.model,
+                                   mode=Mode.SCPG_MAX)
+        assert better.energy_ratio <= base.energy_ratio
+
+    def test_str(self, mult_study):
+        text = str(compare_with_scpg(mult_study.subvt, mult_study.model))
+        assert "budget" in text and "sub-vt" in text

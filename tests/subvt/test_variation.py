@@ -1,0 +1,92 @@
+"""Process/temperature variation analysis (§IV stability claim)."""
+
+import pytest
+
+from repro.subvt.variation import (
+    Corner,
+    DEFAULT_VTH_SIGMA,
+    STANDARD_CORNERS,
+    corner_library,
+    corner_study,
+    monte_carlo,
+)
+
+
+class TestCornerLibrary:
+    def test_vth_shift_applied(self, lib):
+        corner = Corner("slow", +0.05)
+        clib = corner_library(lib, corner)
+        assert clib.devices["svt"].vth == pytest.approx(
+            lib.devices["svt"].vth + 0.05)
+        # Cells are shared, not copied.
+        assert clib.cell("INV_X1") is lib.cell("INV_X1")
+
+    def test_slow_corner_scales_correctly(self, lib):
+        slow = corner_library(lib, Corner("slow", +0.05))
+        assert slow.delay_scale(0.6) > 1.1     # slower
+        assert slow.leakage_scale(0.6) < 0.5   # much less leaky
+
+    def test_fast_corner_scales_correctly(self, lib):
+        fast = corner_library(lib, Corner("fast", -0.05))
+        assert fast.delay_scale(0.6) < 0.95
+        assert fast.leakage_scale(0.6) > 2.0
+
+    def test_nominal_corner_is_identity(self, lib):
+        tt = corner_library(lib, Corner("tt", 0.0))
+        assert tt.delay_scale(0.6) == pytest.approx(1.0)
+        assert tt.leakage_scale(0.6) == pytest.approx(1.0)
+
+
+class TestCornerStudy:
+    @pytest.fixture(scope="class")
+    def study(self, mult_study):
+        return corner_study(mult_study)
+
+    def test_all_corners_evaluated(self, study):
+        assert len(study.results) == len(STANDARD_CORNERS)
+
+    def test_subvt_performance_swings_more(self, study):
+        """§IV: sub-threshold is the less stable technique."""
+        assert study.subvt_performance_spread > \
+            study.scpg_performance_spread
+        assert study.stability_ratio > 1.0
+
+    def test_mep_wanders(self, study):
+        """The minimum-energy point is 'skewed significantly' by
+        variation -- tens of mV for +-30 mV of Vth."""
+        assert study.mep_displacement > 0.01
+
+    def test_hot_slow_corner_is_slowest_subvt(self, study):
+        by_name = {r.corner.name: r for r in study.results}
+        assert by_name["ss_hot"].subvt_fmax == min(
+            r.subvt_fmax for r in study.results)
+
+    def test_fast_corner_is_leakiest_scpg(self, study):
+        by_name = {r.corner.name: r for r in study.results}
+        assert by_name["ff_hot"].scpg_power == max(
+            r.scpg_power for r in study.results)
+
+
+class TestMonteCarlo:
+    def test_statistics(self, mult_study):
+        _study, stats = monte_carlo(mult_study, samples=50)
+        # Performance sensitivity: sub-vt at least ~1.5x more variable.
+        assert stats["subvt_fmax_rel_std"] > \
+            1.5 * stats["scpg_fmax_rel_std"]
+        assert stats["mep_vdd_std"] > 0.0
+        for value in stats.values():
+            assert value >= 0.0
+
+    def test_reproducible(self, mult_study):
+        _s1, stats1 = monte_carlo(mult_study, samples=25, seed=1)
+        _s2, stats2 = monte_carlo(mult_study, samples=25, seed=1)
+        assert stats1 == stats2
+
+    def test_sigma_scales_spread(self, mult_study):
+        _s, tight = monte_carlo(mult_study, sigma_vth=0.005, samples=40)
+        _s, wide = monte_carlo(mult_study, sigma_vth=0.04, samples=40)
+        assert wide["subvt_fmax_rel_std"] > \
+            3 * tight["subvt_fmax_rel_std"]
+
+    def test_default_sigma_reasonable(self):
+        assert 0.005 < DEFAULT_VTH_SIGMA < 0.05

@@ -1,0 +1,102 @@
+"""Boolean expression parser/evaluator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibraryError
+from repro.tech.boolfunc import BoolExpr
+
+
+class TestParsing:
+    def test_inputs_collected_sorted(self):
+        e = BoolExpr("(B & A) | C")
+        assert e.inputs == ("A", "B", "C")
+
+    def test_constants(self):
+        assert BoolExpr("1").eval({}) == 1
+        assert BoolExpr("0").eval({}) == 0
+
+    def test_alternative_operators(self):
+        assert BoolExpr("A * B").eval({"A": 1, "B": 1}) == 1
+        assert BoolExpr("A + B").eval({"A": 0, "B": 1}) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "A &", "& A", "(A", "A)", "A @ B", "", "A ! B",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(LibraryError):
+            BoolExpr(bad)
+
+    def test_equality_and_hash(self):
+        assert BoolExpr("A & B") == BoolExpr("A & B")
+        assert BoolExpr("A & B") != BoolExpr("A | B")
+        assert len({BoolExpr("A"), BoolExpr("A")}) == 1
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("expr,vals,expected", [
+        ("!A", {"A": 0}, 1),
+        ("!A", {"A": 1}, 0),
+        ("A & B", {"A": 1, "B": 1}, 1),
+        ("A & B", {"A": 1, "B": 0}, 0),
+        ("A | B", {"A": 0, "B": 0}, 0),
+        ("A ^ B", {"A": 1, "B": 0}, 1),
+        ("A ^ B", {"A": 1, "B": 1}, 0),
+        ("!((A & B) | C)", {"A": 1, "B": 1, "C": 0}, 0),
+        ("(A & !S) | (B & S)", {"A": 0, "B": 1, "S": 1}, 1),
+        ("A ^ B ^ CI", {"A": 1, "B": 1, "CI": 1}, 1),
+    ])
+    def test_cases(self, expr, vals, expected):
+        assert BoolExpr(expr).eval(vals) == expected
+
+    def test_unknown_propagates(self):
+        assert BoolExpr("A & B").eval({"A": 1, "B": None}) is None
+        assert BoolExpr("!A").eval({"A": None}) is None
+        assert BoolExpr("A ^ B").eval({"A": 1, "B": None}) is None
+
+    def test_controlling_values_beat_unknown(self):
+        assert BoolExpr("A & B").eval({"A": 0, "B": None}) == 0
+        assert BoolExpr("A | B").eval({"A": 1, "B": None}) == 1
+
+    def test_missing_variable_is_unknown(self):
+        assert BoolExpr("A & B").eval({"A": 1}) is None
+
+    def test_truth_table_size(self):
+        rows = list(BoolExpr("A ^ B ^ CI").truth_table())
+        assert len(rows) == 8
+        # Parity function: output equals popcount parity.
+        for assignment, out in rows:
+            assert out == (sum(assignment.values()) % 2)
+
+
+@st.composite
+def _expr_and_python(draw, depth=0):
+    """Random expression tree with an equivalent python lambda source."""
+    choices = ["var", "const", "not", "and", "or", "xor"]
+    if depth > 3:
+        choices = ["var", "const"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "var":
+        name = draw(st.sampled_from(["A", "B", "C"]))
+        return name, "v['{}']".format(name)
+    if kind == "const":
+        bit = draw(st.integers(0, 1))
+        return str(bit), str(bit)
+    if kind == "not":
+        sub, py = draw(_expr_and_python(depth + 1))
+        return "!({})".format(sub), "(1-({}))".format(py)
+    a, pa = draw(_expr_and_python(depth + 1))
+    b, pb = draw(_expr_and_python(depth + 1))
+    op = {"and": ("&", "&"), "or": ("|", "|"), "xor": ("^", "^")}[kind]
+    return "({}) {} ({})".format(a, op[0], b), \
+        "(({}) {} ({}))".format(pa, op[1], pb)
+
+
+class TestPropertyBased:
+    @given(_expr_and_python(),
+           st.integers(0, 1), st.integers(0, 1), st.integers(0, 1))
+    def test_matches_python_semantics(self, pair, a, b, c):
+        text, py = pair
+        v = {"A": a, "B": b, "C": c}
+        expected = eval(py, {"v": v}) & 1
+        assert BoolExpr(text).eval(v) == expected

@@ -1,0 +1,101 @@
+"""Calibration anchors: the shipped scl90 constants must keep reproducing
+the paper's derived quantities within the documented tolerances.
+
+These tests are the guard-rail for DESIGN.md section 5: they measure the
+generated designs against the Table I/II decomposition.  Tolerances are
+deliberately generous -- the claim is shape, not HSpice-equality.
+"""
+
+import pytest
+
+from repro.power.leakage import leakage_power
+from repro.sta.analysis import TimingAnalysis
+from repro.tech.calibration import (
+    CORTEX_M0_ANCHORS,
+    MULTIPLIER_ANCHORS,
+    TABLE_I_ROWS,
+    TABLE_II_ROWS,
+    relative_error,
+)
+
+
+class TestAnchorData:
+    def test_table_shapes(self):
+        assert len(TABLE_I_ROWS) == 8
+        assert len(TABLE_II_ROWS) == 6
+        assert MULTIPLIER_ANCHORS.rows == TABLE_I_ROWS
+        assert CORTEX_M0_ANCHORS.rows == TABLE_II_ROWS
+
+    def test_rows_monotone_in_frequency(self):
+        for rows in (TABLE_I_ROWS, TABLE_II_ROWS):
+            freqs = [r.freq_hz for r in rows]
+            assert freqs == sorted(freqs)
+            powers = [r.power_nopg for r in rows]
+            assert powers == sorted(powers)
+
+    def test_derived_leakage_split(self):
+        a = MULTIPLIER_ANCHORS
+        assert a.leakage_comb == pytest.approx(
+            a.leakage_total - a.leakage_alwayson)
+        assert 0 < a.leakage_alwayson < a.leakage_comb
+
+    def test_relative_error_helper(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(1, 0) == float("inf")
+
+
+class TestMultiplierCalibration:
+    def test_total_leakage(self, lib, mult_module):
+        report = leakage_power(mult_module, lib)
+        assert relative_error(
+            report.total, MULTIPLIER_ANCHORS.leakage_total) < 0.25
+
+    def test_combinational_share(self, lib, mult_module):
+        report = leakage_power(mult_module, lib)
+        assert relative_error(
+            report.combinational, MULTIPLIER_ANCHORS.leakage_comb) < 0.25
+
+    def test_gate_count_comparable(self, lib, mult_module):
+        from repro.netlist.stats import module_stats
+
+        stats = module_stats(mult_module)
+        assert relative_error(
+            stats.comb_gates, MULTIPLIER_ANCHORS.comb_gates) < 0.25
+
+    def test_fmax_at_50pct_duty_near_table_top(self, lib, mult_module):
+        sta = TimingAnalysis(mult_module, lib).run()
+        fmax_scpg = 1.0 / (2 * sta.min_period)
+        # Table I's top row (14.3 MHz) must be feasible, and Fmax must not
+        # be wildly above it.
+        assert fmax_scpg >= MULTIPLIER_ANCHORS.fmax_hz
+        assert fmax_scpg < 2.5 * MULTIPLIER_ANCHORS.fmax_hz
+
+
+class TestCortexM0Calibration:
+    def test_total_leakage(self, lib, m0_module):
+        report = leakage_power(m0_module, lib)
+        assert relative_error(
+            report.total, CORTEX_M0_ANCHORS.leakage_total) < 0.35
+
+    def test_combinational_share(self, lib, m0_module):
+        report = leakage_power(m0_module, lib)
+        assert relative_error(
+            report.combinational, CORTEX_M0_ANCHORS.leakage_comb) < 0.35
+
+    def test_gate_count_comparable(self, lib, m0_module):
+        from repro.netlist.stats import module_stats
+
+        stats = module_stats(m0_module)
+        assert relative_error(
+            stats.comb_gates, CORTEX_M0_ANCHORS.comb_gates) < 0.30
+
+    def test_m0_leaks_more_than_multiplier(self, lib, m0_module,
+                                           mult_module):
+        assert leakage_power(m0_module, lib).total > \
+            5 * leakage_power(mult_module, lib).total
+
+    def test_table_ii_top_row_feasible(self, lib, m0_module):
+        sta = TimingAnalysis(m0_module, lib).run()
+        fmax_scpg = 1.0 / (2 * sta.min_period)
+        assert fmax_scpg >= CORTEX_M0_ANCHORS.fmax_hz

@@ -1,0 +1,40 @@
+"""Library corner views (with_devices / ref_devices)."""
+
+import pytest
+
+from repro.tech.scl90 import build_scl90
+
+
+class TestWithDevices:
+    def test_reference_anchoring(self, lib):
+        """Scaling in a corner library references the original devices,
+        so a global Vth shift does not cancel out."""
+        shifted = {
+            name: params.scaled(vth=params.vth + 0.05)
+            for name, params in lib.devices.items()
+        }
+        corner = lib.with_devices(shifted)
+        assert corner.leakage_scale(lib.vdd_nom) < 0.5
+        assert corner.delay_scale(lib.vdd_nom) > 1.0
+        # The original is untouched.
+        assert lib.leakage_scale(lib.vdd_nom) == pytest.approx(1.0)
+
+    def test_cells_shared_not_copied(self, lib):
+        corner = lib.with_devices(dict(lib.devices))
+        assert corner.cell("FA_X1") is lib.cell("FA_X1")
+        assert len(corner) == len(lib)
+
+    def test_identity_corner(self, lib):
+        corner = lib.with_devices(dict(lib.devices))
+        assert corner.delay_scale(0.45) == pytest.approx(
+            lib.delay_scale(0.45))
+
+    def test_chained_corners_keep_original_reference(self, lib):
+        shift = lambda devs, dv: {
+            n: p.scaled(vth=p.vth + dv) for n, p in devs.items()
+        }
+        once = lib.with_devices(shift(lib.devices, 0.03))
+        twice = once.with_devices(shift(once.devices, 0.03))
+        direct = lib.with_devices(shift(lib.devices, 0.06))
+        assert twice.leakage_scale(0.6) == pytest.approx(
+            direct.leakage_scale(0.6))

@@ -1,0 +1,115 @@
+"""Liberty-lite reader/writer."""
+
+import pytest
+
+from repro.errors import LibertySyntaxError
+from repro.tech.liberty import (
+    dumps_liberty,
+    loads_liberty,
+    read_liberty,
+    write_liberty,
+)
+from repro.tech.library import CellKind
+
+
+class TestRoundTrip:
+    def test_full_library(self, lib):
+        text = dumps_liberty(lib)
+        lib2 = loads_liberty(text)
+        assert lib2.name == lib.name
+        assert lib2.vdd_nom == lib.vdd_nom
+        assert len(lib2) == len(lib)
+        assert set(lib2.devices) == set(lib.devices)
+
+    def test_cell_fields_preserved(self, lib):
+        lib2 = loads_liberty(dumps_liberty(lib))
+        for name in ("NAND2_X1", "DFF_X1", "HEADER_X2", "ISO_AND_X1",
+                     "TIEHI_X1"):
+            a, b = lib.cell(name), lib2.cell(name)
+            assert a.kind == b.kind
+            assert a.area == pytest.approx(b.area)
+            assert a.leakage == pytest.approx(b.leakage)
+            assert a.intrinsic_delay == pytest.approx(b.intrinsic_delay)
+            assert a.setup == pytest.approx(b.setup)
+            assert a.header_ron == pytest.approx(b.header_ron)
+            assert len(a.leakage_states) == len(b.leakage_states)
+            assert [p.name for p in a.pins] == [p.name for p in b.pins]
+
+    def test_functions_preserved(self, lib):
+        lib2 = loads_liberty(dumps_liberty(lib))
+        fa = lib2.cell("FA_X1")
+        assert fa.pin("S").expr.eval({"A": 1, "B": 1, "CI": 1}) == 1
+        assert fa.pin("CO").expr.eval({"A": 1, "B": 0, "CI": 0}) == 0
+
+    def test_clock_flag_preserved(self, lib):
+        lib2 = loads_liberty(dumps_liberty(lib))
+        assert lib2.cell("DFF_X1").clock_pin.name == "CK"
+
+    def test_device_scaling_preserved(self, lib):
+        lib2 = loads_liberty(dumps_liberty(lib))
+        assert lib2.delay_scale(0.31) == pytest.approx(lib.delay_scale(0.31))
+        assert lib2.leakage_scale(0.4) == pytest.approx(
+            lib.leakage_scale(0.4))
+
+    def test_file_roundtrip(self, lib, tmp_path):
+        path = tmp_path / "scl90.lib"
+        write_liberty(lib, path)
+        lib2 = read_liberty(path)
+        assert len(lib2) == len(lib)
+
+
+class TestParser:
+    def test_minimal_library(self):
+        text = """
+        library (mini) {
+          nom_voltage : 0.6;
+          device (svt) { vth : 0.26; n : 1.35; i_spec : 1e-05; }
+          device (hvt) { vth : 0.38; n : 1.4; i_spec : 5e-06; }
+          cell (INV) {
+            area : 2.0;
+            cell_kind : comb;
+            pin (A) { direction : input; capacitance : 1e-15; }
+            pin (Y) { direction : output; function : "!A"; }
+          }
+        }
+        """
+        lib = loads_liberty(text)
+        assert lib.cell("INV").kind is CellKind.COMBINATIONAL
+        assert lib.cell("INV").pin("Y").expr.eval({"A": 1}) == 0
+
+    def test_comments_ignored(self):
+        text = """
+        // line comment
+        library (c) { /* block
+        comment */ nom_voltage : 0.6;
+          device (svt) { vth : 0.3; n : 1.3; i_spec : 1e-05; }
+          device (hvt) { vth : 0.4; n : 1.4; i_spec : 5e-06; }
+        }
+        """
+        assert loads_liberty(text).vdd_nom == 0.6
+
+    def test_unknown_attributes_ignored(self):
+        text = """
+        library (c) {
+          nom_voltage : 0.6;
+          some_vendor_thing : 42;
+          device (svt) { vth : 0.3; n : 1.3; i_spec : 1e-05; }
+          device (hvt) { vth : 0.4; n : 1.4; i_spec : 5e-06; }
+          cell (TIE) {
+            cell_kind : tie;
+            weird_attr : "hello world";
+            pin (Y) { direction : output; function : "1"; }
+          }
+        }
+        """
+        lib = loads_liberty(text)
+        assert lib.cell("TIE").kind is CellKind.TIE
+
+    @pytest.mark.parametrize("bad", [
+        "cell (X) { }",                       # no library wrapper
+        "library (x) { cell (A) ",            # unterminated
+        "library (x) { foo bar; }",           # not attr or group
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(LibertySyntaxError):
+            loads_liberty(bad)

@@ -1,0 +1,115 @@
+"""The synthetic 90nm library."""
+
+import pytest
+
+from repro.tech.library import CellKind
+from repro.tech.scl90 import (
+    HEADER_SIZES,
+    SCL90_VDD_NOM,
+    Scl90Tuning,
+    build_scl90,
+)
+
+
+class TestInventory:
+    ESSENTIAL = [
+        "INV_X1", "BUF_X1", "NAND2_X1", "NOR2_X1", "AND2_X1", "OR2_X1",
+        "XOR2_X1", "XNOR2_X1", "MUX2_X1", "AOI21_X1", "OAI21_X1",
+        "HA_X1", "FA_X1", "DFF_X1", "DFFR_X1", "DFFE_X1",
+        "ISO_AND_X1", "ISO_OR_X1", "TIEHI_X1", "TIELO_X1",
+        "CLKBUF_X4",
+    ]
+
+    def test_essential_cells_present(self, lib):
+        for name in self.ESSENTIAL:
+            assert lib.has_cell(name), name
+
+    def test_header_sizes(self, lib):
+        for size in HEADER_SIZES:
+            cell = lib.cell("HEADER_X{}".format(size))
+            assert cell.kind is CellKind.HEADER
+            assert cell.header_ron > 0
+            assert cell.header_width == pytest.approx(25.0 * size)
+
+    def test_header_ron_scales_inversely(self, lib):
+        r1 = lib.cell("HEADER_X1").header_ron
+        r4 = lib.cell("HEADER_X4").header_ron
+        assert r1 / r4 == pytest.approx(4.0, rel=1e-6)
+
+    def test_nominal_voltage(self, lib):
+        assert lib.vdd_nom == SCL90_VDD_NOM == 0.6
+
+
+class TestCellCharacteristics:
+    def test_drive_strengths_scale(self, lib):
+        x1, x2, x4 = (lib.cell("INV_X{}".format(s)) for s in (1, 2, 4))
+        assert x1.drive_resistance > x2.drive_resistance \
+            > x4.drive_resistance
+        assert x1.area < x2.area < x4.area
+        assert x1.leakage < x2.leakage
+
+    def test_leakage_states_cover_all_inputs(self, lib):
+        nand = lib.cell("NAND2_X1")
+        assert len(nand.leakage_states) == 4
+        fa = lib.cell("FA_X1")
+        assert len(fa.leakage_states) == 8
+
+    def test_stack_effect_direction(self, lib):
+        """All-low inputs leak less than all-high (stacking)."""
+        nand = lib.cell("NAND2_X1")
+        low = nand.leakage_for_state({"A": 0, "B": 0})
+        high = nand.leakage_for_state({"A": 1, "B": 1})
+        assert low < nand.leakage < high
+
+    def test_fa_functions(self, lib):
+        fa = lib.cell("FA_X1")
+        for a in (0, 1):
+            for b in (0, 1):
+                for ci in (0, 1):
+                    total = a + b + ci
+                    vals = {"A": a, "B": b, "CI": ci}
+                    assert fa.pin("S").expr.eval(vals) == total % 2
+                    assert fa.pin("CO").expr.eval(vals) == total // 2
+
+    def test_dff_has_timing(self, lib):
+        dff = lib.cell("DFF_X1")
+        assert dff.setup > 0
+        assert dff.hold > 0
+        assert dff.intrinsic_delay > 0  # clock-to-Q
+        assert dff.setup > dff.hold
+
+    def test_iso_cell_functions(self, lib):
+        iso_and = lib.cell("ISO_AND_X1")
+        assert iso_and.pin("Y").expr.eval({"A": 1, "ISO": 1}) == 0  # clamped
+        assert iso_and.pin("Y").expr.eval({"A": 1, "ISO": 0}) == 1
+        iso_or = lib.cell("ISO_OR_X1")
+        assert iso_or.pin("Y").expr.eval({"A": 0, "ISO": 1}) == 1
+
+    def test_tie_cells(self, lib):
+        assert lib.cell("TIEHI_X1").pin("Y").expr.eval({}) == 1
+        assert lib.cell("TIELO_X1").pin("Y").expr.eval({}) == 0
+
+
+class TestTuning:
+    def test_custom_tuning_applies(self):
+        default = Scl90Tuning()
+        tuned = build_scl90(
+            Scl90Tuning(leak_per_t=2 * default.leak_per_t))
+        ref = build_scl90()
+        assert tuned.cell("INV_X1").leakage == pytest.approx(
+            2 * ref.cell("INV_X1").leakage)
+
+    def test_header_leakage_is_hvt_derived(self, lib):
+        """Residual header leakage comes from the hvt device model."""
+        hdr = lib.cell("HEADER_X1")
+        model = lib.device_model("hvt")
+        expected = model.total_leakage(0.6, hdr.header_width) * 0.6
+        assert hdr.leakage == pytest.approx(expected)
+
+    def test_headers_leak_much_less_than_logic_under_them(self, lib):
+        """The gated residual must be far below gated-logic leakage for
+        SCPG to make sense at all."""
+        hdr = lib.cell("HEADER_X2")
+        nand = lib.cell("NAND2_X1")
+        # One X2 header serves dozens of gates: compare per-gate scales.
+        assert hdr.leakage < 50 * nand.leakage

@@ -1,0 +1,118 @@
+"""Device model physics sanity."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tech.scl90 import HVT, SVT
+from repro.tech.transistor import DeviceModel, DeviceParams, thermal_voltage
+
+
+@pytest.fixture(scope="module")
+def svt():
+    return DeviceModel(SVT)
+
+
+@pytest.fixture(scope="module")
+def hvt():
+    return DeviceModel(HVT)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert thermal_voltage(25.0) == pytest.approx(0.0257, rel=1e-2)
+
+    def test_increases_with_temperature(self):
+        assert thermal_voltage(125.0) > thermal_voltage(25.0)
+
+
+class TestCurrents:
+    def test_on_current_positive_and_monotonic(self, svt):
+        prev = 0.0
+        for vdd in (0.2, 0.3, 0.4, 0.6, 0.9, 1.2):
+            i = svt.on_current(vdd)
+            assert i > prev
+            prev = i
+
+    def test_on_current_scales_with_width(self, svt):
+        assert svt.on_current(0.6, 10.0) == pytest.approx(
+            10 * svt.on_current(0.6, 1.0))
+
+    def test_zero_supply(self, svt):
+        assert svt.on_current(0.0) == 0.0
+        assert svt.subthreshold_leakage(0.0) == 0.0
+        assert svt.gate_leakage(0.0) == 0.0
+
+    def test_subthreshold_slope(self, svt):
+        """Leakage grows ~exponentially: one decade per n*vT*ln(10) of Vth."""
+        import math
+
+        delta = SVT.n * thermal_voltage(25.0) * math.log(10.0)
+        p_low = SVT.scaled(vth=SVT.vth - delta)
+        low = DeviceModel(p_low).subthreshold_leakage(0.6)
+        high = DeviceModel(SVT).subthreshold_leakage(0.6)
+        assert low / high == pytest.approx(10.0, rel=0.25)
+
+    def test_dibl_raises_leakage_with_vdd(self, svt):
+        assert svt.subthreshold_leakage(0.9) > svt.subthreshold_leakage(0.6)
+
+    def test_hvt_leaks_less_and_drives_less(self, svt, hvt):
+        assert hvt.subthreshold_leakage(0.6) < svt.subthreshold_leakage(0.6)
+        assert hvt.on_current(0.6) < svt.on_current(0.6)
+
+    def test_on_off_ratio_healthy(self, svt):
+        ratio = svt.on_current(0.6) / svt.subthreshold_leakage(0.6)
+        assert ratio > 1e3
+
+    def test_gate_leakage_exponential_in_vdd(self, svt):
+        g1 = svt.gate_leakage(0.6)
+        g2 = svt.gate_leakage(0.8)
+        assert g2 > g1 > 0
+        assert g2 / g1 == pytest.approx(math.exp(SVT.gate_leak_exp * 0.2),
+                                        rel=1e-6)
+
+    def test_total_leakage_is_sum(self, svt):
+        assert svt.total_leakage(0.6) == pytest.approx(
+            svt.subthreshold_leakage(0.6) + svt.gate_leakage(0.6))
+
+
+class TestTemperature:
+    def test_leakage_rises_with_temperature(self, svt):
+        hot = svt.at_temperature(85.0)
+        assert hot.subthreshold_leakage(0.6) > svt.subthreshold_leakage(0.6)
+
+    def test_drive_falls_with_temperature(self, svt):
+        hot = svt.at_temperature(85.0)
+        assert hot.on_current(0.9) < svt.on_current(0.9)
+
+
+class TestScaling:
+    def test_delay_scale_identity(self, svt):
+        assert svt.delay_scale(0.6, 0.6) == pytest.approx(1.0)
+
+    def test_delay_explodes_at_low_vdd(self, svt):
+        assert svt.delay_scale(0.31, 0.6) > 3.0
+        assert svt.delay_scale(0.20, 0.6) > svt.delay_scale(0.31, 0.6)
+
+    def test_leakage_scale_identity(self, svt):
+        assert svt.leakage_scale(0.6, 0.6) == pytest.approx(1.0)
+
+    def test_on_resistance(self, svt):
+        r = svt.on_resistance(0.6, 50.0)
+        assert r == pytest.approx(0.6 / svt.on_current(0.6, 50.0))
+        assert svt.on_resistance(0.0) == math.inf
+
+    @given(st.floats(min_value=0.15, max_value=1.2))
+    def test_delay_scale_monotone_decreasing(self, svt, vdd):
+        # Higher supply is never slower.
+        assert svt.delay_scale(vdd, 0.6) >= svt.delay_scale(
+            min(vdd + 0.05, 1.25), 0.6) * 0.999
+
+
+class TestParams:
+    def test_scaled_copy(self):
+        p = SVT.scaled(vth=0.4)
+        assert p.vth == 0.4
+        assert p.i_spec == SVT.i_spec
+        assert SVT.vth != 0.4  # frozen original untouched

@@ -1,0 +1,119 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "library scl90" in out
+        assert "HEADER_X2" in out
+        assert "device svt" in out
+
+
+class TestLiberty:
+    def test_dump_and_reload(self, tmp_path, capsys):
+        path = tmp_path / "lib.lib"
+        assert main(["liberty", "--out", str(path)]) == 0
+        assert main(["--liberty", str(path), "info"]) == 0
+        assert "38 cells" in capsys.readouterr().out
+
+
+class TestNetlist:
+    def test_builtin_to_file(self, tmp_path):
+        path = tmp_path / "c.v"
+        assert main(["netlist", "counter16", "--out", str(path)]) == 0
+        assert "module counter16" in path.read_text()
+
+    def test_verilog_file_as_design(self, tmp_path, capsys):
+        path = tmp_path / "c.v"
+        main(["netlist", "lfsr16", "--out", str(path)])
+        assert main(["sta", str(path)]) == 0
+        assert "Fmax" in capsys.readouterr().out
+
+    def test_unknown_file(self, capsys):
+        assert main(["netlist", "nonexistent.v"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestScpg:
+    def test_transform_outputs(self, tmp_path, capsys):
+        upf = tmp_path / "out.upf"
+        vlog = tmp_path / "out.v"
+        code = main(["scpg", "mult16", "--upf", str(upf),
+                     "--verilog", str(vlog)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HEADER_X2" in out
+        assert "area overhead" in out
+        assert "create_power_switch" in upf.read_text()
+        assert "mult16_comb" in vlog.read_text()
+
+    def test_forced_header_size(self, capsys):
+        assert main(["scpg", "counter16", "--header-size", "1"]) == 0
+        assert "HEADER_X1" in capsys.readouterr().out
+
+    def test_missing_clock_is_error(self, tmp_path, capsys):
+        # An unclocked design: write one by hand.
+        src = tmp_path / "comb.v"
+        src.write_text(
+            "module comb (a, y);\n  input a; output y;\n"
+            "  INV_X1 g (.A(a), .Y(y));\nendmodule\n")
+        assert main(["scpg", str(src)]) == 1
+        assert "clock" in capsys.readouterr().err
+
+
+class TestReports:
+    def test_sta_report(self, capsys):
+        assert main(["sta", "counter16"]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "Fmax (SCPG, 50% duty)" in out
+
+    def test_sta_at_voltage(self, capsys):
+        main(["sta", "counter16"])
+        nominal = capsys.readouterr().out
+        main(["sta", "counter16", "--vdd", "0.4"])
+        low = capsys.readouterr().out
+        assert nominal != low
+
+    def test_power_report(self, capsys):
+        assert main(["power", "counter16", "--freq", "5MHz"]) == 0
+        out = capsys.readouterr().out
+        assert "Leakage by cell group" in out
+        assert "Total average power" in out
+
+
+class TestTable:
+    def test_table1_fast(self, capsys, mult_study):
+        # mult_study warms the same memoised study the CLI uses.
+        assert main(["table", "1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "14.30" in out
+
+    def test_table_to_file(self, tmp_path, mult_study):
+        path = tmp_path / "t1.txt"
+        assert main(["table", "1", "--fast", "--out", str(path)]) == 0
+        assert "Saving" in path.read_text()
+
+
+class TestSubvtCommand:
+    def test_subvt_sweep(self, capsys):
+        assert main(["subvt", "counter16"]) == 0
+        out = capsys.readouterr().out
+        assert "minimum-energy point" in out
+        assert "Fmax" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_table_number(self):
+        with pytest.raises(SystemExit):
+            main(["table", "3"])

@@ -1,0 +1,94 @@
+"""Unit helpers: SI formatting and parsing."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    UnitError,
+    fmt_energy,
+    fmt_freq,
+    fmt_power,
+    fmt_time,
+    format_si,
+    khz,
+    mhz,
+    ns,
+    parse_si,
+    pj,
+    uw,
+)
+
+
+class TestFormatSi:
+    def test_basic_prefixes(self):
+        assert format_si(29.23e-6, "W") == "29.23uW"
+        assert format_si(14.3e6, "Hz") == "14.3MHz"
+        assert format_si(2.34e-12, "J") == "2.34pJ"
+        assert format_si(70e-9, "s") == "70ns"
+
+    def test_zero_and_specials(self):
+        assert format_si(0, "W") == "0W"
+        assert format_si(float("nan"), "W") == "nanW"
+        assert format_si(float("inf"), "W") == "infW"
+        assert format_si(float("-inf"), "W") == "-infW"
+        assert format_si(None, "W") == "n/a"
+
+    def test_negative(self):
+        assert format_si(-2.5e-3, "A") == "-2.5mA"
+
+    def test_rounding_renormalises(self):
+        # 999.96e3 rounds to 1000k -> should renormalise to 1M
+        assert format_si(999.96e3, "Hz", digits=4) == "1MHz"
+
+    def test_extreme_exponents_clamped(self):
+        assert format_si(5e12, "Hz").endswith("GHz")
+        assert format_si(1e-17, "J").endswith("fJ")
+
+
+class TestParseSi:
+    def test_with_unit(self):
+        assert parse_si("14.3MHz", "Hz") == pytest.approx(14.3e6)
+        assert parse_si("250uW", "W") == pytest.approx(250e-6)
+        assert parse_si("70ns", "s") == pytest.approx(70e-9)
+
+    def test_without_unit(self):
+        assert parse_si("0.6") == pytest.approx(0.6)
+        assert parse_si("2k") == pytest.approx(2000)
+
+    def test_micro_sign(self):
+        assert parse_si("30µW", "W") == pytest.approx(30e-6)
+
+    def test_numeric_passthrough(self):
+        assert parse_si(42) == 42.0
+        assert parse_si(0.5) == 0.5
+
+    def test_bad_input(self):
+        with pytest.raises(UnitError):
+            parse_si("not-a-number", "W")
+        with pytest.raises(UnitError):
+            parse_si("", "W")
+
+    @given(st.floats(min_value=1e-14, max_value=1e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_roundtrip(self, value):
+        text = format_si(value, "W", digits=9)
+        parsed = parse_si(text, "W")
+        assert parsed == pytest.approx(value, rel=1e-6)
+
+
+class TestConvenience:
+    def test_wrappers(self):
+        assert fmt_freq(1e6) == "1MHz"
+        assert fmt_power(1e-6) == "1uW"
+        assert fmt_energy(1e-12) == "1pJ"
+        assert fmt_time(1e-9) == "1ns"
+
+    def test_scalers(self):
+        assert mhz(2) == 2e6
+        assert khz(100) == 1e5
+        assert uw(30) == pytest.approx(30e-6)
+        assert pj(5) == pytest.approx(5e-12)
+        assert ns(70) == pytest.approx(70e-9)
+        assert math.isclose(mhz(14.3), 14.3e6)
