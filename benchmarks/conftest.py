@@ -6,6 +6,9 @@ session-scoped and shared by every benchmark; the timed portion of each
 benchmark is the analysis that regenerates the table/figure.
 
 Set ``REPRO_FAST_BENCH=1`` to use the trimmed workloads (useful in CI).
+Set ``REPRO_BENCH_WORKERS=N`` to fan sweeps over N worker processes and
+``REPRO_CACHE_DIR=...`` to persist results between benchmark runs; the
+shared ``runner`` fixture picks both up.
 """
 
 import os
@@ -27,6 +30,16 @@ def m0_study():
     from repro.paper import cortex_m0_study
 
     return cortex_m0_study(fast=_FAST)
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Shared experiment runner (workers + result cache from the env)."""
+    from repro.runner import Runner, default_cache
+
+    value = os.environ.get("REPRO_BENCH_WORKERS", "")
+    workers = int(value) if value.strip() else None
+    return Runner(workers=workers, cache=default_cache())
 
 
 def emit(title, body):

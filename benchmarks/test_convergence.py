@@ -12,8 +12,9 @@ from repro.units import fmt_freq
 from .conftest import emit
 
 
-def test_convergence_multiplier(benchmark, mult_study):
-    fc = benchmark(find_convergence, mult_study.model, Mode.SCPG)
+def test_convergence_multiplier(benchmark, mult_study, runner):
+    fc = benchmark(find_convergence, mult_study.model, Mode.SCPG,
+                   runner=runner)
     text = "model: {}   (paper: ~15 MHz)".format(
         fmt_freq(fc) if fc else "no crossing below SCPG Fmax "
         "({})".format(fmt_freq(mult_study.model.feasible_fmax(Mode.SCPG))))
@@ -22,8 +23,9 @@ def test_convergence_multiplier(benchmark, mult_study):
         assert 9e6 < fc < 25e6
 
 
-def test_convergence_m0(benchmark, m0_study):
-    fc = benchmark(find_convergence, m0_study.model, Mode.SCPG)
+def test_convergence_m0(benchmark, m0_study, runner):
+    fc = benchmark(find_convergence, m0_study.model, Mode.SCPG,
+                   runner=runner)
     emit("Convergence frequency -- Cortex-M0",
          "model: {}   (paper: ~5 MHz)".format(fmt_freq(fc)))
     assert fc is not None

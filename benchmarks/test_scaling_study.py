@@ -18,10 +18,11 @@ from .conftest import emit
 WIDTHS = (8, 12, 16, 24)
 
 
-def test_scaling_study(benchmark, mult_study):
+def test_scaling_study(benchmark, mult_study, runner):
     lib = mult_study.library
     study = benchmark.pedantic(
-        scaling_study, args=(lib, WIDTHS), rounds=1, iterations=1)
+        scaling_study, args=(lib, WIDTHS), kwargs={"runner": runner},
+        rounds=1, iterations=1)
 
     lines = ["{:>6} {:>8} {:>11} {:>11} {:>12} {:>10} {:>7} {:>8}".format(
         "width", "gates", "comb leak", "overhead", "convergence",

@@ -4,6 +4,15 @@ Hill; DATE 2011).
 
 Quick start::
 
+    from repro import Session
+
+    session = Session(workers=4)          # scl90 library, 4-way sweeps
+    handle = session.design("mult16")     # registry-built multiplier
+    rows = handle.table([1e4, 1e6, 1e7])  # Table-I style rows
+    print(session.stats.render())         # what the runner did
+
+The lower-level entry points remain public (see ``docs/api.md``)::
+
     from repro import multiplier_study, Mode, build_table, format_table
     from repro.analysis.tables import TABLE_I_FREQS
 
@@ -16,7 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 ========================  ====================================================
 ``repro.tech``            synthetic 90nm library, device models, Liberty-lite
 ``repro.netlist``         netlist model, Verilog subset I/O, transforms
-``repro.circuits``        multiplier / M0-lite / block generators
+``repro.circuits``        multiplier / M0-lite / block generators + registry
 ``repro.sim``             event-driven simulator, VCD, activity capture
 ``repro.sta``             static timing analysis
 ``repro.power``           leakage / dynamic / rails / header sizing
@@ -25,17 +34,22 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.flows``           Fig. 5 implementation flows
 ``repro.subvt``           sub-threshold study (§IV)
 ``repro.analysis``        tables, figures, sweeps, ASCII plots
+``repro.runner``          parallel grid evaluation + result cache + stats
+``repro.session``         the Session/DesignHandle facade over all of it
 ========================  ====================================================
 """
 
 from .analysis.tables import build_table, format_table
+from .circuits.registry import available_designs, register_design
 from .errors import ReproError
 from .netlist.core import Design, Module
 from .paper import CaseStudy, cortex_m0_study, multiplier_study
+from .runner import ResultCache, Runner, RunStats, evaluate_grid
 from .scpg import Mode, ScpgPowerModel, apply_scpg
+from .session import DesignHandle, Session
 from .tech import build_scl90
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
@@ -50,5 +64,13 @@ __all__ = [
     "cortex_m0_study",
     "build_table",
     "format_table",
+    "Session",
+    "DesignHandle",
+    "Runner",
+    "RunStats",
+    "ResultCache",
+    "evaluate_grid",
+    "register_design",
+    "available_designs",
     "__version__",
 ]

@@ -19,6 +19,7 @@ from ..errors import ScpgError
 from ..netlist.core import Design
 from ..netlist.stats import module_stats
 from ..power.leakage import leakage_power
+from ..runner import Runner, can_fingerprint, stable_hash
 from ..scpg.power_model import Mode, ScpgPowerModel
 from ..scpg.transform import apply_scpg
 from .sweep import find_convergence
@@ -54,24 +55,9 @@ class ScalingStudy:
 
 def _estimate_e_cycle(module, library):
     """Vectorless switched-energy estimate (adequate for trends)."""
-    from ..power.probabilistic import estimate_activity
-    from ..sta.delay import net_load
+    from ..power.probabilistic import vectorless_switching
 
-    est = estimate_activity(module)
-    half_v2 = 0.5 * library.vdd_nom ** 2
-    total = 0.0
-    for net in module.nets():
-        if net.is_const:
-            continue
-        density = est.density.get(net.name, 0.0)
-        if density <= 0:
-            continue
-        cap = net_load(net, library)
-        driver = net.driver
-        if isinstance(driver, tuple) and driver[0].is_cell:
-            cap += driver[0].cell.c_internal
-        total += half_v2 * cap * density
-    return total
+    return vectorless_switching(module, library)[0]
 
 
 def evaluate_width(library, width):
@@ -108,9 +94,22 @@ def evaluate_width(library, width):
     )
 
 
-def scaling_study(library, widths=(8, 12, 16, 24, 32)):
-    """Sweep multiplier widths; returns a :class:`ScalingStudy`."""
+def _width_point(library, width):
+    return evaluate_width(library, width)
+
+
+def scaling_study(library, widths=(8, 12, 16, 24, 32), runner=None):
+    """Sweep multiplier widths; returns a :class:`ScalingStudy`.
+
+    Each width is an independent build-transform-model pipeline, so with
+    a ``runner`` the widths evaluate in parallel worker processes and land
+    in the content-addressed cache keyed by the library's fingerprint.
+    """
+    runner = Runner() if runner is None else runner
+    cache_key = stable_hash("scaling-point", library) \
+        if can_fingerprint(library) else None
+    points = runner.run(_width_point, [int(w) for w in widths],
+                        context=library, cache_key=cache_key)
     study = ScalingStudy()
-    for width in widths:
-        study.points.append(evaluate_width(library, width))
+    study.points.extend(points)
     return study

@@ -5,6 +5,14 @@ as the clock rises: the per-cycle gating overhead grows linearly with
 frequency while the gatable idle time shrinks.  :func:`find_convergence`
 locates the frequency where SCPG stops saving power -- about 15 MHz for
 the multiplier and 5 MHz for the Cortex-M0 in the paper.
+
+Both entry points execute through :mod:`repro.runner`: pass a
+:class:`~repro.runner.Runner` to fan the grid over worker processes
+and/or reuse the content-addressed result cache.  Sweeps and convergence
+searches share one cache namespace -- a convergence search after a sweep
+of the same model re-reads the sweep's points instead of recomputing
+them.  The defaults (no runner) keep the historical serial, uncached
+behaviour with identical results.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ScpgError
+from ..runner import Runner, can_fingerprint, stable_hash
 from ..scpg.power_model import Mode
 
 
@@ -36,34 +45,65 @@ class FrequencySweep:
         ]
 
 
-def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX)):
-    """Evaluate ``model`` across ``freqs`` for each mode."""
-    out = FrequencySweep(freqs=list(freqs))
-    for mode in modes:
-        rows = []
-        for f in freqs:
-            try:
-                rows.append(model.power(f, mode))
-            except ScpgError:
-                rows.append(None)
-        out.results[mode] = rows
+def _power_point(model, point):
+    freq_hz, mode = point
+    return model.power(freq_hz, mode)
+
+
+def power_cache_key(model):
+    """Cache namespace for one model's ``power(f, mode)`` evaluations.
+
+    ``None`` (caching disabled) for models without a content fingerprint
+    -- a wrong key is worse than no cache.
+    """
+    if not can_fingerprint(model):
+        return None
+    return stable_hash("scpg-power-point", model)
+
+
+def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX),
+          runner=None):
+    """Evaluate ``model`` across ``freqs`` for each mode.
+
+    Infeasible (frequency, mode) points come back as ``None``, exactly as
+    the serial implementation always produced them.
+    """
+    runner = Runner() if runner is None else runner
+    freqs = list(freqs)
+    modes = tuple(modes)
+    grid = [(f, mode) for mode in modes for f in freqs]
+    values = runner.run(_power_point, grid, context=model,
+                        cache_key=power_cache_key(model),
+                        on_error=(ScpgError,))
+    out = FrequencySweep(freqs=freqs)
+    for i, mode in enumerate(modes):
+        out.results[mode] = values[i * len(freqs):(i + 1) * len(freqs)]
     return out
 
 
 def find_convergence(model, mode=Mode.SCPG, f_lo=1e4, f_hi=None,
-                     tolerance=1e-3):
+                     tolerance=1e-3, runner=None):
     """Frequency where ``mode`` stops saving power versus No-PG.
 
     The saving ``P_nopg(f) - P_mode(f)`` decreases monotonically with
     frequency (linear overhead vs shrinking idle time), so bisection finds
     the zero crossing.  Returns ``None`` when the mode still saves power at
     its own maximum feasible frequency.
+
+    Every breakdown evaluation goes through the runner's cached evaluator,
+    so the No-PG reference is computed once per frequency and repeated
+    searches over the same model (with a cache-equipped runner) evaluate
+    nothing at all.
     """
+    runner = Runner() if runner is None else runner
     if f_hi is None:
         f_hi = model.feasible_fmax(mode)
+    breakdown = runner.evaluator(
+        lambda point: model.power(point[0], point[1]),
+        cache_key=power_cache_key(model))
 
     def saving(f):
-        return model.power(f, Mode.NO_PG).total - model.power(f, mode).total
+        return breakdown((f, Mode.NO_PG)).total - breakdown((f, mode)).total
 
     if saving(f_lo) <= 0:
         raise ScpgError("no saving even at {:.3g} Hz".format(f_lo))

@@ -32,10 +32,14 @@ class TableRowResult:
     saving_scpgmax_pct: float
 
 
-def build_table(model, freqs):
+def build_table(model, freqs, runner=None):
     """Evaluate the model on a frequency grid; returns
-    ``list[TableRowResult]``."""
-    data = sweep(model, freqs)
+    ``list[TableRowResult]``.
+
+    ``runner`` (a :class:`repro.runner.Runner`) supplies workers and the
+    result cache for the underlying sweep.
+    """
+    data = sweep(model, freqs, runner=runner)
     rows = []
     for i, f in enumerate(freqs):
         nopg = data.results[Mode.NO_PG][i]

@@ -1,0 +1,131 @@
+"""Design registry: name -> circuit builder, discoverable and extensible.
+
+The CLI used to hard-code a name -> ``__import__`` lambda table; this
+module replaces it with an explicit registry that user code can extend::
+
+    from repro.circuits.registry import register_design
+
+    @register_design("myblock", width=8)
+    def build_myblock(library, width):
+        ...
+        return module
+
+Builders take the library first and keyword parameters after; defaults
+given at registration are overridable at :func:`build` time.  The built-in
+designs (``mult16``, ``m0lite``, ``counter16``, ``lfsr16``) register
+themselves when their modules import, and :func:`_ensure_builtins` imports
+those modules lazily so ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..errors import RegistryError
+
+
+@dataclass(frozen=True)
+class DesignEntry:
+    """One registered design: its builder and default parameters."""
+
+    name: str
+    builder: object
+    defaults: dict = field(default_factory=dict)
+
+    @property
+    def doc(self):
+        """First line of the builder's docstring."""
+        text = (self.builder.__doc__ or "").strip()
+        return text.splitlines()[0] if text else ""
+
+
+_REGISTRY = {}
+_BUILTINS = ("multiplier", "m0lite", "counters")
+_builtins_loaded = False
+
+
+def register_design(name, **defaults):
+    """Parametrised decorator: register the decorated builder as ``name``.
+
+    ``defaults`` become keyword arguments of the builder, overridable per
+    :func:`build` call -- so one builder can back several named designs
+    (``counter16`` is ``build_counter`` with ``width=16``).
+    """
+    def decorate(builder):
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.builder is not builder:
+            raise RegistryError(
+                "design {!r} is already registered".format(name))
+        _REGISTRY[name] = DesignEntry(name, builder, dict(defaults))
+        return builder
+
+    return decorate
+
+
+def _ensure_builtins():
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import importlib
+
+    for module in _BUILTINS:
+        importlib.import_module("." + module, __package__)
+
+
+def available_designs():
+    """Sorted names of every registered design."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def entry(name):
+    """The :class:`DesignEntry` for ``name``; raises when unknown."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise RegistryError(
+            "unknown design {!r} (available: {})".format(
+                name, ", ".join(available_designs()))) from None
+
+
+def is_registered(name):
+    """True when ``name`` resolves without touching the filesystem."""
+    _ensure_builtins()
+    return name in _REGISTRY
+
+
+def build(name, library, **params):
+    """Build design ``name`` on ``library``; returns the top Module."""
+    e = entry(name)
+    merged = dict(e.defaults)
+    merged.update(params)
+    return e.builder(library, **merged)
+
+
+def resolve(name, library, **params):
+    """A :class:`~repro.netlist.core.Design` by registry name or Verilog
+    path.
+
+    Registered names win; anything that looks like a file path falls back
+    to the structural-Verilog reader (preserving the CLI's historical
+    behaviour, including ``FileNotFoundError`` for missing files); other
+    names raise :class:`~repro.errors.RegistryError` listing what exists.
+    """
+    from ..netlist.core import Design
+
+    if is_registered(name):
+        return Design(build(name, library, **params), library)
+    if params:
+        raise RegistryError(
+            "parameters are only supported for registered designs, "
+            "not Verilog paths ({!r})".format(name))
+    if name.endswith(".v") or os.sep in name or os.path.exists(name):
+        from ..netlist.verilog import read_verilog
+
+        return read_verilog(name, library)
+    raise RegistryError(
+        "unknown design {!r} (available: {}, or pass a .v file)".format(
+            name, ", ".join(available_designs())))

@@ -14,9 +14,17 @@ writing Python:
 ``subvt``        sub-threshold sweep and minimum-energy point
 ===============  ============================================================
 
-Designs are referenced either by a built-in name (``mult16``, ``m0lite``,
+Designs are referenced either by a registered name (see
+``repro.circuits.registry``; built-ins are ``mult16``, ``m0lite``,
 ``counter16``, ``lfsr16``) or by the path of a structural-Verilog file
 produced by this tool (or any tool emitting the supported subset).
+
+Every command runs through one :class:`repro.Session`, so the global
+options compose with all of them: ``--workers N`` fans sweeps over worker
+processes, ``--cache DIR`` reuses the content-addressed result cache
+(``--no-cache`` disables it, default honours ``REPRO_CACHE_DIR``), and
+``--stats`` prints the runner's counters and stage timings to stderr --
+stdout stays byte-identical to the serial, uncached output.
 """
 
 from __future__ import annotations
@@ -28,38 +36,33 @@ from .errors import ReproError
 from .units import fmt_energy, fmt_freq, fmt_power, parse_si
 
 
-def _load_library(args):
-    from .tech.liberty import read_liberty
-    from .tech.scl90 import build_scl90
+def _session(args):
+    """The command's :class:`~repro.session.Session` (one per invocation)."""
+    if getattr(args, "_session_obj", None) is None:
+        from .session import Session
 
-    if getattr(args, "liberty", None):
-        return read_liberty(args.liberty)
-    return build_scl90()
+        if getattr(args, "no_cache", False):
+            cache = None
+        elif getattr(args, "cache", None):
+            cache = args.cache
+        else:
+            cache = "auto"
+        args._session_obj = Session(
+            liberty=getattr(args, "liberty", None) or None,
+            workers=getattr(args, "workers", None),
+            cache=cache)
+    return args._session_obj
+
+
+def _load_library(args):
+    return _session(args).library
 
 
 def _resolve_design(name, library):
-    """A design by built-in name or Verilog path."""
-    from .netlist.core import Design
+    """Deprecated shim: use :func:`repro.circuits.registry.resolve`."""
+    from .circuits import registry
 
-    builders = {
-        "mult16": lambda: __import__(
-            "repro.circuits.multiplier", fromlist=["build_mult16"]
-        ).build_mult16(library),
-        "m0lite": lambda: __import__(
-            "repro.circuits.m0lite", fromlist=["build_m0lite"]
-        ).build_m0lite(library),
-        "counter16": lambda: __import__(
-            "repro.circuits.counters", fromlist=["build_counter"]
-        ).build_counter(library, width=16),
-        "lfsr16": lambda: __import__(
-            "repro.circuits.counters", fromlist=["build_lfsr"]
-        ).build_lfsr(library, width=16),
-    }
-    if name in builders:
-        return Design(builders[name](), library)
-    from .netlist.verilog import read_verilog
-
-    return read_verilog(name, library)
+    return registry.resolve(name, library)
 
 
 def _out(args, text):
@@ -87,6 +90,8 @@ def cmd_info(args):
     for flavour, dev in lib.devices.items():
         print("  device {:<5} vth={:.2f} V  n={:.2f}  dibl={:.2f}".format(
             flavour, dev.vth, dev.n, dev.dibl))
+    print("  designs      {}".format(
+        ", ".join(_session(args).designs())))
     return 0
 
 
@@ -98,23 +103,17 @@ def cmd_liberty(args):
 
 
 def cmd_netlist(args):
-    from .netlist.verilog import dumps_verilog
-
-    lib = _load_library(args)
-    design = _resolve_design(args.design, lib)
-    _out(args, dumps_verilog(design))
+    _out(args, _session(args).design(args.design).netlist())
     return 0
 
 
 def cmd_scpg(args):
     from .netlist.verilog import dumps_verilog
-    from .scpg.transform import apply_scpg
 
-    lib = _load_library(args)
-    design = _resolve_design(args.design, lib)
-    scpg = apply_scpg(design, clock_port=args.clock,
-                      header_size=args.header_size)
-    print("SCPG applied to {}:".format(design.top.name))
+    handle = _session(args).design(args.design)
+    scpg = handle.scpg(clock_port=args.clock,
+                       header_size=args.header_size)
+    print("SCPG applied to {}:".format(handle.design.top.name))
     print("  isolation cells : {}".format(len(scpg.iso_instances)))
     print("  headers         : {} x HEADER_X{}".format(
         scpg.headers.count, scpg.headers.cell.drive_strength))
@@ -132,55 +131,20 @@ def cmd_scpg(args):
 
 
 def cmd_sta(args):
-    from .sta.analysis import TimingAnalysis
     from .sta.report import render_timing_report
 
-    lib = _load_library(args)
-    design = _resolve_design(args.design, lib)
-    result = TimingAnalysis(design.top, lib).run(
-        vdd=args.vdd if args.vdd else None)
-    _out(args, render_timing_report(result, design=design.top.name,
+    handle = _session(args).design(args.design)
+    result = handle.sta(vdd=args.vdd if args.vdd else None)
+    _out(args, render_timing_report(result,
+                                    design=handle.design.top.name,
                                     clock=args.clock))
     return 0
 
 
 def cmd_power(args):
-    from .power.leakage import leakage_power
-    from .power.probabilistic import estimate_activity
-    from .power.report import PowerReport
-    from .power.dynamic import DynamicReport
-    from .sta.delay import net_load
-
-    lib = _load_library(args)
-    design = _resolve_design(args.design, lib)
-    vdd = args.vdd or lib.vdd_nom
-    freq = parse_si(args.freq, "Hz")
-    leak = leakage_power(design.top, lib, vdd=vdd)
-
-    # Vectorless dynamic estimate (measured activity needs a workload;
-    # use the Python API for that).
-    est = estimate_activity(design.top)
-    e_cycle = 0.0
-    by_net = {}
-    half_v2 = 0.5 * vdd * vdd
-    for net in design.top.nets():
-        if net.is_const:
-            continue
-        density = est.density.get(net.name, 0.0)
-        if density <= 0:
-            continue
-        cap = net_load(net, lib)
-        driver = net.driver
-        if isinstance(driver, tuple) and driver[0].is_cell:
-            cap += driver[0].cell.c_internal
-        energy = half_v2 * cap * density
-        by_net[net.name] = energy
-        e_cycle += energy
-    dyn = DynamicReport(vdd=vdd, freq_hz=freq, cycles=1,
-                        energy_per_cycle=e_cycle, glitch_factor=1.0,
-                        by_net=by_net)
-    report = PowerReport(design=design.top.name, vdd=vdd, freq_hz=freq,
-                         leakage=leak, dynamic=dyn)
+    handle = _session(args).design(args.design)
+    report = handle.power_report(parse_si(args.freq, "Hz"),
+                                 vdd=args.vdd)
     _out(args, report.render())
     return 0
 
@@ -193,58 +157,37 @@ def cmd_table(args):
         format_table,
     )
 
+    session = _session(args)
     if args.which == 1:
         from .paper import multiplier_study
 
         study = multiplier_study(fast=args.fast)
-        rows = build_table(study.model, TABLE_I_FREQS)
+        rows = build_table(study.model, TABLE_I_FREQS,
+                           runner=session.runner)
         title = "TABLE I (16-bit multiplier)"
     else:
         from .paper import cortex_m0_study
 
         study = cortex_m0_study(fast=args.fast)
-        rows = build_table(study.model, TABLE_II_FREQS)
+        rows = build_table(study.model, TABLE_II_FREQS,
+                           runner=session.runner)
         title = "TABLE II (Cortex-M0 / M0-lite)"
     _out(args, format_table(rows, title) + "\n")
     return 0
 
 
 def cmd_subvt(args):
-    from .power.leakage import leakage_power
-    from .power.probabilistic import estimate_activity
-    from .sta.analysis import TimingAnalysis
-    from .sta.delay import net_load
-    from .subvt.energy import SubvtModel, energy_sweep, \
-        minimum_energy_point
+    from .subvt.energy import energy_sweep, minimum_energy_point
 
-    lib = _load_library(args)
-    design = _resolve_design(args.design, lib)
-    sta = TimingAnalysis(design.top, lib).run()
-    leak = leakage_power(design.top, lib)
-
-    est = estimate_activity(design.top)
-    half_v2 = 0.5 * lib.vdd_nom ** 2
-    e_cycle = 0.0
-    for net in design.top.nets():
-        if net.is_const:
-            continue
-        density = est.density.get(net.name, 0.0)
-        if density <= 0:
-            continue
-        cap = net_load(net, lib)
-        driver = net.driver
-        if isinstance(driver, tuple) and driver[0].is_cell:
-            cap += driver[0].cell.c_internal
-        e_cycle += half_v2 * cap * density
-
-    model = SubvtModel(lib, e_cycle, leak.total, sta.min_period)
+    session = _session(args)
+    model = session.design(args.design).subvt_model()
     print("{:>8} {:>12} {:>12} {:>12}".format(
         "VDD", "Fmax", "E/op", "power"))
-    for point in energy_sweep(model, steps=16):
+    for point in energy_sweep(model, steps=16, runner=session.runner):
         print("{:>6.2f}V {:>12} {:>12} {:>12}".format(
             point.vdd, fmt_freq(point.fmax_hz), fmt_energy(point.energy),
             fmt_power(point.power)))
-    mep = minimum_energy_point(model)
+    mep = minimum_energy_point(model, runner=session.runner)
     print("\nminimum-energy point: {:.0f} mV, {} per op, Fmax {}".format(
         mep.vdd * 1e3, fmt_energy(mep.energy), fmt_freq(mep.fmax_hz)))
     return 0
@@ -261,6 +204,15 @@ def build_parser():
     )
     parser.add_argument("--liberty", help="use a Liberty-lite library "
                         "file instead of the built-in scl90")
+    parser.add_argument("--workers", type=int, help="worker processes "
+                        "for sweeps (0 = one per core; default serial)")
+    parser.add_argument("--cache", help="result-cache directory "
+                        "(default: $REPRO_CACHE_DIR when set)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--stats", action="store_true",
+                        help="print runner counters and stage timings "
+                        "to stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="library summary").set_defaults(
@@ -323,6 +275,10 @@ def main(argv=None):
     except FileNotFoundError as exc:
         print("error: {}".format(exc), file=sys.stderr)
         return 1
+    finally:
+        session = getattr(args, "_session_obj", None)
+        if session is not None and args.stats:
+            print(session.stats.render(), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -52,6 +52,14 @@ class ScpgError(ReproError):
     """Sub-clock power gating transform or model error."""
 
 
+class RegistryError(ReproError):
+    """Unknown design name, or a conflicting registration."""
+
+
+class RunnerError(ReproError):
+    """Batch experiment runner misuse (bad grid, unusable cache...)."""
+
+
 class FlowError(ReproError):
     """Implementation-flow step failed."""
 

@@ -157,3 +157,35 @@ def estimate_activity(module, input_probs=None, input_densities=None,
     if not prob:
         raise PowerError("module has no nets to estimate")
     return ActivityEstimate(prob=prob, density=density)
+
+
+def vectorless_switching(module, library, vdd=None):
+    """Vectorless per-cycle switched energy: ``(e_cycle, by_net)``.
+
+    The probabilistic activity estimate priced against each net's load
+    (wire + pin + driver-internal capacitance) at ``vdd`` (default: the
+    library's characterisation voltage).  Adequate for trend studies and
+    reports when no workload trace exists; measured activity needs a
+    testbench (see :mod:`repro.power.dynamic`).
+    """
+    from ..sta.delay import net_load
+
+    est = estimate_activity(module)
+    vdd = library.vdd_nom if vdd is None else vdd
+    half_v2 = 0.5 * vdd * vdd
+    by_net = {}
+    e_cycle = 0.0
+    for net in module.nets():
+        if net.is_const:
+            continue
+        density = est.density.get(net.name, 0.0)
+        if density <= 0:
+            continue
+        cap = net_load(net, library)
+        driver = net.driver
+        if isinstance(driver, tuple) and driver[0].is_cell:
+            cap += driver[0].cell.c_internal
+        energy = half_v2 * cap * density
+        by_net[net.name] = energy
+        e_cycle += energy
+    return e_cycle, by_net

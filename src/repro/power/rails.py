@@ -64,6 +64,10 @@ class VirtualRailModel:
         self.c_rail = self.params.rail_cap_fraction * c_int
         self.n_gates = gates
 
+    def __fingerprint__(self):
+        """Content identity for result-cache keys (see repro.runner)."""
+        return ("rail-v1", self.c_rail, self.n_gates, self.params)
+
     # -- collapse dynamics ----------------------------------------------------
 
     def swing_fraction(self, t_off):

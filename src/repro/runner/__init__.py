@@ -1,0 +1,48 @@
+"""Batch experiment execution: workers, result cache, instrumentation.
+
+Every sweep, scaling study, corner run and figure regeneration executes
+through this package.  The public surface:
+
+* :func:`evaluate_grid` / :class:`Runner` -- fan a function over a grid of
+  points with deterministic ordering, optional ``multiprocessing``
+  workers (serial fallback) and an optional content-addressed cache;
+* :class:`ResultCache` -- the on-disk store, keyed by stable fingerprints
+  of (design netlist, library parameters, operating point, mode);
+* :class:`CachedEvaluator` -- point-at-a-time caching for search loops;
+* :class:`RunStats` -- per-run counters and stage wall-clocks;
+* :func:`fingerprint` / :func:`stable_hash` / :func:`module_fingerprint`
+  -- the canonical hashing primitives.
+"""
+
+from .cache import CACHE_ENV, CACHE_SCHEMA, ResultCache, default_cache
+from .core import (
+    INFEASIBLE_MARKER,
+    CachedEvaluator,
+    Runner,
+    evaluate_grid,
+    resolve_workers,
+)
+from .fingerprint import (
+    can_fingerprint,
+    fingerprint,
+    module_fingerprint,
+    stable_hash,
+)
+from .instrument import RunStats
+
+__all__ = [
+    "CACHE_ENV",
+    "CACHE_SCHEMA",
+    "CachedEvaluator",
+    "INFEASIBLE_MARKER",
+    "ResultCache",
+    "RunStats",
+    "Runner",
+    "can_fingerprint",
+    "default_cache",
+    "evaluate_grid",
+    "fingerprint",
+    "module_fingerprint",
+    "resolve_workers",
+    "stable_hash",
+]

@@ -1,0 +1,149 @@
+"""Content-addressed on-disk result cache.
+
+Every entry is keyed by a :mod:`~repro.runner.fingerprint` digest of what
+was evaluated, so the cache never needs a dependency graph: editing the
+design or the library changes the key, and the stale entry is simply never
+looked up again.  Explicit invalidation (:meth:`ResultCache.invalidate`,
+:meth:`ResultCache.clear`) exists for operators who want the disk space
+back or distrust an entry.
+
+Values are pickled; a corrupt or unreadable entry degrades to a miss (and
+is deleted best-effort) rather than failing the run.  Writes go through a
+temporary file and ``os.replace`` so concurrent workers never observe a
+half-written entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+
+from .fingerprint import stable_hash
+
+#: Bump when the storage or key format changes; old entries become
+#: unreachable instead of being misread.
+CACHE_SCHEMA = "repro-cache-v1"
+
+#: Environment variable naming the cache directory.  Unset, empty, "0" or
+#: "off" disable the default cache (library users opt in explicitly).
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+_MISS = object()
+
+
+class ResultCache:
+    """A content-addressed pickle store under one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory to store entries in (created on first write).
+    salt:
+        Extra key component; defaults to :data:`CACHE_SCHEMA`.
+    """
+
+    def __init__(self, root, salt=CACHE_SCHEMA):
+        self.root = str(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def key_for(self, *parts):
+        """Derive an entry key from canonicalisable ``parts``."""
+        return stable_hash(self.salt, *parts)
+
+    def _path(self, key):
+        return os.path.join(self.root, key[:2], key + ".pkl")
+
+    def lookup(self, key):
+        """``(hit, value)`` for ``key``; counts the hit or miss."""
+        try:
+            with open(self._path(key), "rb") as f:
+                value = pickle.load(f)
+        except Exception:
+            # Unpickling corrupt bytes can raise nearly anything
+            # (UnpicklingError, ValueError, KeyError, EOFError, ...);
+            # any unreadable entry degrades to a miss.
+            self._drop(key)
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def get(self, key, default=None):
+        """Value for ``key`` or ``default``; counts the hit or miss."""
+        hit, value = self.lookup(key)
+        return value if hit else default
+
+    def put(self, key, value):
+        """Store ``value`` under ``key`` (atomic, last writer wins)."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    def invalidate(self, key):
+        """Drop one entry; returns True when it existed."""
+        return self._drop(key)
+
+    def clear(self):
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for key in self._keys():
+            removed += self._drop(key)
+        return removed
+
+    def _drop(self, key):
+        try:
+            os.unlink(self._path(key))
+        except OSError:
+            return False
+        return True
+
+    def _keys(self):
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            sub = os.path.join(self.root, shard)
+            if not os.path.isdir(sub):
+                continue
+            for entry in sorted(os.listdir(sub)):
+                if entry.endswith(".pkl"):
+                    yield entry[:-len(".pkl")]
+
+    def __len__(self):
+        return sum(1 for _ in self._keys())
+
+    def __contains__(self, key):
+        return os.path.exists(self._path(key))
+
+    def __repr__(self):
+        return "ResultCache({!r}, hits={}, misses={})".format(
+            self.root, self.hits, self.misses)
+
+
+def default_cache(env=os.environ):
+    """The cache named by ``REPRO_CACHE_DIR``, or ``None`` when unset.
+
+    Caching is opt-in for library users: results silently surviving code
+    edits would be surprising as a default.  The schema salt protects
+    against format drift, not against every model change, so the operator
+    chooses when a persistent directory is appropriate.
+    """
+    root = env.get(CACHE_ENV, "").strip()
+    if not root or root.lower() in ("0", "off", "none"):
+        return None
+    return ResultCache(root)

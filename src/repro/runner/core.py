@@ -1,0 +1,262 @@
+"""Grid evaluation: fan sweep points over workers, through the cache.
+
+:func:`evaluate_grid` is the one primitive every analysis rides on.  It
+takes a plain function and a list of points and returns one result per
+point, in point order, regardless of how the work was scheduled:
+
+* **parallelism** -- with ``workers > 1`` points fan out over a
+  ``multiprocessing`` *fork* pool.  Heavy context (a model, a library, a
+  whole case study) is handed to workers through a module global captured
+  at fork time, so it is inherited copy-on-write and never pickled --
+  which also means closures and unpicklable studies work.  Platforms
+  without ``fork`` (and nested pools) fall back to the serial path, which
+  computes bit-identical results;
+* **caching** -- with a :class:`~repro.runner.cache.ResultCache` and a
+  ``cache_key`` describing the heavy context, each point is looked up
+  before evaluation and stored after.  Soft-error (infeasible) points are
+  cached too, as an explicit marker;
+* **soft errors** -- exception types in ``on_error`` map to ``None``
+  results (the convention the sweep code has always used for infeasible
+  operating points); anything else propagates.
+
+:class:`Runner` bundles a worker count, a cache and a
+:class:`~repro.runner.instrument.RunStats` into one reusable policy
+object; :class:`CachedEvaluator` is its point-at-a-time sibling for
+search loops (bisection, golden section) that cannot batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from ..errors import RunnerError
+from .cache import ResultCache
+from .fingerprint import fingerprint
+from .instrument import RunStats
+
+#: Sentinel: "no shared context" (``fn`` is called with the point alone).
+_NO_CONTEXT = object()
+
+#: Stored in the cache for points whose evaluation raised a soft error, so
+#: deterministic infeasibility is a warm-cache no-op like any other result.
+INFEASIBLE_MARKER = "__repro:infeasible__"
+
+#: (fn, context, on_error) captured immediately before the pool forks;
+#: workers read it instead of unpickling task payloads.
+_FORK_STATE = None
+
+
+def _call(fn, context, point):
+    if context is _NO_CONTEXT:
+        return fn(point)
+    return fn(context, point)
+
+
+def _worker_eval(task):
+    index, point = task
+    fn, context, on_error = _FORK_STATE
+    try:
+        return index, _call(fn, context, point), False
+    except on_error:
+        return index, None, True
+
+
+def resolve_workers(workers):
+    """Effective worker count: ``None`` -> serial, ``0`` -> all cores."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise RunnerError("workers must be >= 0")
+    return workers or (os.cpu_count() or 1)
+
+
+def _fork_available():
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # Pool workers are daemonic and may not fork pools of their own.
+    return not multiprocessing.current_process().daemon
+
+
+def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
+                  cache=None, cache_key=None, on_error=(), stats=None):
+    """Evaluate ``fn`` over ``points``; returns results in point order.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(point)`` -- or ``fn(context, point)`` when ``context`` is
+        given.  Return values must be picklable when ``workers > 1``.
+    points:
+        The grid.  Points must be fingerprintable when caching and
+        picklable when running parallel.
+    workers:
+        ``None`` -> serial; ``0`` -> one per core; ``N`` -> at most N
+        processes.  Parallel runs fall back to serial where ``fork`` is
+        unavailable, with identical results.
+    context:
+        Heavy shared state, inherited by workers at fork time (never
+        pickled) -- models, libraries and case studies go here.
+    cache / cache_key:
+        A :class:`ResultCache` plus a digest of everything that defines
+        the evaluation besides the point itself.  Caching is skipped
+        unless both are given.
+    on_error:
+        Exception types that mean "this point is infeasible"; they yield
+        ``None`` results instead of propagating.
+    stats:
+        A :class:`RunStats` to accumulate into (one is created -- and
+        discarded -- when omitted).
+    """
+    points = list(points)
+    stats = RunStats() if stats is None else stats
+    stats.points += len(points)
+    on_error = tuple(on_error)
+    use_cache = cache is not None and cache_key is not None
+
+    results = [None] * len(points)
+    keys = [None] * len(points)
+    pending = []
+    if use_cache:
+        with stats.stage("cache"):
+            for index, point in enumerate(points):
+                key = cache.key_for(cache_key, fingerprint(point))
+                keys[index] = key
+                hit, value = cache.lookup(key)
+                if hit:
+                    stats.cache_hits += 1
+                    if isinstance(value, str) and value == INFEASIBLE_MARKER:
+                        stats.infeasible += 1
+                        value = None
+                    results[index] = value
+                else:
+                    stats.cache_misses += 1
+                    pending.append((index, point))
+    else:
+        pending = list(enumerate(points))
+
+    nworkers = min(resolve_workers(workers), max(len(pending), 1))
+    stats.workers = max(stats.workers, nworkers)
+    errored = set()
+    if pending:
+        with stats.stage("evaluate"):
+            if nworkers > 1 and _fork_available():
+                _run_forked(fn, context, on_error, pending, nworkers,
+                            results, errored)
+            else:
+                for index, point in pending:
+                    try:
+                        results[index] = _call(fn, context, point)
+                    except on_error:
+                        results[index] = None
+                        errored.add(index)
+        stats.evaluated += len(pending)
+        stats.infeasible += len(errored)
+
+    if use_cache and pending:
+        with stats.stage("cache"):
+            for index, _ in pending:
+                value = INFEASIBLE_MARKER if index in errored \
+                    else results[index]
+                cache.put(keys[index], value)
+    return results
+
+
+def _run_forked(fn, context, on_error, pending, nworkers, results,
+                errored):
+    global _FORK_STATE
+    if _FORK_STATE is not None:
+        raise RunnerError("re-entrant parallel evaluate_grid")
+    ctx = multiprocessing.get_context("fork")
+    chunksize = max(1, len(pending) // (nworkers * 4))
+    _FORK_STATE = (fn, context, on_error)
+    try:
+        with ctx.Pool(processes=nworkers) as pool:
+            for index, value, soft_error in pool.imap_unordered(
+                    _worker_eval, pending, chunksize=chunksize):
+                results[index] = value
+                if soft_error:
+                    errored.add(index)
+    finally:
+        _FORK_STATE = None
+
+
+class CachedEvaluator:
+    """Point-at-a-time evaluation with memoisation and the shared cache.
+
+    For search loops that cannot batch their points up front.  Results are
+    memoised in process and, when the owning :class:`Runner` has a cache
+    and the evaluator a ``cache_key``, persisted like grid results.
+    Exceptions always propagate (a search loop must see infeasibility);
+    cached infeasible markers are treated as misses for the same reason.
+
+    ``calls`` counts actual underlying evaluations -- the number a
+    convergence search pays after caching, which tests assert on.
+    """
+
+    def __init__(self, fn, cache=None, cache_key=None, stats=None):
+        self.fn = fn
+        self.cache = cache if cache_key is not None else None
+        self.cache_key = cache_key
+        self.stats = RunStats() if stats is None else stats
+        self.calls = 0
+        self._memo = {}
+
+    def __call__(self, point):
+        token = fingerprint(point)
+        self.stats.points += 1
+        if token in self._memo:
+            self.stats.cache_hits += 1
+            return self._memo[token]
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(self.cache_key, token)
+            hit, value = self.cache.lookup(key)
+            if hit and not (isinstance(value, str)
+                            and value == INFEASIBLE_MARKER):
+                self.stats.cache_hits += 1
+                self._memo[token] = value
+                return value
+            self.stats.cache_misses += 1
+        value = self.fn(point)
+        self.calls += 1
+        self.stats.evaluated += 1
+        self._memo[token] = value
+        if key is not None:
+            self.cache.put(key, value)
+        return value
+
+
+class Runner:
+    """One execution policy -- workers, cache, stats -- reused across runs.
+
+    ``cache`` may be a :class:`ResultCache`, a directory path, or ``None``
+    (no caching).  All grids and evaluators created through one runner
+    accumulate into the same :class:`RunStats`, so a report can summarise
+    a whole figure regeneration in one line.
+    """
+
+    def __init__(self, workers=None, cache=None, stats=None):
+        self.workers = workers
+        if isinstance(cache, (str, os.PathLike)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.stats = RunStats() if stats is None else stats
+
+    def run(self, fn, points, context=_NO_CONTEXT, cache_key=None,
+            on_error=()):
+        """:func:`evaluate_grid` under this runner's policy."""
+        return evaluate_grid(
+            fn, points, workers=self.workers, context=context,
+            cache=self.cache, cache_key=cache_key, on_error=on_error,
+            stats=self.stats)
+
+    def evaluator(self, fn, cache_key=None):
+        """A :class:`CachedEvaluator` sharing this runner's cache/stats."""
+        return CachedEvaluator(fn, cache=self.cache, cache_key=cache_key,
+                               stats=self.stats)
+
+    def __repr__(self):
+        return "Runner(workers={!r}, cache={!r})".format(
+            self.workers, self.cache)

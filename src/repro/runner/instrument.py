@@ -1,0 +1,67 @@
+"""Per-run instrumentation: what the runner did and where the time went.
+
+A :class:`RunStats` accumulates across every grid the owning runner
+executes -- points seen, points actually evaluated, cache hits/misses,
+infeasible points, and wall-clock per stage -- so a report can print one
+honest summary line for a whole figure regeneration.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunStats:
+    """Counters and stage timings for one runner (or one run)."""
+
+    points: int = 0           # grid points requested
+    evaluated: int = 0        # points actually computed (not cache/memo)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    infeasible: int = 0       # points whose evaluation raised a soft error
+    workers: int = 1          # widest worker pool used
+    stages: dict = field(default_factory=dict)   # stage name -> seconds
+
+    @contextmanager
+    def stage(self, name):
+        """Accumulate wall-clock spent in the ``with`` body under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) \
+                + time.perf_counter() - start
+
+    def merge(self, other):
+        """Fold ``other`` into this one (workers takes the max)."""
+        self.points += other.points
+        self.evaluated += other.evaluated
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.infeasible += other.infeasible
+        self.workers = max(self.workers, other.workers)
+        for name, seconds in other.stages.items():
+            self.stages[name] = self.stages.get(name, 0.0) + seconds
+        return self
+
+    @property
+    def hit_rate(self):
+        """Cache hit fraction over all lookups (0.0 with no cache)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def render(self, prefix="runner"):
+        """A compact multi-line summary (safe for stderr/report footers)."""
+        lines = [
+            "{}: {} points, {} evaluated, {} cache hits, "
+            "{} cache misses, {} infeasible, workers {}".format(
+                prefix, self.points, self.evaluated, self.cache_hits,
+                self.cache_misses, self.infeasible, self.workers)
+        ]
+        for name in sorted(self.stages):
+            lines.append("{}:   {:<13} {:.3f} s".format(
+                prefix, name, self.stages[name]))
+        return "\n".join(lines)

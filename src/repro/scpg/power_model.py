@@ -118,6 +118,28 @@ class ScpgPowerModel:
         self.vdd = vdd
         self.e_iso_cycle = e_iso_cycle
 
+    def __fingerprint__(self):
+        """Content identity for result-cache keys (see repro.runner).
+
+        Everything :meth:`power` reads enters the fingerprint -- including
+        the explicitly-set No-PG base leakages, which default to the SCPG
+        figures but change the NO_PG breakdowns when overridden.
+        """
+        return (
+            "scpg-model-v1",
+            self.e_cycle,
+            self.leak_comb,
+            self.leak_alwayson,
+            self.leak_header_off,
+            self.rail,
+            self.header_gate_cap,
+            self.timing,
+            self.vdd,
+            self.e_iso_cycle,
+            self.leak_comb_base,
+            self.leak_alwayson_base,
+        )
+
     # -- constructors -----------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,274 @@
+"""The high-level facade: ``Session(...).design("mult16").sweep(...)``.
+
+A :class:`Session` owns the three things every analysis needs -- a cell
+library, an execution :class:`~repro.runner.Runner` (workers + result
+cache + stats), and the design registry -- and hands out
+:class:`DesignHandle` objects that lazily build netlists, apply SCPG,
+derive power models and run sweeps through the shared runner::
+
+    from repro import Session
+
+    session = Session(workers=4, cache="~/.cache/repro")
+    handle = session.design("mult16")
+    sweep = handle.sweep([1e4, 1e5, 1e6, 5e6])
+    print(handle.minimum_energy_point().vdd)
+    print(session.stats.render())
+
+The CLI, the examples and the benchmark harness all run through this
+facade; the lower-level modules (``repro.analysis``, ``repro.subvt``,
+``repro.scpg``) remain importable directly and unchanged in behaviour.
+"""
+
+from __future__ import annotations
+
+from .runner import ResultCache, Runner, default_cache, module_fingerprint, \
+    stable_hash
+
+
+class Session:
+    """Shared state for a sequence of experiments.
+
+    Parameters
+    ----------
+    library:
+        A :class:`~repro.tech.library.Library`; defaults to the synthetic
+        90nm kit (``build_scl90()``), built lazily.
+    liberty:
+        Path of a Liberty-lite file to load instead (exclusive with
+        ``library``).
+    workers:
+        Worker processes for grid evaluation: ``None`` serial, ``0`` one
+        per core, ``N`` at most N.
+    cache:
+        Result cache: a :class:`~repro.runner.ResultCache`, a directory
+        path, ``None``/``False`` for no caching, or ``"auto"`` (default)
+        to honour the ``REPRO_CACHE_DIR`` environment variable.
+    """
+
+    def __init__(self, library=None, liberty=None, workers=None,
+                 cache="auto"):
+        if library is not None and liberty is not None:
+            raise ValueError("pass either library or liberty, not both")
+        self._library = library
+        self._liberty = liberty
+        if cache == "auto":
+            cache = default_cache()
+        elif cache is False:
+            cache = None
+        elif isinstance(cache, str):
+            import os
+
+            cache = ResultCache(os.path.expanduser(cache))
+        self.runner = Runner(workers=workers, cache=cache)
+
+    @property
+    def library(self):
+        """The session's cell library (built/loaded on first use)."""
+        if self._library is None:
+            if self._liberty is not None:
+                from .tech.liberty import read_liberty
+
+                self._library = read_liberty(self._liberty)
+            else:
+                from .tech.scl90 import build_scl90
+
+                self._library = build_scl90()
+        return self._library
+
+    @property
+    def stats(self):
+        """Accumulated :class:`~repro.runner.RunStats` for this session."""
+        return self.runner.stats
+
+    def designs(self):
+        """Names the registry can build (see :meth:`design`)."""
+        from .circuits import registry
+
+        return registry.available_designs()
+
+    def design(self, name, **params):
+        """A :class:`DesignHandle` for a registry name or Verilog path."""
+        return DesignHandle(self, name, params)
+
+    def __repr__(self):
+        return "Session(library={!r}, runner={!r})".format(
+            self._library if self._library is not None else "scl90(lazy)",
+            self.runner)
+
+
+class DesignHandle:
+    """One design inside a session: lazily built, analysed on demand.
+
+    Everything heavyweight -- the netlist, the SCPG transform, the STA
+    run, the derived power models -- is computed at most once per handle;
+    grid evaluations route through the session's runner (workers + cache).
+    """
+
+    def __init__(self, session, name, params):
+        self.session = session
+        self.name = name
+        self.params = dict(params)
+        self._design = None
+        self._scpg = None
+        self._sta = None
+        self._switching = None
+        self._power_model = None
+        self._subvt_model = None
+
+    # -- construction ---------------------------------------------------------
+
+    @property
+    def design(self):
+        """The :class:`~repro.netlist.core.Design` (built on first use)."""
+        if self._design is None:
+            from .circuits import registry
+
+            self._design = registry.resolve(
+                self.name, self.session.library, **self.params)
+        return self._design
+
+    @property
+    def fingerprint(self):
+        """Content digest of (netlist, library) for cache keys."""
+        return stable_hash("design-v1",
+                           module_fingerprint(self.design.top),
+                           self.session.library)
+
+    def netlist(self):
+        """The design as structural Verilog text."""
+        from .netlist.verilog import dumps_verilog
+
+        return dumps_verilog(self.design)
+
+    def scpg(self, **kwargs):
+        """Apply sub-clock power gating (cached for default arguments)."""
+        from .scpg.transform import apply_scpg
+
+        if kwargs:
+            return apply_scpg(self.design, **kwargs)
+        if self._scpg is None:
+            e_cycle, _ = self.switching()
+            self._scpg = apply_scpg(self.design,
+                                    energy_per_cycle=e_cycle)
+        return self._scpg
+
+    # -- analyses -------------------------------------------------------------
+
+    def sta(self, vdd=None):
+        """Timing analysis result (memoised at the nominal supply)."""
+        from .sta.analysis import TimingAnalysis
+
+        if vdd is not None:
+            return TimingAnalysis(self.design.top,
+                                  self.session.library).run(vdd=vdd)
+        if self._sta is None:
+            self._sta = TimingAnalysis(self.design.top,
+                                       self.session.library).run()
+        return self._sta
+
+    def switching(self, vdd=None):
+        """Vectorless ``(e_cycle, by_net)`` switching estimate."""
+        from .power.probabilistic import vectorless_switching
+
+        if vdd is not None:
+            return vectorless_switching(self.design.top,
+                                        self.session.library, vdd)
+        if self._switching is None:
+            self._switching = vectorless_switching(
+                self.design.top, self.session.library)
+        return self._switching
+
+    def leakage(self, vdd=None):
+        """Leakage power report at ``vdd`` (default nominal)."""
+        from .power.leakage import leakage_power
+
+        return leakage_power(self.design.top, self.session.library,
+                             vdd=vdd if vdd else None)
+
+    def power_model(self):
+        """An :class:`~repro.scpg.power_model.ScpgPowerModel` with the
+        vectorless energy estimate and measured base leakage."""
+        if self._power_model is None:
+            from .power.leakage import leakage_power
+            from .scpg.power_model import ScpgPowerModel
+
+            e_cycle, _ = self.switching()
+            model = ScpgPowerModel.from_scpg_design(self.scpg(), e_cycle)
+            base = leakage_power(self.design.top, self.session.library)
+            model.leak_comb_base = base.combinational
+            model.leak_alwayson_base = base.always_on
+            self._power_model = model
+        return self._power_model
+
+    def subvt_model(self):
+        """A :class:`~repro.subvt.energy.SubvtModel` from the vectorless
+        estimate, total leakage and the STA minimum period."""
+        if self._subvt_model is None:
+            from .subvt.energy import SubvtModel
+
+            e_cycle, _ = self.switching()
+            self._subvt_model = SubvtModel(
+                self.session.library, e_cycle, self.leakage().total,
+                self.sta().min_period)
+        return self._subvt_model
+
+    # -- experiments (through the session runner) ------------------------------
+
+    def sweep(self, freqs, modes=None, model=None):
+        """Frequency sweep of the SCPG power model over ``freqs``."""
+        from .analysis.sweep import sweep as run_sweep
+
+        model = self.power_model() if model is None else model
+        if modes is None:
+            return run_sweep(model, freqs, runner=self.session.runner)
+        return run_sweep(model, freqs, modes=modes,
+                         runner=self.session.runner)
+
+    def table(self, freqs):
+        """Table I/II-style rows for ``freqs`` (list of mode dicts)."""
+        from .analysis.tables import build_table
+
+        return build_table(self.power_model(), freqs,
+                           runner=self.session.runner)
+
+    def convergence(self, mode=None, **kwargs):
+        """Frequency where gating stops paying (see ``find_convergence``)."""
+        from .analysis.sweep import find_convergence
+        from .scpg.power_model import Mode
+
+        return find_convergence(
+            self.power_model(), mode=Mode.SCPG if mode is None else mode,
+            runner=self.session.runner, **kwargs)
+
+    def energy_sweep(self, **kwargs):
+        """Sub-threshold energy/voltage sweep through the runner."""
+        from .subvt.energy import energy_sweep
+
+        return energy_sweep(self.subvt_model(),
+                            runner=self.session.runner, **kwargs)
+
+    def minimum_energy_point(self, **kwargs):
+        """Sub-threshold minimum-energy point through the runner."""
+        from .subvt.energy import minimum_energy_point
+
+        return minimum_energy_point(self.subvt_model(),
+                                    runner=self.session.runner, **kwargs)
+
+    def power_report(self, freq_hz, vdd=None):
+        """A :class:`~repro.power.report.PowerReport` at one operating
+        point (vectorless dynamic estimate)."""
+        from .power.dynamic import DynamicReport
+        from .power.report import PowerReport
+
+        lib = self.session.library
+        vdd = vdd or lib.vdd_nom
+        e_cycle, by_net = self.switching(vdd=vdd)
+        dyn = DynamicReport(vdd=vdd, freq_hz=freq_hz, cycles=1,
+                            energy_per_cycle=e_cycle, glitch_factor=1.0,
+                            by_net=by_net)
+        return PowerReport(design=self.design.top.name, vdd=vdd,
+                           freq_hz=freq_hz, leakage=self.leakage(vdd=vdd),
+                           dynamic=dyn)
+
+    def __repr__(self):
+        return "DesignHandle({!r})".format(self.name)

@@ -58,6 +58,11 @@ class SubvtModel:
         self.leak_nominal = leak_nominal
         self.min_period = min_period
 
+    def __fingerprint__(self):
+        """Content identity for result-cache keys (see repro.runner)."""
+        return ("subvt-model-v1", self.library, self.e_cycle,
+                self.leak_nominal, self.min_period)
+
     def point(self, vdd):
         """Evaluate one supply voltage."""
         lib = self.library
@@ -73,31 +78,61 @@ class SubvtModel:
         )
 
 
-def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76):
-    """Sweep the supply; returns a list of :class:`EnergyPoint`."""
+def _voltage_point(model, vdd):
+    return model.point(vdd)
+
+
+def _model_cache_key(model):
+    from ..runner import can_fingerprint, stable_hash
+
+    if not can_fingerprint(model):
+        return None
+    return stable_hash("subvt-point", model)
+
+
+def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76, runner=None):
+    """Sweep the supply; returns a list of :class:`EnergyPoint`.
+
+    ``runner`` (a :class:`repro.runner.Runner`) supplies workers and the
+    result cache; by default the sweep runs serial and uncached.
+    """
     if steps < 2 or v_hi <= v_lo:
         raise PowerError("bad sweep range")
-    return [
-        model.point(v_lo + (v_hi - v_lo) * k / (steps - 1))
-        for k in range(steps)
-    ]
+    from ..runner import Runner
+
+    runner = Runner() if runner is None else runner
+    grid = [v_lo + (v_hi - v_lo) * k / (steps - 1) for k in range(steps)]
+    return runner.run(_voltage_point, grid, context=model,
+                      cache_key=_model_cache_key(model))
 
 
-def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3):
-    """Golden-section search for the minimum-energy supply voltage."""
+def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3,
+                         runner=None):
+    """Golden-section search for the minimum-energy supply voltage.
+
+    With a ``runner`` the per-voltage evaluations go through its result
+    cache, so repeated searches over the same model are warm no-ops.
+    """
+    if runner is None:
+        point = model.point
+    else:
+        evaluator = runner.evaluator(
+            lambda vdd: model.point(vdd),
+            cache_key=_model_cache_key(model))
+        point = evaluator
     phi = (5 ** 0.5 - 1) / 2.0
     lo, hi = v_lo, v_hi
     a = hi - phi * (hi - lo)
     b = lo + phi * (hi - lo)
-    ea = model.point(a).energy
-    eb = model.point(b).energy
+    ea = point(a).energy
+    eb = point(b).energy
     while hi - lo > tolerance:
         if ea < eb:
             hi, b, eb = b, a, ea
             a = hi - phi * (hi - lo)
-            ea = model.point(a).energy
+            ea = point(a).energy
         else:
             lo, a, ea = a, b, eb
             b = lo + phi * (hi - lo)
-            eb = model.point(b).energy
-    return model.point((lo + hi) / 2.0)
+            eb = point(b).energy
+    return point((lo + hi) / 2.0)

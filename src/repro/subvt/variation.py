@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import PowerError
+from ..runner import Runner
 from ..scpg.power_model import Mode
 from .energy import SubvtModel, minimum_energy_point
 
@@ -181,47 +182,53 @@ def _evaluate_corner(study, corner, subvt_vdd, scpg_freq, mode, temp_c):
     )
 
 
+def _corner_point(context, corner):
+    study, subvt_vdd, scpg_freq, mode = context
+    return _evaluate_corner(study, corner, subvt_vdd, scpg_freq, mode,
+                            corner.temp_c)
+
+
 def corner_study(study, corners=STANDARD_CORNERS, scpg_freq=2e6,
-                 mode=Mode.SCPG_MAX, subvt_vdd=None):
+                 mode=Mode.SCPG_MAX, subvt_vdd=None, runner=None):
     """Evaluate both techniques across ``corners``.
 
     ``study`` is a :class:`repro.paper.CaseStudy`.  ``subvt_vdd`` defaults
     to the *nominal* minimum-energy supply (the voltage a designer would
-    have committed to silicon).
+    have committed to silicon).  With a ``runner`` the corners evaluate in
+    parallel worker processes (the study reaches workers by fork
+    inheritance -- it is never pickled).
     """
+    runner = Runner() if runner is None else runner
     if subvt_vdd is None:
         subvt_vdd = minimum_energy_point(study.subvt).vdd
     nominal = _evaluate_corner(
         study, Corner("nominal", 0.0, study.library.temp_c), subvt_vdd,
         scpg_freq, mode, study.library.temp_c)
     out = VariationStudy(nominal=nominal)
-    for corner in corners:
-        out.results.append(
-            _evaluate_corner(study, corner, subvt_vdd, scpg_freq, mode,
-                             corner.temp_c))
+    out.results.extend(runner.run(
+        _corner_point, list(corners),
+        context=(study, subvt_vdd, scpg_freq, mode)))
     return out
 
 
 def monte_carlo(study, sigma_vth=DEFAULT_VTH_SIGMA, samples=200,
-                seed=2011, scpg_freq=2e6, mode=Mode.SCPG_MAX):
+                seed=2011, scpg_freq=2e6, mode=Mode.SCPG_MAX,
+                runner=None):
     """Sample global Vth variation; returns ``(VariationStudy, stats)``.
 
     ``stats`` is a dict with the relative standard deviation of energy per
     operation for both techniques (``subvt_rel_std``, ``scpg_rel_std``).
+    The samples are drawn up front from the seeded generator, so serial
+    and parallel runs see the identical corner list.
     """
     rng = np.random.default_rng(seed)
     deltas = rng.normal(0.0, sigma_vth, size=samples)
-    subvt_vdd = minimum_energy_point(study.subvt).vdd
-    nominal = _evaluate_corner(
-        study, Corner("nominal", 0.0, study.library.temp_c), subvt_vdd,
-        scpg_freq, mode, study.library.temp_c)
-    out = VariationStudy(nominal=nominal)
-    for i, delta in enumerate(deltas):
-        corner = Corner("mc{}".format(i), float(delta),
-                        study.library.temp_c)
-        out.results.append(
-            _evaluate_corner(study, corner, subvt_vdd, scpg_freq, mode,
-                             corner.temp_c))
+    corners = [
+        Corner("mc{}".format(i), float(delta), study.library.temp_c)
+        for i, delta in enumerate(deltas)
+    ]
+    out = corner_study(study, corners=corners, scpg_freq=scpg_freq,
+                       mode=mode, runner=runner)
     sub_e = np.array([r.subvt_energy for r in out.results])
     scpg_e = np.array([r.scpg_energy for r in out.results])
     sub_f = np.array([r.subvt_fmax for r in out.results])

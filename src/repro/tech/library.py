@@ -265,6 +265,26 @@ class Library:
     def __contains__(self, name):
         return name in self._cells
 
+    def __fingerprint__(self):
+        """Content identity for result-cache keys (see repro.runner).
+
+        Covers everything the analyses read: the scalar parameters, every
+        device flavour (current and characterisation reference) and every
+        cell's full definition.  Cells and devices are dataclasses, so the
+        canonicaliser descends into them field by field.
+        """
+        return (
+            "library-v1",
+            self.name,
+            self.vdd_nom,
+            self.temp_c,
+            self.wire_cap_per_fanout,
+            self.devices,
+            self.ref_devices,
+            sorted(self._cells),
+            [self._cells[name] for name in sorted(self._cells)],
+        )
+
     def __repr__(self):
         return "Library({}, {} cells, vdd_nom={}V)".format(
             self.name, len(self._cells), self.vdd_nom

@@ -68,3 +68,73 @@ class TestConvergence:
         with pytest.raises(ScpgError):
             # Starting the bisection above convergence: no saving there.
             find_convergence(model, Mode.SCPG, f_lo=fc * 1.2)
+
+
+class TestConvergenceCaching:
+    """Regression: the bisection must not re-pay duplicated power calls."""
+
+    @staticmethod
+    def _counting(model, monkeypatch):
+        calls = []
+        real = model.power
+
+        def counting(freq, mode):
+            calls.append((freq, mode))
+            return real(freq, mode)
+
+        monkeypatch.setattr(model, "power", counting)
+        return calls
+
+    def test_warm_cache_rerun_evaluates_nothing(
+            self, m0_study, tmp_path, monkeypatch):
+        from repro.runner import ResultCache, Runner
+
+        model = m0_study.model
+        calls = self._counting(model, monkeypatch)
+
+        cold_runner = Runner(cache=ResultCache(tmp_path))
+        fc_cold = find_convergence(model, Mode.SCPG, runner=cold_runner)
+        n_cold = len(calls)
+        assert n_cold > 0
+
+        del calls[:]
+        warm_runner = Runner(cache=ResultCache(tmp_path))
+        fc_warm = find_convergence(model, Mode.SCPG, runner=warm_runner)
+        assert calls == []
+        assert fc_warm == fc_cold
+        assert warm_runner.stats.evaluated == 0
+        assert warm_runner.stats.cache_hits == warm_runner.stats.points
+
+    def test_evaluation_count_reduction(
+            self, m0_study, tmp_path, monkeypatch):
+        """Two searches cost one search's evaluations with a cache."""
+        from repro.runner import ResultCache, Runner
+
+        model = m0_study.model
+        calls = self._counting(model, monkeypatch)
+
+        fc_bare = find_convergence(model, Mode.SCPG)
+        find_convergence(model, Mode.SCPG)
+        n_bare = len(calls)
+
+        del calls[:]
+        runner = Runner(cache=ResultCache(tmp_path / "conv"))
+        assert find_convergence(model, Mode.SCPG, runner=runner) == fc_bare
+        assert find_convergence(model, Mode.SCPG, runner=runner) == fc_bare
+        assert 0 < len(calls) == n_bare // 2
+
+    def test_sweep_warms_convergence(self, m0_study, tmp_path, monkeypatch):
+        """Sweeps and searches share one cache namespace per model."""
+        from repro.runner import ResultCache, Runner
+
+        model = m0_study.model
+        runner = Runner(cache=ResultCache(tmp_path))
+        sweep(model, [1e4], modes=(Mode.NO_PG, Mode.SCPG), runner=runner)
+
+        calls = self._counting(model, monkeypatch)
+        find_convergence(model, Mode.SCPG, runner=runner)
+        # The f_lo endpoint (1e4 for both modes) came from the sweep's
+        # entries; only genuinely new frequencies were evaluated.
+        assert (1e4, Mode.NO_PG) not in calls
+        assert (1e4, Mode.SCPG) not in calls
+        assert len(calls) > 0

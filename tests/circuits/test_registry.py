@@ -1,0 +1,75 @@
+"""The design registry: names -> builders, plus Verilog-path fallback."""
+
+import pytest
+
+from repro.circuits import registry
+from repro.errors import RegistryError
+from repro.netlist.core import Design
+
+BUILTINS = ["counter16", "lfsr16", "m0lite", "mult16"]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert registry.available_designs() == BUILTINS
+        for name in BUILTINS:
+            assert registry.is_registered(name)
+
+    def test_build_default_params(self, lib):
+        top = registry.build("counter16", lib)
+        assert top.name == "counter16"
+
+    def test_build_param_override(self, lib):
+        wide = registry.build("counter16", lib, width=24)
+        narrow = registry.build("counter16", lib, width=8)
+        assert len(list(wide.cell_instances())) \
+            > len(list(narrow.cell_instances()))
+
+    def test_entry_metadata(self):
+        e = registry.entry("mult16")
+        assert e.name == "mult16"
+        assert e.defaults == {"width": 16}
+        assert e.doc
+
+    def test_unknown_name_lists_available(self, lib):
+        with pytest.raises(RegistryError) as err:
+            registry.resolve("mult32", lib)
+        message = str(err.value)
+        assert "mult32" in message
+        for name in BUILTINS:
+            assert name in message
+
+    def test_entry_unknown_name(self):
+        with pytest.raises(RegistryError):
+            registry.entry("nope")
+
+    def test_resolve_registered(self, lib):
+        design = registry.resolve("mult16", lib)
+        assert isinstance(design, Design)
+        assert design.top.name == "mult16"
+
+    def test_resolve_verilog_path(self, lib, tmp_path, toy_design):
+        from repro.netlist.verilog import dumps_verilog
+
+        path = tmp_path / "toy.v"
+        path.write_text(dumps_verilog(toy_design))
+        design = registry.resolve(str(path), lib)
+        assert design.top.name == toy_design.top.name
+
+    def test_resolve_missing_file(self, lib):
+        with pytest.raises(FileNotFoundError):
+            registry.resolve("missing/file.v", lib)
+
+    def test_params_rejected_for_paths(self, lib):
+        with pytest.raises(RegistryError):
+            registry.resolve("some/file.v", lib, width=8)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError):
+            registry.register_design("mult16")(lambda library: None)
+
+    def test_cli_shim_still_resolves(self, lib):
+        from repro.cli import _resolve_design
+
+        design = _resolve_design("counter16", lib)
+        assert design.top.name == "counter16"

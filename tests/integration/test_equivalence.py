@@ -30,8 +30,8 @@ PROGRAM = """
     ldr  r4, [r3, #0]
     movi r5, #4
 loop:
-    addi r5, #-1
     add  r4, r1
+    addi r5, #-1        ; decrement last: bne tests ITS flags (docs/isa.md)
     bne  loop
     halt
 """

@@ -1,0 +1,90 @@
+"""The on-disk result cache: storage, invalidation, env plumbing."""
+
+import pytest
+
+from repro.runner import CACHE_ENV, ResultCache, default_cache
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestResultCache:
+    def test_roundtrip(self, cache):
+        key = cache.key_for("ns", "point")
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        cache.put(key, {"power": 1.5})
+        hit, value = cache.lookup(key)
+        assert hit and value == {"power": 1.5}
+        assert cache.get(key) == {"power": 1.5}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_none_is_a_real_value(self, cache):
+        key = cache.key_for("ns", "point")
+        cache.put(key, None)
+        hit, value = cache.lookup(key)
+        assert hit and value is None
+
+    def test_counters(self, cache):
+        key = cache.key_for("k")
+        cache.lookup(key)
+        cache.put(key, 1)
+        cache.lookup(key)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.puts == 1
+
+    def test_invalidate(self, cache):
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        cache.invalidate(key)
+        assert key not in cache
+        cache.invalidate(key)   # idempotent
+
+    def test_clear(self, cache):
+        for i in range(5):
+            cache.put(cache.key_for("k", i), i)
+        assert len(cache) == 5
+        cache.clear()
+        assert len(cache) == 0
+
+    # pickle.load raises UnpicklingError for the first payload and
+    # ValueError for the second -- both must degrade to a miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n"])
+    def test_corrupt_entry_is_a_miss(self, cache, junk):
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as f:
+            f.write(junk)
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        cache.put(key, 2)
+        assert cache.get(key) == 2
+
+    def test_salt_partitions_keys(self, tmp_path):
+        a = ResultCache(tmp_path, salt="v1")
+        b = ResultCache(tmp_path, salt="v2")
+        assert a.key_for("k") != b.key_for("k")
+
+    def test_key_depends_on_all_parts(self, cache):
+        assert cache.key_for("a", "b") != cache.key_for("a", "c")
+        assert cache.key_for("a", "b") != cache.key_for("ab")
+
+
+class TestDefaultCache:
+    def test_unset_means_no_cache(self):
+        assert default_cache(env={}) is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "none", "OFF"])
+    def test_disabling_values(self, value):
+        assert default_cache(env={CACHE_ENV: value}) is None
+
+    def test_directory(self, tmp_path):
+        cache = default_cache(env={CACHE_ENV: str(tmp_path / "rc")})
+        assert isinstance(cache, ResultCache)
+        key = cache.key_for("k")
+        cache.put(key, 42)
+        assert cache.get(key) == 42

@@ -1,0 +1,99 @@
+"""Content fingerprints: the identity layer under the result cache."""
+
+import enum
+from dataclasses import dataclass
+
+import pytest
+
+from repro.circuits.registry import build
+from repro.errors import RunnerError
+from repro.runner import (
+    can_fingerprint,
+    fingerprint,
+    module_fingerprint,
+    stable_hash,
+)
+from repro.scpg.power_model import Mode
+
+
+@dataclass
+class _Point:
+    freq: float
+    mode: Mode
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        value = (1.5, "x", Mode.SCPG, {"b": 2, "a": 1})
+        assert fingerprint(value) == fingerprint(value)
+
+    def test_dict_order_irrelevant(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_distinguishes_values(self):
+        assert fingerprint(0.1) != fingerprint(0.2)
+        assert fingerprint(Mode.SCPG) != fingerprint(Mode.NO_PG)
+        assert fingerprint([1, 2]) != fingerprint([2, 1])
+
+    def test_float_exactness(self):
+        # float.hex canonicalisation: nearby but unequal floats differ.
+        assert fingerprint(1e6) != fingerprint(1e6 + 1e-6)
+
+    def test_dataclass_by_fields(self):
+        assert fingerprint(_Point(1e6, Mode.SCPG)) \
+            == fingerprint(_Point(1e6, Mode.SCPG))
+        assert fingerprint(_Point(1e6, Mode.SCPG)) \
+            != fingerprint(_Point(1e6, Mode.SCPG_MAX))
+
+    def test_fingerprint_hook(self):
+        class Model:
+            def __init__(self, tag):
+                self.tag = tag
+                self.junk = object()   # not canonicalisable
+
+            def __fingerprint__(self):
+                return ("model-v1", self.tag)
+
+        assert fingerprint(Model("a")) == fingerprint(Model("a"))
+        assert fingerprint(Model("a")) != fingerprint(Model("b"))
+        assert can_fingerprint(Model("a"))
+
+    def test_unfingerprintable_raises(self):
+        with pytest.raises(RunnerError):
+            fingerprint(object())
+        assert not can_fingerprint(object())
+        assert not can_fingerprint(lambda x: x)
+
+    def test_stable_hash_mixes_parts(self):
+        assert stable_hash("ns", 1) == stable_hash("ns", 1)
+        assert stable_hash("ns", 1) != stable_hash("ns", 2)
+        assert stable_hash("ns", 1) != stable_hash("other", 1)
+
+
+class TestModuleFingerprint:
+    def test_stable_across_rebuilds(self, lib):
+        a = build("counter16", lib)
+        b = build("counter16", lib)
+        assert module_fingerprint(a) == module_fingerprint(b)
+
+    def test_parameter_changes_fingerprint(self, lib):
+        assert module_fingerprint(build("counter16", lib)) \
+            != module_fingerprint(build("counter16", lib, width=8))
+
+    def test_edit_changes_fingerprint(self, toy_design):
+        before = module_fingerprint(toy_design.top)
+        inst = next(iter(toy_design.top.cell_instances()))
+        net = toy_design.top.add_net("extra")
+        toy_design.top.add_instance(
+            "spy", "INV_X1", {"A": inst.connections["Y"], "Y": net},
+            library=toy_design.library)
+        assert module_fingerprint(toy_design.top) != before
+
+    def test_enum_identity_not_by_value(self):
+        class A(enum.Enum):
+            X = 1
+
+        class B(enum.Enum):
+            X = 1
+
+        assert fingerprint(A.X) != fingerprint(B.X)

@@ -1,0 +1,100 @@
+"""The Session facade: registry round-trips and handle-level analyses."""
+
+import pytest
+
+from repro import Session
+from repro.errors import RegistryError
+from repro.runner import ResultCache
+from repro.scpg.power_model import Mode, PowerBreakdown
+
+
+@pytest.fixture(scope="module")
+def session(lib):
+    return Session(library=lib, cache=False)
+
+
+class TestSession:
+    def test_designs_match_registry(self, session):
+        from repro.circuits.registry import available_designs
+
+        assert session.designs() == available_designs()
+
+    def test_default_library_lazy(self):
+        s = Session(cache=False)
+        assert s._library is None
+        assert s.library.name == "scl90"
+
+    def test_explicit_library_used(self, session, lib):
+        assert session.library is lib
+
+    def test_unknown_design(self, session):
+        with pytest.raises(RegistryError):
+            session.design("mult32").design
+
+    def test_handle_memoises_design(self, session):
+        handle = session.design("counter16")
+        assert handle.design is handle.design
+
+    def test_param_round_trip(self, session):
+        handle = session.design("counter16", width=8)
+        assert handle.params == {"width": 8}
+        assert len(list(handle.design.top.cell_instances())) \
+            < len(list(session.design("counter16").design.top
+                       .cell_instances()))
+
+    def test_fingerprint_tracks_params(self, session):
+        assert session.design("counter16").fingerprint \
+            == session.design("counter16").fingerprint
+        assert session.design("counter16").fingerprint \
+            != session.design("counter16", width=8).fingerprint
+
+    def test_netlist_is_verilog(self, session):
+        text = session.design("counter16").netlist()
+        assert text.startswith("module counter16")
+
+    def test_cache_settings(self, tmp_path, lib):
+        assert Session(library=lib, cache=False).runner.cache is None
+        explicit = Session(library=lib, cache=str(tmp_path))
+        assert isinstance(explicit.runner.cache, ResultCache)
+        # "auto" consults REPRO_CACHE_DIR; either way it must construct.
+        auto = Session(library=lib).runner.cache
+        assert auto is None or isinstance(auto, ResultCache)
+
+
+class TestDesignHandleAnalyses:
+    """One cheap design exercised end to end through the facade."""
+
+    def test_power_model_and_sweep(self, session):
+        handle = session.design("counter16")
+        model = handle.power_model()
+        breakdown = model.power(1e6, Mode.SCPG)
+        assert isinstance(breakdown, PowerBreakdown)
+
+        data = handle.sweep([0.1e6, 1e6])
+        assert data.freqs == [0.1e6, 1e6]
+        assert session.stats.points >= 6
+
+    def test_table_rows(self, session):
+        rows = session.design("counter16").table([0.1e6, 1e6])
+        assert [r.freq_hz for r in rows] == [0.1e6, 1e6]
+        assert rows[0].saving_scpgmax_pct > 0
+
+    def test_subvt_minimum_energy(self, session):
+        mep = session.design("counter16").minimum_energy_point()
+        assert 0.15 < mep.vdd < 0.9
+
+    def test_power_report(self, session):
+        report = session.design("counter16").power_report(1e6)
+        assert report.design == "counter16"
+        assert report.total > 0
+
+    def test_results_cached_across_handles(self, tmp_path, lib):
+        cached = Session(library=lib, cache=str(tmp_path))
+        cached.design("counter16").sweep([1e6])
+        evaluated_cold = cached.stats.evaluated
+        assert evaluated_cold > 0
+
+        rerun = Session(library=lib, cache=str(tmp_path))
+        rerun.design("counter16").sweep([1e6])
+        assert rerun.stats.evaluated == 0
+        assert rerun.stats.cache_hits == rerun.stats.points
