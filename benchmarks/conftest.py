@@ -9,13 +9,40 @@ Set ``REPRO_FAST_BENCH=1`` to use the trimmed workloads (useful in CI).
 Set ``REPRO_BENCH_WORKERS=N`` to fan sweeps over N worker processes and
 ``REPRO_CACHE_DIR=...`` to persist results between benchmark runs; the
 shared ``runner`` fixture picks both up.
+
+Observability (both spellings work; the flags require running pytest
+*from this directory's args*, e.g. ``pytest benchmarks --stats-json=...``,
+the env vars work from anywhere):
+
+* ``--stats-json PATH`` / ``REPRO_BENCH_STATS_JSON=PATH`` -- dump the
+  shared runner's counters and stage timings as JSON when the session
+  ends (CI uploads this as a build artifact);
+* ``--journal PATH`` / ``REPRO_BENCH_JOURNAL=PATH`` -- append the JSONL
+  run journal of every grid the shared runner executed.
 """
 
+import json
 import os
 
 import pytest
 
 _FAST = os.environ.get("REPRO_FAST_BENCH", "") == "1"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro")
+    group.addoption("--stats-json", default=None, metavar="PATH",
+                    help="write the shared runner's stats as JSON")
+    group.addoption("--journal", default=None, metavar="PATH",
+                    help="append the shared runner's JSONL journal")
+
+
+def _option(config, name, env):
+    try:
+        value = config.getoption(name)
+    except ValueError:
+        value = None
+    return value or os.environ.get(env, "").strip() or None
 
 
 @pytest.fixture(scope="session")
@@ -33,13 +60,24 @@ def m0_study():
 
 
 @pytest.fixture(scope="session")
-def runner():
+def runner(pytestconfig):
     """Shared experiment runner (workers + result cache from the env)."""
     from repro.runner import Runner, default_cache
 
     value = os.environ.get("REPRO_BENCH_WORKERS", "")
     workers = int(value) if value.strip() else None
-    return Runner(workers=workers, cache=default_cache())
+    runner = Runner(workers=workers, cache=default_cache(),
+                    journal=_option(pytestconfig, "--journal",
+                                    "REPRO_BENCH_JOURNAL"))
+    yield runner
+    runner.close()
+    stats_path = _option(pytestconfig, "--stats-json",
+                         "REPRO_BENCH_STATS_JSON")
+    if stats_path:
+        with open(stats_path, "w") as f:
+            json.dump(runner.stats.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        emit("Runner stats", "wrote {}".format(stats_path))
 
 
 def emit(title, body):

@@ -44,7 +44,8 @@ from .circuits.registry import available_designs, register_design
 from .errors import ReproError
 from .netlist.core import Design, Module
 from .paper import CaseStudy, cortex_m0_study, multiplier_study
-from .runner import ResultCache, Runner, RunStats, evaluate_grid
+from .runner import ResultCache, RunJournal, Runner, RunStats, \
+    evaluate_grid
 from .scpg import Mode, ScpgPowerModel, apply_scpg
 from .session import DesignHandle, Session
 from .tech import build_scl90
@@ -68,6 +69,7 @@ __all__ = [
     "DesignHandle",
     "Runner",
     "RunStats",
+    "RunJournal",
     "ResultCache",
     "evaluate_grid",
     "register_design",

@@ -11,8 +11,10 @@ Both entry points execute through :mod:`repro.runner`: pass a
 and/or reuse the content-addressed result cache.  Sweeps and convergence
 searches share one cache namespace -- a convergence search after a sweep
 of the same model re-reads the sweep's points instead of recomputing
-them.  The defaults (no runner) keep the historical serial, uncached
-behaviour with identical results.
+them.  The runner's fault-tolerance policy (``retry_on`` / ``retries`` /
+``timeout``) and its JSONL journal apply here too: sweep grids are
+journalled under the label ``"sweep"``.  The defaults (no runner) keep
+the historical serial, uncached behaviour with identical results.
 """
 
 from __future__ import annotations
@@ -74,7 +76,7 @@ def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX),
     grid = [(f, mode) for mode in modes for f in freqs]
     values = runner.run(_power_point, grid, context=model,
                         cache_key=power_cache_key(model),
-                        on_error=(ScpgError,))
+                        on_error=(ScpgError,), label="sweep")
     out = FrequencySweep(freqs=freqs)
     for i, mode in enumerate(modes):
         out.results[mode] = values[i * len(freqs):(i + 1) * len(freqs)]

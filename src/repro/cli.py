@@ -22,9 +22,12 @@ produced by this tool (or any tool emitting the supported subset).
 Every command runs through one :class:`repro.Session`, so the global
 options compose with all of them: ``--workers N`` fans sweeps over worker
 processes, ``--cache DIR`` reuses the content-addressed result cache
-(``--no-cache`` disables it, default honours ``REPRO_CACHE_DIR``), and
-``--stats`` prints the runner's counters and stage timings to stderr --
-stdout stays byte-identical to the serial, uncached output.
+(``--no-cache`` disables it, default honours ``REPRO_CACHE_DIR``),
+``--stats`` prints the runner's counters and stage timings to stderr,
+``--stats-json PATH`` writes the same counters as JSON, and
+``--journal PATH`` appends a JSONL event log of every grid point the
+command evaluated -- stdout stays byte-identical to the serial,
+uncached output.
 """
 
 from __future__ import annotations
@@ -50,7 +53,8 @@ def _session(args):
         args._session_obj = Session(
             liberty=getattr(args, "liberty", None) or None,
             workers=getattr(args, "workers", None),
-            cache=cache)
+            cache=cache,
+            journal=getattr(args, "journal", None) or None)
     return args._session_obj
 
 
@@ -213,6 +217,13 @@ def build_parser():
     parser.add_argument("--stats", action="store_true",
                         help="print runner counters and stage timings "
                         "to stderr")
+    parser.add_argument("--journal", metavar="PATH",
+                        help="append a JSONL run journal (point "
+                        "started/finished/retried, crashes, timings) "
+                        "to PATH")
+    parser.add_argument("--stats-json", metavar="PATH",
+                        help="write the runner's counters and stage "
+                        "timings to PATH as JSON on exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="library summary").set_defaults(
@@ -277,8 +288,17 @@ def main(argv=None):
         return 1
     finally:
         session = getattr(args, "_session_obj", None)
-        if session is not None and args.stats:
-            print(session.stats.render(), file=sys.stderr)
+        if session is not None:
+            if args.stats:
+                print(session.stats.render(), file=sys.stderr)
+            if getattr(args, "stats_json", None):
+                import json
+
+                with open(args.stats_json, "w") as f:
+                    json.dump(session.stats.to_dict(), f, indent=2,
+                              sort_keys=True)
+                    f.write("\n")
+            session.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,6 +60,16 @@ class RunnerError(ReproError):
     """Batch experiment runner misuse (bad grid, unusable cache...)."""
 
 
+class PointTimeoutError(RunnerError):
+    """One grid point exceeded the runner's per-point timeout.
+
+    Raised inside the evaluation (worker or serial path); retried like
+    any transient failure and propagated once retries are exhausted,
+    unless the caller lists it in ``on_error`` to mean "treat a stuck
+    point as infeasible".
+    """
+
+
 class FlowError(ReproError):
     """Implementation-flow step failed."""
 

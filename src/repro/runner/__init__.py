@@ -5,17 +5,23 @@ through this package.  The public surface:
 
 * :func:`evaluate_grid` / :class:`Runner` -- fan a function over a grid of
   points with deterministic ordering, optional ``multiprocessing``
-  workers (serial fallback) and an optional content-addressed cache;
+  workers (serial fallback), an optional content-addressed cache with
+  incremental writeback, bounded retries with backoff, per-point
+  timeouts, and worker-crash recovery;
 * :class:`ResultCache` -- the on-disk store, keyed by stable fingerprints
   of (design netlist, library parameters, operating point, mode);
 * :class:`CachedEvaluator` -- point-at-a-time caching for search loops;
 * :class:`RunStats` -- per-run counters and stage wall-clocks;
+* :class:`RunJournal` / :func:`read_journal` -- append-only JSONL event
+  log of everything a run did (the runner's black-box recorder);
 * :func:`fingerprint` / :func:`stable_hash` / :func:`module_fingerprint`
   -- the canonical hashing primitives.
 """
 
 from .cache import CACHE_ENV, CACHE_SCHEMA, ResultCache, default_cache
 from .core import (
+    DEFAULT_BACKOFF,
+    DEFAULT_RETRIES,
     INFEASIBLE_MARKER,
     CachedEvaluator,
     Runner,
@@ -29,13 +35,18 @@ from .fingerprint import (
     stable_hash,
 )
 from .instrument import RunStats
+from .journal import NULL_JOURNAL, RunJournal, read_journal
 
 __all__ = [
     "CACHE_ENV",
     "CACHE_SCHEMA",
     "CachedEvaluator",
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
     "INFEASIBLE_MARKER",
+    "NULL_JOURNAL",
     "ResultCache",
+    "RunJournal",
     "RunStats",
     "Runner",
     "can_fingerprint",
@@ -43,6 +54,7 @@ __all__ = [
     "evaluate_grid",
     "fingerprint",
     "module_fingerprint",
+    "read_journal",
     "resolve_workers",
     "stable_hash",
 ]

@@ -62,15 +62,33 @@ class ResultCache:
         try:
             with open(self._path(key), "rb") as f:
                 value = pickle.load(f)
+        except FileNotFoundError:
+            # The common cold-cache case: the entry simply isn't there.
+            # No unlink -- there is nothing to delete.
+            self.misses += 1
+            return False, None
         except Exception:
             # Unpickling corrupt bytes can raise nearly anything
             # (UnpicklingError, ValueError, KeyError, EOFError, ...);
-            # any unreadable entry degrades to a miss.
+            # an unreadable entry degrades to a miss and is deleted so
+            # the *next* writer repairs it and the next reader takes the
+            # cheap absent path.
             self._drop(key)
             self.misses += 1
             return False, None
         self.hits += 1
         return True, value
+
+    def reclassify_hit_as_miss(self):
+        """Move the most recently counted hit to the miss column.
+
+        For callers to whom a stored value is unusable -- e.g. a search
+        loop reading a persisted infeasible marker it must recompute --
+        so the cache's own ledger and the caller's stats agree on what
+        the lookup meant.
+        """
+        self.hits -= 1
+        self.misses += 1
 
     def get(self, key, default=None):
         """Value for ``key`` or ``default``; counts the hit or miss."""
@@ -94,6 +112,21 @@ class ResultCache:
                 pass
             raise
         self.puts += 1
+
+    def writeback(self, key, value):
+        """Best-effort incremental :meth:`put` -- never fails the run.
+
+        The runner flushes each result as it arrives so an abort or a
+        pool crash cannot lose paid work; a cache-side I/O problem (disk
+        full, permissions yanked mid-run) must therefore degrade to "this
+        point isn't cached" rather than kill the sweep it exists to
+        protect.  Returns ``True`` when the entry was persisted.
+        """
+        try:
+            self.put(key, value)
+        except OSError:
+            return False
+        return True
 
     def invalidate(self, key):
         """Drop one entry; returns True when it existed."""

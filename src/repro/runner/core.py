@@ -5,7 +5,7 @@ takes a plain function and a list of points and returns one result per
 point, in point order, regardless of how the work was scheduled:
 
 * **parallelism** -- with ``workers > 1`` points fan out over a
-  ``multiprocessing`` *fork* pool.  Heavy context (a model, a library, a
+  *fork*-context process pool.  Heavy context (a model, a library, a
   whole case study) is handed to workers through a module global captured
   at fork time, so it is inherited copy-on-write and never pickled --
   which also means closures and unpicklable studies work.  Platforms
@@ -13,27 +13,45 @@ point, in point order, regardless of how the work was scheduled:
   computes bit-identical results;
 * **caching** -- with a :class:`~repro.runner.cache.ResultCache` and a
   ``cache_key`` describing the heavy context, each point is looked up
-  before evaluation and stored after.  Soft-error (infeasible) points are
-  cached too, as an explicit marker;
+  before evaluation and **flushed back incrementally** as its result
+  arrives, so an abort, a hard error or a dead worker never loses paid
+  work.  Soft-error (infeasible) points are cached too, as an explicit
+  marker;
 * **soft errors** -- exception types in ``on_error`` map to ``None``
   results (the convention the sweep code has always used for infeasible
-  operating points); anything else propagates.
+  operating points); anything else propagates;
+* **fault tolerance** -- exception types in ``retry_on`` (and per-point
+  timeouts) are retried with exponential backoff before counting;
+  a worker killed under the pool (OOM, SIGKILL) is detected instead of
+  hanging the run: completed results are salvaged and the remainder is
+  re-queued on the serial path, so the sweep still returns results
+  bit-identical to an all-serial run;
+* **observability** -- a :class:`~repro.runner.journal.RunJournal`
+  records every point submitted/finished/retried, crashes and stage
+  totals as append-only JSONL.
 
-:class:`Runner` bundles a worker count, a cache and a
-:class:`~repro.runner.instrument.RunStats` into one reusable policy
-object; :class:`CachedEvaluator` is its point-at-a-time sibling for
-search loops (bisection, golden section) that cannot batch.
+:class:`Runner` bundles a worker count, a cache, a retry policy, a
+journal and a :class:`~repro.runner.instrument.RunStats` into one
+reusable policy object; :class:`CachedEvaluator` is its point-at-a-time
+sibling for search loops (bisection, golden section) that cannot batch.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 
-from ..errors import RunnerError
+from ..errors import PointTimeoutError, RunnerError
 from .cache import ResultCache
 from .fingerprint import fingerprint
 from .instrument import RunStats
+from .journal import NULL_JOURNAL, RunJournal
 
 #: Sentinel: "no shared context" (``fn`` is called with the point alone).
 _NO_CONTEXT = object()
@@ -42,9 +60,16 @@ _NO_CONTEXT = object()
 #: deterministic infeasibility is a warm-cache no-op like any other result.
 INFEASIBLE_MARKER = "__repro:infeasible__"
 
-#: (fn, context, on_error) captured immediately before the pool forks;
-#: workers read it instead of unpickling task payloads.
+#: Default retry policy: up to 2 extra attempts, 50 ms base backoff.
+DEFAULT_RETRIES = 2
+DEFAULT_BACKOFF = 0.05
+
+#: (fn, context, on_error, retry_on, retries, backoff, timeout) captured
+#: immediately before the pool forks; workers read it instead of
+#: unpickling task payloads.  Guarded by :data:`_FORK_LOCK` so threaded
+#: callers get a clean error instead of silently racing on the slot.
 _FORK_STATE = None
+_FORK_LOCK = threading.Lock()
 
 
 def _call(fn, context, point):
@@ -53,13 +78,81 @@ def _call(fn, context, point):
     return fn(context, point)
 
 
+@contextmanager
+def _point_alarm(timeout):
+    """Bound one evaluation attempt to ``timeout`` seconds (best effort).
+
+    Uses ``SIGALRM``/``ITIMER_REAL``, so it only engages on Unix, in the
+    main thread, and when no other real-time timer is pending (e.g. a
+    ``pytest-timeout`` signal guard); anywhere else it is a no-op rather
+    than a wrong answer.  Fork-pool workers always qualify: POSIX clears
+    interval timers across ``fork`` and the task runs in the worker's
+    main thread.
+    """
+    if not timeout or not hasattr(signal, "setitimer") \
+            or threading.current_thread() is not threading.main_thread() \
+            or signal.getitimer(signal.ITIMER_REAL) != (0.0, 0.0):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise PointTimeoutError(
+            "point evaluation exceeded {:.3g} s".format(timeout))
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _eval_point(fn, context, point, on_error, retry_on, retries, backoff,
+                timeout):
+    """One point through the retry/timeout policy.
+
+    Returns ``(value, status, attempts, timeouts)`` where ``status`` is
+    ``"ok"``, ``"soft"`` (infeasible) or ``"hard"`` (``value`` is the
+    exception, re-raised by :func:`_record_point` after the counters and
+    journal have seen it), ``attempts`` is the number of *extra* attempts
+    paid and ``timeouts`` how many attempts the alarm cut short.
+    Exceptions outside ``retry_on``/``on_error`` -- and retryable ones
+    once retries are exhausted, unless they also appear in ``on_error``
+    -- are the hard ones.
+    """
+    caught = None
+    attempts = 0
+    ntimeouts = 0
+    for attempt in range(retries + 1):
+        attempts = attempt
+        try:
+            with _point_alarm(timeout):
+                return _call(fn, context, point), "ok", attempt, ntimeouts
+        except PointTimeoutError as exc:
+            ntimeouts += 1
+            caught = exc
+        except retry_on as exc:
+            caught = exc
+        except on_error:
+            return None, "soft", attempt, ntimeouts
+        except Exception as exc:
+            return exc, "hard", attempt, ntimeouts
+        if attempt < retries and backoff:
+            time.sleep(backoff * (2 ** attempt))
+    if on_error and isinstance(caught, on_error):
+        return None, "soft", attempts, ntimeouts
+    return caught, "hard", attempts, ntimeouts
+
+
 def _worker_eval(task):
     index, point = task
-    fn, context, on_error = _FORK_STATE
-    try:
-        return index, _call(fn, context, point), False
-    except on_error:
-        return index, None, True
+    fn, context, on_error, retry_on, retries, backoff, timeout = _FORK_STATE
+    start = time.perf_counter()
+    value, status, attempts, ntimeouts = _eval_point(
+        fn, context, point, on_error, retry_on, retries, backoff, timeout)
+    return index, value, status, attempts, ntimeouts, \
+        time.perf_counter() - start
 
 
 def resolve_workers(workers):
@@ -75,12 +168,18 @@ def resolve_workers(workers):
 def _fork_available():
     if "fork" not in multiprocessing.get_all_start_methods():
         return False
-    # Pool workers are daemonic and may not fork pools of their own.
+    # Child processes (pool workers included) may not fork pools of
+    # their own: nested grids run serial with identical results.
+    if multiprocessing.parent_process() is not None:
+        return False
     return not multiprocessing.current_process().daemon
 
 
 def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
-                  cache=None, cache_key=None, on_error=(), stats=None):
+                  cache=None, cache_key=None, on_error=(), stats=None,
+                  retry_on=(), retries=DEFAULT_RETRIES,
+                  backoff=DEFAULT_BACKOFF, timeout=None, journal=None,
+                  label=None):
     """Evaluate ``fn`` over ``points``; returns results in point order.
 
     Parameters
@@ -101,85 +200,225 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
     cache / cache_key:
         A :class:`ResultCache` plus a digest of everything that defines
         the evaluation besides the point itself.  Caching is skipped
-        unless both are given.
+        unless both are given.  Each result is written back as it
+        arrives, so an aborted run keeps everything it paid for.
     on_error:
         Exception types that mean "this point is infeasible"; they yield
         ``None`` results instead of propagating.
     stats:
         A :class:`RunStats` to accumulate into (one is created -- and
         discarded -- when omitted).
+    retry_on / retries / backoff:
+        Exception types considered transient; each matching failure is
+        retried up to ``retries`` extra times with ``backoff * 2**n``
+        seconds between attempts.  An exception still raised after the
+        last attempt propagates -- unless it also appears in
+        ``on_error``, in which case the point degrades to infeasible.
+    timeout:
+        Per-point wall-clock bound in seconds (best effort; see
+        :class:`~repro.errors.PointTimeoutError`).  Timed-out attempts
+        are retried like ``retry_on`` failures.
+    journal:
+        A :class:`~repro.runner.journal.RunJournal` (or a path -- opened
+        and closed for this run) receiving JSONL events for every point.
+    label:
+        Short name for this grid in the journal (``"sweep"``,
+        ``"energy_sweep"``, ...).
     """
     points = list(points)
     stats = RunStats() if stats is None else stats
     stats.points += len(points)
     on_error = tuple(on_error)
+    retry_on = tuple(retry_on)
     use_cache = cache is not None and cache_key is not None
+
+    owns_journal = isinstance(journal, (str, os.PathLike))
+    if owns_journal:
+        journal = RunJournal(journal)
+    elif journal is None:
+        journal = NULL_JOURNAL
 
     results = [None] * len(points)
     keys = [None] * len(points)
     pending = []
-    if use_cache:
-        with stats.stage("cache"):
-            for index, point in enumerate(points):
-                key = cache.key_for(cache_key, fingerprint(point))
-                keys[index] = key
-                hit, value = cache.lookup(key)
-                if hit:
-                    stats.cache_hits += 1
-                    if isinstance(value, str) and value == INFEASIBLE_MARKER:
-                        stats.infeasible += 1
-                        value = None
-                    results[index] = value
+    try:
+        if use_cache:
+            with stats.stage("cache"):
+                for index, point in enumerate(points):
+                    key = cache.key_for(cache_key, fingerprint(point))
+                    keys[index] = key
+                    hit, value = cache.lookup(key)
+                    if hit:
+                        stats.cache_hits += 1
+                        if isinstance(value, str) \
+                                and value == INFEASIBLE_MARKER:
+                            stats.infeasible += 1
+                            value = None
+                        results[index] = value
+                    else:
+                        stats.cache_misses += 1
+                        pending.append((index, point))
+        else:
+            pending = list(enumerate(points))
+
+        if use_cache:
+            def flush(index, soft):
+                value = INFEASIBLE_MARKER if soft else results[index]
+                cache.writeback(keys[index], value)
+        else:
+            def flush(index, soft):
+                pass
+
+        nworkers = min(resolve_workers(workers), max(len(pending), 1))
+        stats.workers = max(stats.workers, nworkers)
+        journal.record("run_start", label=label, points=len(points),
+                       cached=len(points) - len(pending),
+                       pending=len(pending), workers=nworkers)
+        errored = set()
+        if pending:
+            with stats.stage("evaluate"):
+                policy = (on_error, retry_on, retries, backoff, timeout)
+                if nworkers > 1 and _fork_available():
+                    leftover = _run_forked(
+                        fn, context, policy, pending, nworkers, results,
+                        errored, stats, journal, flush)
+                    if leftover:
+                        journal.record("requeue_serial",
+                                       points=len(leftover))
+                        _run_serial(fn, context, policy, leftover,
+                                    results, errored, stats, journal,
+                                    flush)
                 else:
-                    stats.cache_misses += 1
-                    pending.append((index, point))
-    else:
-        pending = list(enumerate(points))
-
-    nworkers = min(resolve_workers(workers), max(len(pending), 1))
-    stats.workers = max(stats.workers, nworkers)
-    errored = set()
-    if pending:
-        with stats.stage("evaluate"):
-            if nworkers > 1 and _fork_available():
-                _run_forked(fn, context, on_error, pending, nworkers,
-                            results, errored)
-            else:
-                for index, point in pending:
-                    try:
-                        results[index] = _call(fn, context, point)
-                    except on_error:
-                        results[index] = None
-                        errored.add(index)
-        stats.evaluated += len(pending)
-        stats.infeasible += len(errored)
-
-    if use_cache and pending:
-        with stats.stage("cache"):
-            for index, _ in pending:
-                value = INFEASIBLE_MARKER if index in errored \
-                    else results[index]
-                cache.put(keys[index], value)
+                    _run_serial(fn, context, policy, pending, results,
+                                errored, stats, journal, flush)
+            stats.evaluated += len(pending)
+            stats.infeasible += len(errored)
+        journal.record("run_finish", label=label, stats=stats.to_dict())
+    finally:
+        if owns_journal:
+            journal.close()
     return results
 
 
-def _run_forked(fn, context, on_error, pending, nworkers, results,
-                errored):
+def _record_point(payload, results, errored, stats, journal, flush):
+    """Fold one completed point (from either path) into the run state.
+
+    Hard failures are re-raised here -- *after* the retry/timeout
+    counters and the journal have recorded them, so an aborted run's
+    stats and black box still tell the truth.
+    """
+    index, value, status, attempts, ntimeouts, elapsed = payload
+    if status == "hard":
+        stats.retries += attempts
+        stats.timeouts += ntimeouts
+        journal.record("point_failed", index=index, attempts=attempts,
+                       timeouts=ntimeouts, error=repr(value))
+        raise value
+    results[index] = value
+    soft = status == "soft"
+    if soft:
+        errored.add(index)
+    stats.retries += attempts
+    stats.timeouts += ntimeouts
+    if attempts:
+        journal.record("point_retried", index=index, attempts=attempts)
+    journal.record("point_finished", index=index,
+                   status="infeasible" if soft else "ok",
+                   attempts=attempts, timeouts=ntimeouts,
+                   elapsed=round(elapsed, 6))
+    flush(index, soft)
+
+
+def _run_serial(fn, context, policy, pending, results, errored, stats,
+                journal, flush):
+    on_error, retry_on, retries, backoff, timeout = policy
+    for index, point in pending:
+        journal.record("point_started", index=index)
+        start = time.perf_counter()
+        value, status, attempts, ntimeouts = _eval_point(
+            fn, context, point, on_error, retry_on, retries, backoff,
+            timeout)
+        _record_point(
+            (index, value, status, attempts, ntimeouts,
+             time.perf_counter() - start),
+            results, errored, stats, journal, flush)
+
+
+def _run_forked(fn, context, policy, pending, nworkers, results, errored,
+                stats, journal, flush):
+    """Fan ``pending`` over a fork pool; returns the unfinished points.
+
+    A healthy pool returns ``[]``.  When a worker dies hard (SIGKILL,
+    OOM) the executor raises ``BrokenProcessPool`` instead of hanging;
+    every result that made it back is salvaged (and was already flushed
+    to the cache incrementally) and the remainder is handed back for the
+    serial path to finish.
+    """
     global _FORK_STATE
-    if _FORK_STATE is not None:
-        raise RunnerError("re-entrant parallel evaluate_grid")
-    ctx = multiprocessing.get_context("fork")
-    chunksize = max(1, len(pending) // (nworkers * 4))
-    _FORK_STATE = (fn, context, on_error)
+    on_error, retry_on, retries, backoff, timeout = policy
+    if not _FORK_LOCK.acquire(blocking=False):
+        raise RunnerError(
+            "another thread is already running a parallel evaluate_grid; "
+            "concurrent callers must use workers=None")
+    _FORK_STATE = (fn, context, on_error, retry_on, retries, backoff,
+                   timeout)
+    executor = None
     try:
-        with ctx.Pool(processes=nworkers) as pool:
-            for index, value, soft_error in pool.imap_unordered(
-                    _worker_eval, pending, chunksize=chunksize):
-                results[index] = value
-                if soft_error:
-                    errored.add(index)
+        ctx = multiprocessing.get_context("fork")
+        executor = ProcessPoolExecutor(max_workers=nworkers,
+                                       mp_context=ctx)
+        futures = {}
+        for index, point in pending:
+            futures[executor.submit(_worker_eval, (index, point))] = \
+                (index, point)
+            journal.record("point_submitted", index=index)
+        done = set()
+        try:
+            for fut in as_completed(futures):
+                payload = fut.result()
+                _record_point(payload, results, errored, stats, journal,
+                              flush)
+                done.add(fut)
+        except BrokenProcessPool:
+            leftover = _salvage(futures, done, results, errored, stats,
+                                journal, flush)
+            stats.crashes += 1
+            journal.record("pool_crashed", workers=nworkers,
+                           completed=len(pending) - len(leftover),
+                           remaining=len(leftover))
+            return leftover
+        return []
     finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
         _FORK_STATE = None
+        _FORK_LOCK.release()
+
+
+def _salvage(futures, done, results, errored, stats, journal, flush):
+    """After a pool crash: keep every result that arrived, list the rest.
+
+    Once the executor is broken every outstanding future is done (the
+    crash exception is set on the ones that never ran); anything holding
+    a real result is recorded, anything else is returned for requeue, in
+    submission (= point) order.
+    """
+    leftover = []
+    for fut, (index, point) in futures.items():
+        if fut in done:
+            continue
+        payload = None
+        if fut.done() and not fut.cancelled():
+            try:
+                payload = fut.result(timeout=0)
+            except BaseException:
+                payload = None
+        if payload is None:
+            leftover.append((index, point))
+        else:
+            _record_point(payload, results, errored, stats, journal,
+                          flush)
+    return leftover
 
 
 class CachedEvaluator:
@@ -189,7 +428,9 @@ class CachedEvaluator:
     memoised in process and, when the owning :class:`Runner` has a cache
     and the evaluator a ``cache_key``, persisted like grid results.
     Exceptions always propagate (a search loop must see infeasibility);
-    cached infeasible markers are treated as misses for the same reason.
+    cached infeasible markers are treated as misses for the same reason --
+    on *both* ledgers, so ``stats.hit_rate`` and the cache's own counters
+    agree.
 
     ``calls`` counts actual underlying evaluations -- the number a
     convergence search pays after caching, which tests assert on.
@@ -213,8 +454,13 @@ class CachedEvaluator:
         if self.cache is not None:
             key = self.cache.key_for(self.cache_key, token)
             hit, value = self.cache.lookup(key)
-            if hit and not (isinstance(value, str)
-                            and value == INFEASIBLE_MARKER):
+            if hit and isinstance(value, str) \
+                    and value == INFEASIBLE_MARKER:
+                # The search loop must recompute, so the persisted
+                # marker counts as a miss in the cache's ledger too.
+                self.cache.reclassify_hit_as_miss()
+                hit = False
+            if hit:
                 self.stats.cache_hits += 1
                 self._memo[token] = value
                 return value
@@ -229,33 +475,54 @@ class CachedEvaluator:
 
 
 class Runner:
-    """One execution policy -- workers, cache, stats -- reused across runs.
+    """One execution policy -- workers, cache, retries, journal, stats --
+    reused across runs.
 
     ``cache`` may be a :class:`ResultCache`, a directory path, or ``None``
-    (no caching).  All grids and evaluators created through one runner
-    accumulate into the same :class:`RunStats`, so a report can summarise
-    a whole figure regeneration in one line.
+    (no caching); ``journal`` a :class:`~repro.runner.journal.RunJournal`
+    or a path (opened once, shared by every run).  ``retry_on`` /
+    ``retries`` / ``backoff`` / ``timeout`` set the fault-tolerance
+    policy every grid run under this runner inherits.  All grids and
+    evaluators created through one runner accumulate into the same
+    :class:`RunStats`, so a report can summarise a whole figure
+    regeneration in one line.
     """
 
-    def __init__(self, workers=None, cache=None, stats=None):
+    def __init__(self, workers=None, cache=None, stats=None, retry_on=(),
+                 retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
+                 timeout=None, journal=None):
         self.workers = workers
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache)
         self.cache = cache
         self.stats = RunStats() if stats is None else stats
+        self.retry_on = tuple(retry_on)
+        self.retries = retries
+        self.backoff = backoff
+        self.timeout = timeout
+        if isinstance(journal, (str, os.PathLike)):
+            journal = RunJournal(journal)
+        self.journal = journal
 
     def run(self, fn, points, context=_NO_CONTEXT, cache_key=None,
-            on_error=()):
+            on_error=(), label=None):
         """:func:`evaluate_grid` under this runner's policy."""
         return evaluate_grid(
             fn, points, workers=self.workers, context=context,
             cache=self.cache, cache_key=cache_key, on_error=on_error,
-            stats=self.stats)
+            stats=self.stats, retry_on=self.retry_on,
+            retries=self.retries, backoff=self.backoff,
+            timeout=self.timeout, journal=self.journal, label=label)
 
     def evaluator(self, fn, cache_key=None):
         """A :class:`CachedEvaluator` sharing this runner's cache/stats."""
         return CachedEvaluator(fn, cache=self.cache, cache_key=cache_key,
                                stats=self.stats)
+
+    def close(self):
+        """Flush and close the journal, if any (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
 
     def __repr__(self):
         return "Runner(workers={!r}, cache={!r})".format(

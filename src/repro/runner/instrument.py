@@ -2,8 +2,10 @@
 
 A :class:`RunStats` accumulates across every grid the owning runner
 executes -- points seen, points actually evaluated, cache hits/misses,
-infeasible points, and wall-clock per stage -- so a report can print one
-honest summary line for a whole figure regeneration.
+infeasible points, retries/timeouts/worker crashes, and wall-clock per
+stage -- so a report can print one honest summary line for a whole
+figure regeneration, and ``to_dict()`` can ship the same numbers to a
+``--stats-json`` file or a CI artifact.
 """
 
 from __future__ import annotations
@@ -22,6 +24,9 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     infeasible: int = 0       # points whose evaluation raised a soft error
+    retries: int = 0          # extra evaluation attempts paid (all points)
+    timeouts: int = 0         # attempts cut short by the per-point timeout
+    crashes: int = 0          # worker pools lost to a dead worker
     workers: int = 1          # widest worker pool used
     stages: dict = field(default_factory=dict)   # stage name -> seconds
 
@@ -42,6 +47,9 @@ class RunStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.infeasible += other.infeasible
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.crashes += other.crashes
         self.workers = max(self.workers, other.workers)
         for name, seconds in other.stages.items():
             self.stages[name] = self.stages.get(name, 0.0) + seconds
@@ -53,6 +61,22 @@ class RunStats:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    def to_dict(self):
+        """All counters and stage timings as plain JSON-serialisable data."""
+        return {
+            "points": self.points,
+            "evaluated": self.evaluated,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+            "infeasible": self.infeasible,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "workers": self.workers,
+            "stages": dict(self.stages),
+        }
+
     def render(self, prefix="runner"):
         """A compact multi-line summary (safe for stderr/report footers)."""
         lines = [
@@ -61,6 +85,10 @@ class RunStats:
                 prefix, self.points, self.evaluated, self.cache_hits,
                 self.cache_misses, self.infeasible, self.workers)
         ]
+        if self.retries or self.timeouts or self.crashes:
+            lines.append(
+                "{}: {} retries, {} timeouts, {} worker crashes".format(
+                    prefix, self.retries, self.timeouts, self.crashes))
         for name in sorted(self.stages):
             lines.append("{}:   {:<13} {:.3f} s".format(
                 prefix, name, self.stages[name]))

@@ -1,0 +1,138 @@
+"""Append-only JSONL run journal: what the runner did, as it happened.
+
+A :class:`RunJournal` is the runner's black-box recorder.  Every event --
+a grid starting, a point being submitted, finished, retried or declared
+infeasible, a pool crash, the stage-timing summary -- is appended to one
+file as a single JSON object per line, flushed immediately, so an
+aborted or wedged run leaves a complete record up to the moment it died.
+
+The schema is deliberately flat.  Every line carries:
+
+``t``
+    POSIX timestamp (``time.time()``) when the event was recorded.
+``event``
+    The event name (see :data:`EVENTS`).
+``...``
+    Event-specific fields (``index``, ``status``, ``attempts``,
+    ``timeouts``, ``elapsed``, ``label``, ``workers``, ...).
+
+Journals are opt-in (pass ``journal=`` to :func:`~repro.runner.core.
+evaluate_grid`, :class:`~repro.runner.core.Runner`, ``Session`` or the
+``--journal`` CLI flag) because two lines per point is real I/O on a
+100k-point grid.  Writes are serialised under a lock so one journal can
+be shared by threads; only the parent process ever writes (workers report
+their timings back through the result tuple), so lines never interleave.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+#: Event names a journal may contain (documentation, not enforcement).
+EVENTS = (
+    "run_start",        # label, points, cached, pending, workers
+    "point_started",    # index (serial path only; parallel submits instead)
+    "point_submitted",  # index (parallel path)
+    "point_finished",   # index, status (ok|infeasible), attempts, timeouts,
+                        # elapsed (seconds inside the evaluation)
+    "point_retried",    # index, attempts (total extra attempts paid)
+    "point_failed",     # index, attempts, timeouts, error (hard failure,
+                        # recorded just before the exception propagates)
+    "pool_crashed",     # workers, completed, remaining
+    "requeue_serial",   # points (remainder re-run on the serial path)
+    "run_finish",       # label, stats (RunStats.to_dict())
+)
+
+
+class RunJournal:
+    """Append-only JSONL event log for runner executions.
+
+    Parameters
+    ----------
+    path:
+        File to append to (created on the first event).  An existing
+        journal is extended, never truncated, so one file can cover a
+        whole session of runs.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._file = None
+        self.events = 0
+
+    def record(self, event, **fields):
+        """Append one event line (flushed immediately)."""
+        line = {"t": time.time(), "event": event}
+        line.update(fields)
+        text = json.dumps(line, sort_keys=True, default=repr)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a")
+            self._file.write(text + "\n")
+            self._file.flush()
+            self.events += 1
+
+    def close(self):
+        """Close the underlying file (recording may reopen it)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return "RunJournal({!r}, events={})".format(self.path, self.events)
+
+
+class _NullJournal:
+    """Do-nothing journal so call sites never need a ``None`` check."""
+
+    path = None
+    events = 0
+
+    def record(self, event, **fields):
+        pass
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+    def __repr__(self):
+        return "NULL_JOURNAL"
+
+
+#: Shared no-op journal used whenever no journal was requested.
+NULL_JOURNAL = _NullJournal()
+
+
+def read_journal(path):
+    """Parse a JSONL journal back into a list of event dicts.
+
+    Unparseable lines (a crash mid-write on a non-atomic filesystem) are
+    skipped rather than raising: the journal exists to debug failures, so
+    reading one must not fail.
+    """
+    events = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue
+    return events

@@ -44,17 +44,25 @@ def optimise_duty(freq_hz, timing, cap=DUTY_CYCLE_CAP,
     return min(duty, cap)
 
 
-def duty_sweep(freq_hz, timing, model, steps=20):
+def duty_sweep(freq_hz, timing, model, steps=20, cap=DUTY_CYCLE_CAP,
+               floor=DUTY_CYCLE_FLOOR):
     """Evaluate SCPG power across feasible duty cycles (ablation study).
 
     Returns a list of ``(duty, PowerBreakdown)``; useful to show that
     power decreases monotonically with duty until the feasibility edge.
+    ``cap``/``floor`` bound the swept range (and the optimiser finding
+    its upper end); ``steps=1`` evaluates the optimum alone.
     """
     from .power_model import Mode  # local import avoids a cycle
 
-    best = optimise_duty(freq_hz, timing)
-    duties = [
-        DUTY_CYCLE_FLOOR + (best - DUTY_CYCLE_FLOOR) * k / (steps - 1)
-        for k in range(steps)
-    ]
+    if steps < 1:
+        raise ScpgError("duty_sweep needs at least one step")
+    best = optimise_duty(freq_hz, timing, cap=cap, floor=floor)
+    if steps == 1:
+        duties = [best]
+    else:
+        duties = [
+            floor + (best - floor) * k / (steps - 1)
+            for k in range(steps)
+        ]
     return [(d, model.power(freq_hz, Mode.SCPG, duty=d)) for d in duties]

@@ -21,8 +21,8 @@ facade; the lower-level modules (``repro.analysis``, ``repro.subvt``,
 
 from __future__ import annotations
 
-from .runner import ResultCache, Runner, default_cache, module_fingerprint, \
-    stable_hash
+from .runner import DEFAULT_BACKOFF, DEFAULT_RETRIES, ResultCache, Runner, \
+    default_cache, module_fingerprint, stable_hash
 
 
 class Session:
@@ -43,10 +43,19 @@ class Session:
         Result cache: a :class:`~repro.runner.ResultCache`, a directory
         path, ``None``/``False`` for no caching, or ``"auto"`` (default)
         to honour the ``REPRO_CACHE_DIR`` environment variable.
+    journal:
+        A :class:`~repro.runner.RunJournal` or a path; every grid the
+        session runs appends its JSONL events there (default: none).
+    retry_on / retries / backoff / timeout:
+        Fault-tolerance policy forwarded to the session's
+        :class:`~repro.runner.Runner` -- exception types retried with
+        exponential backoff, and an optional per-point timeout.
     """
 
     def __init__(self, library=None, liberty=None, workers=None,
-                 cache="auto"):
+                 cache="auto", journal=None, retry_on=(),
+                 retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
+                 timeout=None):
         if library is not None and liberty is not None:
             raise ValueError("pass either library or liberty, not both")
         self._library = library
@@ -59,7 +68,10 @@ class Session:
             import os
 
             cache = ResultCache(os.path.expanduser(cache))
-        self.runner = Runner(workers=workers, cache=cache)
+        self.runner = Runner(workers=workers, cache=cache,
+                             retry_on=retry_on, retries=retries,
+                             backoff=backoff, timeout=timeout,
+                             journal=journal)
 
     @property
     def library(self):
@@ -79,6 +91,16 @@ class Session:
     def stats(self):
         """Accumulated :class:`~repro.runner.RunStats` for this session."""
         return self.runner.stats
+
+    @property
+    def journal(self):
+        """The session's :class:`~repro.runner.RunJournal` (or ``None``)."""
+        return self.runner.journal
+
+    def close(self):
+        """Close the journal, if any (idempotent; the session stays usable
+        -- recording reopens the file in append mode)."""
+        self.runner.close()
 
     def designs(self):
         """Names the registry can build (see :meth:`design`)."""

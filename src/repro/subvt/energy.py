@@ -103,7 +103,8 @@ def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76, runner=None):
     runner = Runner() if runner is None else runner
     grid = [v_lo + (v_hi - v_lo) * k / (steps - 1) for k in range(steps)]
     return runner.run(_voltage_point, grid, context=model,
-                      cache_key=_model_cache_key(model))
+                      cache_key=_model_cache_key(model),
+                      label="energy_sweep")
 
 
 def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3,

@@ -1,5 +1,7 @@
 """The on-disk result cache: storage, invalidation, env plumbing."""
 
+import threading
+
 import pytest
 
 from repro.runner import CACHE_ENV, ResultCache, default_cache
@@ -64,6 +66,52 @@ class TestResultCache:
         cache.put(key, 2)
         assert cache.get(key) == 2
 
+    def test_cold_miss_issues_no_unlink(self, cache, monkeypatch):
+        # The common absent-entry case must not pay a pointless unlink
+        # syscall per miss (regression: it used to take the corrupt path).
+        drops = []
+        real_drop = cache._drop
+        monkeypatch.setattr(
+            cache, "_drop", lambda key: (drops.append(key), real_drop(key))[1])
+        hit, value = cache.lookup(cache.key_for("never-written"))
+        assert not hit and value is None
+        assert drops == []
+
+    def test_corrupt_entry_dropped_exactly_once(self, cache, monkeypatch):
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as f:
+            f.write(b"truncated garbag")
+        drops = []
+        real_drop = cache._drop
+        monkeypatch.setattr(
+            cache, "_drop", lambda k: (drops.append(k), real_drop(k))[1])
+        assert cache.lookup(key) == (False, None)   # corrupt -> dropped
+        assert cache.lookup(key) == (False, None)   # absent -> cheap miss
+        assert drops == [key]
+        assert cache.misses == 2
+
+    def test_reclassify_hit_as_miss(self, cache):
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        cache.lookup(key)
+        cache.reclassify_hit_as_miss()
+        assert cache.hits == 0
+        assert cache.misses == 1
+
+    def test_writeback_is_a_counted_put(self, cache):
+        key = cache.key_for("k")
+        assert cache.writeback(key, 7) is True
+        assert cache.get(key) == 7
+        assert cache.puts == 1
+
+    def test_writeback_swallows_io_errors(self, cache, monkeypatch):
+        def refuse(path, *a, **kw):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("os.makedirs", refuse)
+        assert cache.writeback(cache.key_for("k"), 7) is False
+
     def test_salt_partitions_keys(self, tmp_path):
         a = ResultCache(tmp_path, salt="v1")
         b = ResultCache(tmp_path, salt="v2")
@@ -72,6 +120,66 @@ class TestResultCache:
     def test_key_depends_on_all_parts(self, cache):
         assert cache.key_for("a", "b") != cache.key_for("a", "c")
         assert cache.key_for("a", "b") != cache.key_for("ab")
+
+
+class TestConcurrency:
+    def test_parallel_puts_to_one_key_stay_atomic(self, cache):
+        # Writers race on one key with large, distinct payloads; every
+        # concurrent read must observe one *complete* payload, never a
+        # torn mix, and the survivor must be a whole value too.
+        key = cache.key_for("contested")
+        payloads = {tag: tag * 200_000 for tag in ("a", "b", "c", "d")}
+        torn = []
+        stop = threading.Event()
+
+        def writer(tag):
+            for _ in range(20):
+                cache.put(key, payloads[tag])
+
+        def reader():
+            while not stop.is_set():
+                hit, value = cache.lookup(key)
+                if hit and value not in payloads.values():
+                    torn.append(value)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        writers = [threading.Thread(target=writer, args=(t,))
+                   for t in payloads]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert torn == []
+        assert cache.get(key) in payloads.values()
+        assert len(cache) == 1
+
+    def test_corrupt_entry_degrades_to_a_miss_exactly_once_per_writer(
+            self, cache):
+        # Concurrent lookups of one corrupt entry: every reader sees a
+        # miss, the entry is gone afterwards, and a subsequent put
+        # repairs it for everyone.
+        key = cache.key_for("corrupt")
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as f:
+            f.write(b"garbage")
+        hits = []
+
+        def prober():
+            hit, _ = cache.lookup(key)
+            hits.append(hit)
+
+        threads = [threading.Thread(target=prober) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hits == [False] * 8
+        assert key not in cache
+        cache.put(key, 2)
+        assert cache.get(key) == 2
 
 
 class TestDefaultCache:

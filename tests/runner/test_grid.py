@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.sweep import power_cache_key, sweep
 from repro.errors import RunnerError, ScpgError
 from repro.runner import (
+    CachedEvaluator,
     ResultCache,
     Runner,
     RunStats,
@@ -140,6 +141,43 @@ class TestGridCaching:
         cache = ResultCache(tmp_path)
         evaluate_grid(_square, [1, 2], cache=cache, cache_key=None)
         assert len(cache) == 0
+
+
+class TestCachedEvaluatorCounters:
+    def test_infeasible_marker_counts_as_miss_on_both_ledgers(
+            self, tmp_path):
+        # Regression: a persisted infeasible marker used to count as a
+        # ResultCache hit *and* a stats cache miss, so hit_rate and the
+        # cache's own counters disagreed.
+        cache = ResultCache(tmp_path)
+        key = stable_hash("marker-drift")
+        evaluate_grid(_flaky, [3], cache=cache, cache_key=key,
+                      on_error=(ValueError,))       # persists the marker
+        hits0, misses0 = cache.hits, cache.misses
+
+        stats = RunStats()
+        evaluator = CachedEvaluator(lambda p: 42, cache=cache,
+                                    cache_key=key, stats=stats)
+        assert evaluator(3) == 42
+        assert stats.cache_hits == 0
+        assert stats.cache_misses == 1
+        assert cache.hits == hits0                  # marker was not a hit
+        assert cache.misses == misses0 + 1
+        assert stats.hit_rate == 0.0
+
+    def test_real_hits_still_agree(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_hash("marker-drift-2")
+        evaluate_grid(_square, [4], cache=cache, cache_key=key)
+        hits0 = cache.hits
+
+        stats = RunStats()
+        evaluator = CachedEvaluator(_square, cache=cache, cache_key=key,
+                                    stats=stats)
+        assert evaluator(4) == 16
+        assert evaluator.calls == 0
+        assert stats.cache_hits == 1 and stats.cache_misses == 0
+        assert cache.hits == hits0 + 1
 
 
 class TestRunner:

@@ -57,6 +57,29 @@ class TestDutySweep:
         assert duties[-1] == pytest.approx(
             optimise_duty(1e6, model.timing))
 
+    def test_single_step_returns_the_optimum(self, mult_study):
+        # Regression: steps=1 used to divide by zero.
+        model = mult_study.model
+        points = duty_sweep(1e6, model.timing, model, steps=1)
+        assert len(points) == 1
+        assert points[0][0] == pytest.approx(
+            optimise_duty(1e6, model.timing))
+
+    def test_zero_steps_rejected(self, mult_study):
+        model = mult_study.model
+        with pytest.raises(ScpgError, match="step"):
+            duty_sweep(1e6, model.timing, model, steps=0)
+
+    def test_cap_and_floor_are_honoured(self, mult_study):
+        # Regression: caller-supplied cap/floor were silently ignored.
+        model = mult_study.model
+        points = duty_sweep(1e4, model.timing, model, steps=5,
+                            cap=0.5, floor=0.1)
+        duties = [d for d, _b in points]
+        assert duties[0] == pytest.approx(0.1)
+        assert duties[-1] == pytest.approx(0.5)
+        assert all(0.1 <= d <= 0.5 for d in duties)
+
     def test_scpgmax_equals_best_sweep_point(self, mult_study):
         model = mult_study.model
         best_sweep = min(

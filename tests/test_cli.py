@@ -109,6 +109,38 @@ class TestSubvtCommand:
         assert "Fmax" in out
 
 
+class TestObservabilityFlags:
+    def test_stats_json_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "stats.json"
+        assert main(["--stats-json", str(path), "subvt",
+                     "counter16"]) == 0
+        capsys.readouterr()
+        stats = json.loads(path.read_text())
+        assert stats["points"] > 0
+        assert stats["crashes"] == 0
+        assert "stages" in stats
+
+    def test_journal_written(self, tmp_path, capsys):
+        from repro.runner import read_journal
+
+        path = tmp_path / "run.jsonl"
+        assert main(["--journal", str(path), "subvt", "counter16"]) == 0
+        capsys.readouterr()
+        events = [e["event"] for e in read_journal(path)]
+        assert "run_start" in events
+        assert "point_finished" in events
+
+    def test_flags_leave_stdout_untouched(self, tmp_path, capsys):
+        assert main(["subvt", "counter16"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--journal", str(tmp_path / "j.jsonl"),
+                     "--stats-json", str(tmp_path / "s.json"),
+                     "subvt", "counter16"]) == 0
+        assert capsys.readouterr().out == plain
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
