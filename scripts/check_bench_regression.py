@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Compare a measured benchmark JSON against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py CANDIDATE [BASELINE]
+
+``CANDIDATE`` is the JSON written by ``benchmarks/
+test_artifact_cache_speedup.py`` (``REPRO_BENCH_SWEEP_JSON=path``);
+``BASELINE`` defaults to the committed ``BENCH_sweep.json``.  The gate is
+deliberately generous -- CI runners are noisy and share cores -- so only
+a change that costs more than **2x** of the baseline speedup fails:
+
+    candidate.speedup >= baseline.speedup / 2
+
+Absolute wall-clocks are reported but never gated on; they are not
+comparable across machines.  Exit status: 0 pass, 1 regression or
+malformed input.
+"""
+
+import json
+import os
+import sys
+
+TOLERANCE = 2.0
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    candidate_path = argv[1]
+    baseline_path = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_sweep.json")
+    try:
+        candidate = load(candidate_path)
+        baseline = load(baseline_path)
+    except (OSError, ValueError) as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 1
+
+    for side, data in (("candidate", candidate), ("baseline", baseline)):
+        if data.get("schema") != baseline.get("schema") \
+                or "speedup" not in data:
+            print("error: {} {} is not a recognised benchmark JSON"
+                  .format(side, data.get("schema")), file=sys.stderr)
+            return 1
+
+    floor = baseline["speedup"] / TOLERANCE
+    print("baseline : {:.2f}x (cold {:.3f}s / warm {:.3f}s)".format(
+        baseline["speedup"], baseline["cold_s"], baseline["warm_s"]))
+    print("candidate: {:.2f}x (cold {:.3f}s / warm {:.3f}s)".format(
+        candidate["speedup"], candidate["cold_s"], candidate["warm_s"]))
+    print("floor    : {:.2f}x (baseline / {})".format(floor, TOLERANCE))
+    if candidate["speedup"] < floor:
+        print("REGRESSION: candidate speedup {:.2f}x is below {:.2f}x"
+              .format(candidate["speedup"], floor), file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

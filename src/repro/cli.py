@@ -23,6 +23,8 @@ Every command runs through one :class:`repro.Session`, so the global
 options compose with all of them: ``--workers N`` fans sweeps over worker
 processes, ``--cache DIR`` reuses the content-addressed result cache
 (``--no-cache`` disables it, default honours ``REPRO_CACHE_DIR``),
+``--no-artifact-cache`` disables the per-circuit precompute cache
+(every analysis walks the netlist again, as before the artifact layer),
 ``--stats`` prints the runner's counters and stage timings to stderr,
 ``--stats-json PATH`` writes the same counters as JSON, and
 ``--journal PATH`` appends a JSONL event log of every grid point the
@@ -54,7 +56,8 @@ def _session(args):
             liberty=getattr(args, "liberty", None) or None,
             workers=getattr(args, "workers", None),
             cache=cache,
-            journal=getattr(args, "journal", None) or None)
+            journal=getattr(args, "journal", None) or None,
+            artifacts=not getattr(args, "no_artifact_cache", False))
     return args._session_obj
 
 
@@ -214,6 +217,9 @@ def build_parser():
                         "(default: $REPRO_CACHE_DIR when set)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the result cache")
+    parser.add_argument("--no-artifact-cache", action="store_true",
+                        help="disable the per-circuit artifact cache "
+                        "(precomputed STA/leakage/switching tables)")
     parser.add_argument("--stats", action="store_true",
                         help="print runner counters and stage timings "
                         "to stderr")

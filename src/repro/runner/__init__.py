@@ -14,10 +14,14 @@ through this package.  The public surface:
 * :class:`RunStats` -- per-run counters and stage wall-clocks;
 * :class:`RunJournal` / :func:`read_journal` -- append-only JSONL event
   log of everything a run did (the runner's black-box recorder);
+* :class:`ArtifactStore` / :class:`CircuitArtifacts` -- the per-circuit
+  precompute-once cache (compiled STA / leakage / switching / SCPG
+  tables shared across grid points and processes);
 * :func:`fingerprint` / :func:`stable_hash` / :func:`module_fingerprint`
   -- the canonical hashing primitives.
 """
 
+from .artifacts import ARTIFACT_SCHEMA, ArtifactStore, CircuitArtifacts
 from .cache import CACHE_ENV, CACHE_SCHEMA, ResultCache, default_cache
 from .core import (
     DEFAULT_BACKOFF,
@@ -38,8 +42,11 @@ from .instrument import RunStats
 from .journal import NULL_JOURNAL, RunJournal, read_journal
 
 __all__ = [
+    "ARTIFACT_SCHEMA",
+    "ArtifactStore",
     "CACHE_ENV",
     "CACHE_SCHEMA",
+    "CircuitArtifacts",
     "CachedEvaluator",
     "DEFAULT_BACKOFF",
     "DEFAULT_RETRIES",

@@ -179,7 +179,7 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
                   cache=None, cache_key=None, on_error=(), stats=None,
                   retry_on=(), retries=DEFAULT_RETRIES,
                   backoff=DEFAULT_BACKOFF, timeout=None, journal=None,
-                  label=None):
+                  label=None, batch_fn=None):
     """Evaluate ``fn`` over ``points``; returns results in point order.
 
     Parameters
@@ -224,6 +224,17 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
     label:
         Short name for this grid in the journal (``"sweep"``,
         ``"energy_sweep"``, ...).
+    batch_fn:
+        Optional batch kernel ``batch_fn(pending_points)`` -- or
+        ``batch_fn(context, pending_points)`` with ``context`` -- that
+        evaluates every cache-missed point in one pass, returning one
+        value per point with ``None`` marking infeasible points.  Used
+        on the serial path only (parallel runs keep the fork pool); it
+        must produce results bit-identical to ``fn`` per point, with
+        ``on_error`` exceptions already mapped to ``None``.  The
+        retry/timeout policy does not apply inside a batch (kernels are
+        pure arithmetic); per-point cache writeback and journal events
+        are preserved.
     """
     points = list(points)
     stats = RunStats() if stats is None else stats
@@ -288,6 +299,9 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
                         _run_serial(fn, context, policy, leftover,
                                     results, errored, stats, journal,
                                     flush)
+                elif batch_fn is not None:
+                    _run_batch(batch_fn, context, pending, results,
+                               errored, stats, journal, flush, label)
                 else:
                     _run_serial(fn, context, policy, pending, results,
                                 errored, stats, journal, flush)
@@ -342,6 +356,46 @@ def _run_serial(fn, context, policy, pending, results, errored, stats,
             (index, value, status, attempts, ntimeouts,
              time.perf_counter() - start),
             results, errored, stats, journal, flush)
+
+
+def _run_batch(batch_fn, context, pending, results, errored, stats,
+               journal, flush, label=None):
+    """Evaluate all of ``pending`` through one batch-kernel call.
+
+    The kernel owns the inner loop (hoisted model state, no per-point
+    dispatch); this wrapper keeps the per-point contract around it --
+    results recorded in point order, ``None`` counted infeasible, every
+    result flushed to the cache, one ``point_finished`` journal line per
+    point (their ``elapsed`` is the batch wall-clock split evenly, since
+    points are not timed individually inside a kernel).
+    """
+    pts = [point for _, point in pending]
+    journal.record("batch_started", label=label, points=len(pts))
+    start = time.perf_counter()
+    if context is _NO_CONTEXT:
+        values = list(batch_fn(pts))
+    else:
+        values = list(batch_fn(context, pts))
+    elapsed = time.perf_counter() - start
+    if len(values) != len(pending):
+        raise RunnerError(
+            "batch kernel returned {} results for {} points".format(
+                len(values), len(pending)))
+    share = round(elapsed / len(pending), 6) if pending else 0.0
+    nsoft = 0
+    for (index, _), value in zip(pending, values):
+        results[index] = value
+        soft = value is None
+        if soft:
+            errored.add(index)
+            nsoft += 1
+        journal.record("point_finished", index=index,
+                       status="infeasible" if soft else "ok",
+                       attempts=0, timeouts=0, elapsed=share)
+        flush(index, soft)
+    journal.record("batch_finished", label=label, points=len(pts),
+                   ok=len(pts) - nsoft, infeasible=nsoft,
+                   elapsed=round(elapsed, 6))
 
 
 def _run_forked(fn, context, policy, pending, nworkers, results, errored,
@@ -505,14 +559,15 @@ class Runner:
         self.journal = journal
 
     def run(self, fn, points, context=_NO_CONTEXT, cache_key=None,
-            on_error=(), label=None):
+            on_error=(), label=None, batch_fn=None):
         """:func:`evaluate_grid` under this runner's policy."""
         return evaluate_grid(
             fn, points, workers=self.workers, context=context,
             cache=self.cache, cache_key=cache_key, on_error=on_error,
             stats=self.stats, retry_on=self.retry_on,
             retries=self.retries, backoff=self.backoff,
-            timeout=self.timeout, journal=self.journal, label=label)
+            timeout=self.timeout, journal=self.journal, label=label,
+            batch_fn=batch_fn)
 
     def evaluator(self, fn, cache_key=None):
         """A :class:`CachedEvaluator` sharing this runner's cache/stats."""

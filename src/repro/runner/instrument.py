@@ -27,6 +27,8 @@ class RunStats:
     retries: int = 0          # extra evaluation attempts paid (all points)
     timeouts: int = 0         # attempts cut short by the per-point timeout
     crashes: int = 0          # worker pools lost to a dead worker
+    artifact_hits: int = 0    # per-circuit artifact bundles served from cache
+    artifact_misses: int = 0  # bundles that had to be built
     workers: int = 1          # widest worker pool used
     stages: dict = field(default_factory=dict)   # stage name -> seconds
 
@@ -50,6 +52,8 @@ class RunStats:
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.crashes += other.crashes
+        self.artifact_hits += other.artifact_hits
+        self.artifact_misses += other.artifact_misses
         self.workers = max(self.workers, other.workers)
         for name, seconds in other.stages.items():
             self.stages[name] = self.stages.get(name, 0.0) + seconds
@@ -73,6 +77,8 @@ class RunStats:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "crashes": self.crashes,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
             "workers": self.workers,
             "stages": dict(self.stages),
         }
@@ -89,6 +95,10 @@ class RunStats:
             lines.append(
                 "{}: {} retries, {} timeouts, {} worker crashes".format(
                     prefix, self.retries, self.timeouts, self.crashes))
+        if self.artifact_hits or self.artifact_misses:
+            lines.append(
+                "{}: {} artifact hits, {} artifact misses".format(
+                    prefix, self.artifact_hits, self.artifact_misses))
         for name in sorted(self.stages):
             lines.append("{}:   {:<13} {:.3f} s".format(
                 prefix, name, self.stages[name]))

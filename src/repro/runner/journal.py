@@ -43,6 +43,11 @@ EVENTS = (
     "pool_crashed",     # workers, completed, remaining
     "requeue_serial",   # points (remainder re-run on the serial path)
     "run_finish",       # label, stats (RunStats.to_dict())
+    "batch_started",    # label, points (serial batch-kernel path)
+    "batch_finished",   # label, points, ok, infeasible, elapsed
+    "artifact_hit",     # fingerprint (truncated), source (memory|disk)
+    "artifact_miss",    # fingerprint (truncated)
+    "artifact_built",   # fingerprint (truncated), design, elapsed
 )
 
 

@@ -28,7 +28,7 @@ from ..errors import ScpgError
 from ..power.leakage import leakage_power
 from ..sta.constraints import ClockSpec
 from .clocking import scpg_feasible
-from .duty import optimise_duty
+from .duty import DUTY_CYCLE_CAP, DUTY_CYCLE_FLOOR, optimise_duty
 
 
 class Mode(enum.Enum):
@@ -249,6 +249,109 @@ class ScpgPowerModel:
             p_leak_comb=comb_eff,
             p_leak_header=header_eff,
         )
+
+    # -- batch kernels ----------------------------------------------------------
+
+    def power_axis(self, freqs, mode, duty=None):
+        """Evaluate one mode across a whole frequency axis in one pass.
+
+        Returns one :class:`PowerBreakdown` per frequency, with ``None``
+        where :meth:`power` would raise :class:`ScpgError` -- the exact
+        ``None`` convention of :func:`repro.analysis.sweep.sweep`.  The
+        per-mode constants (feasibility limit, hoisted energy sums, duty
+        bounds) are computed once; every per-point operation replays
+        :meth:`power`'s arithmetic unchanged, so results are
+        bit-identical to the point-at-a-time path.
+        """
+        if mode in (Mode.NO_PG, Mode.OVERRIDE):
+            fmax = 1.0 / (self.timing.t_eval + self.timing.t_setup)
+            limit = fmax * 1.0001
+            if mode is Mode.NO_PG:
+                e_dyn = self.e_cycle
+                leak_on = self.leak_alwayson_base
+                leak_comb = self.leak_comb_base
+            else:
+                e_dyn = self.e_cycle + self.e_iso_cycle
+                leak_on = self.leak_alwayson
+                leak_comb = self.leak_comb
+            out = []
+            for f in freqs:
+                if f <= 0 or f > limit:
+                    out.append(None)
+                    continue
+                out.append(PowerBreakdown(
+                    mode=mode, freq_hz=f, duty=0.5,
+                    p_dynamic=e_dyn * f, p_overhead=0.0,
+                    p_leak_alwayson=leak_on, p_leak_comb=leak_comb,
+                    p_leak_header=0.0))
+            return out
+
+        timing = self.timing
+        demand = timing.low_phase_demand
+        tol = demand * (1.0 - 1e-6)
+        rail = self.rail
+        effective_leak_time = rail.effective_leak_time
+        cycle_overhead = rail.cycle_overhead
+        e_dyn = self.e_cycle + self.e_iso_cycle
+        leak_comb = self.leak_comb
+        leak_header_off = self.leak_header_off
+        leak_on = self.leak_alwayson
+        vdd = self.vdd
+        header_gate_cap = self.header_gate_cap
+        is_scpg = mode is Mode.SCPG
+        out = []
+        for f in freqs:
+            if f <= 0:
+                out.append(None)
+                continue
+            if duty is not None:
+                d = duty
+            elif is_scpg:
+                d = 0.5
+            else:
+                d = 1.0 - demand * f
+                if DUTY_CYCLE_FLOOR - 1e-6 <= d < DUTY_CYCLE_FLOOR:
+                    d = DUTY_CYCLE_FLOOR
+                if d < DUTY_CYCLE_FLOOR:
+                    out.append(None)
+                    continue
+                d = min(d, DUTY_CYCLE_CAP)
+            period = 1.0 / f
+            t_high = period * d
+            t_low = period * (1.0 - d)
+            if not t_low >= tol:
+                out.append(None)
+                continue
+            on_time = period - t_high
+            decay_time = effective_leak_time(t_high)
+            comb_eff = leak_comb * (on_time + decay_time) / period
+            header_eff = leak_header_off * max(
+                0.0, t_high - decay_time) / period
+            overhead = cycle_overhead(vdd, t_high, header_gate_cap) * f
+            out.append(PowerBreakdown(
+                mode=mode, freq_hz=f, duty=d,
+                p_dynamic=e_dyn * f, p_overhead=overhead,
+                p_leak_alwayson=leak_on, p_leak_comb=comb_eff,
+                p_leak_header=header_eff))
+        return out
+
+    def power_points(self, points):
+        """Batch-evaluate ``(freq_hz, mode)`` sweep points.
+
+        Groups the points by mode, runs each group through
+        :meth:`power_axis`, and reassembles results in point order --
+        the batch kernel :func:`repro.analysis.sweep.sweep` hands to the
+        runner.
+        """
+        out = [None] * len(points)
+        by_mode = {}
+        for i, (freq_hz, mode) in enumerate(points):
+            by_mode.setdefault(mode, []).append((i, freq_hz))
+        for mode, items in by_mode.items():
+            values = self.power_axis([f for _, f in items], mode)
+            for (i, _), value in zip(items, values):
+                out[i] = value
+        return out
 
     def _power_ungated(self, freq_hz, mode):
         fmax = self.feasible_fmax(mode)

@@ -50,12 +50,23 @@ class Session:
         Fault-tolerance policy forwarded to the session's
         :class:`~repro.runner.Runner` -- exception types retried with
         exponential backoff, and an optional per-point timeout.
+    artifacts:
+        Per-circuit artifact cache (precomputed STA / leakage /
+        switching / SCPG tables shared by every analysis of one design):
+        ``True`` (default) stores bundles in memory and, when the
+        session has a result cache, on disk through it;
+        ``False``/``None`` disables precomputation entirely (every
+        analysis walks the netlist, the pre-artifact behaviour); a
+        directory path or :class:`~repro.runner.ResultCache` stores
+        bundles there instead of the result cache (so artifact reuse
+        can be controlled separately from point-result reuse).  Results
+        are bit-identical either way.
     """
 
     def __init__(self, library=None, liberty=None, workers=None,
                  cache="auto", journal=None, retry_on=(),
                  retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
-                 timeout=None):
+                 timeout=None, artifacts=True):
         if library is not None and liberty is not None:
             raise ValueError("pass either library or liberty, not both")
         self._library = library
@@ -72,6 +83,23 @@ class Session:
                              retry_on=retry_on, retries=retries,
                              backoff=backoff, timeout=timeout,
                              journal=journal)
+        self.artifacts = self._artifact_store(artifacts)
+
+    def _artifact_store(self, artifacts):
+        if artifacts is False or artifacts is None:
+            return None
+        from .runner.artifacts import ArtifactStore
+
+        if artifacts is True:
+            cache = self.runner.cache
+        elif isinstance(artifacts, ResultCache):
+            cache = artifacts
+        else:
+            import os
+
+            cache = ResultCache(os.path.expanduser(str(artifacts)))
+        return ArtifactStore(cache=cache, stats=self.runner.stats,
+                             journal=self.runner.journal)
 
     @property
     def library(self):
@@ -136,6 +164,7 @@ class DesignHandle:
         self._switching = None
         self._power_model = None
         self._subvt_model = None
+        self._artifacts = None
 
     # -- construction ---------------------------------------------------------
 
@@ -174,10 +203,41 @@ class DesignHandle:
                                     energy_per_cycle=e_cycle)
         return self._scpg
 
+    def artifacts(self):
+        """This design's :class:`~repro.runner.artifacts.CircuitArtifacts`
+        bundle (``None`` when the session runs with ``artifacts=False``).
+
+        Served from the session's :class:`~repro.runner.artifacts.
+        ArtifactStore` -- in-process memo first, then the on-disk cache,
+        then a one-time build -- and memoised per handle.  Every
+        analysis below evaluates against these tables when present, with
+        bit-identical results to the netlist-walking path.
+        """
+        store = self.session.artifacts
+        if store is None:
+            return None
+        if self._artifacts is None:
+            from .runner.artifacts import CircuitArtifacts
+
+            design = self.design
+            fp = self.fingerprint
+            self._artifacts = store.get(
+                fp,
+                lambda: CircuitArtifacts.build(
+                    design, fingerprint=fp, name=design.top.name))
+        return self._artifacts
+
     # -- analyses -------------------------------------------------------------
 
     def sta(self, vdd=None):
         """Timing analysis result (memoised at the nominal supply)."""
+        art = self.artifacts()
+        if art is not None:
+            if vdd is not None:
+                return art.timing.evaluate(self.session.library, vdd=vdd)
+            if self._sta is None:
+                self._sta = art.timing.evaluate(self.session.library)
+            return self._sta
         from .sta.analysis import TimingAnalysis
 
         if vdd is not None:
@@ -190,6 +250,15 @@ class DesignHandle:
 
     def switching(self, vdd=None):
         """Vectorless ``(e_cycle, by_net)`` switching estimate."""
+        art = self.artifacts()
+        if art is not None:
+            if vdd is not None:
+                return art.switching.evaluate(self.session.library,
+                                              vdd=vdd)
+            if self._switching is None:
+                self._switching = art.switching.evaluate(
+                    self.session.library)
+            return self._switching
         from .power.probabilistic import vectorless_switching
 
         if vdd is not None:
@@ -202,6 +271,10 @@ class DesignHandle:
 
     def leakage(self, vdd=None):
         """Leakage power report at ``vdd`` (default nominal)."""
+        art = self.artifacts()
+        if art is not None:
+            return art.leakage.evaluate(self.session.library,
+                                        vdd=vdd if vdd else None)
         from .power.leakage import leakage_power
 
         return leakage_power(self.design.top, self.session.library,
@@ -211,12 +284,21 @@ class DesignHandle:
         """An :class:`~repro.scpg.power_model.ScpgPowerModel` with the
         vectorless energy estimate and measured base leakage."""
         if self._power_model is None:
-            from .power.leakage import leakage_power
-            from .scpg.power_model import ScpgPowerModel
+            art = self.artifacts()
+            if art is not None:
+                lib = self.session.library
+                e_cycle, _ = self.switching()
+                model = art.scpg.build_model(lib, e_cycle)
+                base = art.leakage.evaluate(lib)
+            else:
+                from .power.leakage import leakage_power
+                from .scpg.power_model import ScpgPowerModel
 
-            e_cycle, _ = self.switching()
-            model = ScpgPowerModel.from_scpg_design(self.scpg(), e_cycle)
-            base = leakage_power(self.design.top, self.session.library)
+                e_cycle, _ = self.switching()
+                model = ScpgPowerModel.from_scpg_design(
+                    self.scpg(), e_cycle)
+                base = leakage_power(self.design.top,
+                                     self.session.library)
             model.leak_comb_base = base.combinational
             model.leak_alwayson_base = base.always_on
             self._power_model = model

@@ -77,9 +77,66 @@ class SubvtModel:
             power=e_dyn * fmax + p_leak,
         )
 
+    def points_axis(self, vdds):
+        """Evaluate a whole supply axis in one pass (the batch kernel).
+
+        Hoists the device models and reference currents the library's
+        scaling functions rebuild per call; every remaining operation
+        replays :meth:`point` -- via ``Library.delay_scale`` /
+        ``leakage_scale`` / ``energy_scale`` -- unchanged, so results
+        are bit-identical to the point-at-a-time path (including the
+        degenerate ``i_op <= 0`` / ``i_ref <= 0`` branches).
+        """
+        lib = self.library
+        ref = lib._ref_model("svt")
+        op = lib.device_model("svt")
+        vdd_nom = lib.vdd_nom
+        on_ref_term = vdd_nom / ref.on_current(vdd_nom, 1.0)
+        i_ref_leak = ref.subthreshold_leakage(vdd_nom, 1.0)
+        min_period = self.min_period
+        leak_nominal = self.leak_nominal
+        e_cycle = self.e_cycle
+        inf = float("inf")
+        out = []
+        for vdd in vdds:
+            i_op = op.on_current(vdd, 1.0)
+            delay_scale = inf if i_op <= 0 \
+                else (vdd / i_op) / on_ref_term
+            fmax = 1.0 / (min_period * delay_scale)
+            leakage_scale = 0.0 if i_ref_leak <= 0 \
+                else (op.subthreshold_leakage(vdd, 1.0) / i_ref_leak) \
+                * (vdd / vdd_nom)
+            p_leak = leak_nominal * leakage_scale
+            e_dyn = e_cycle * ((vdd / vdd_nom) ** 2)
+            out.append(EnergyPoint(
+                vdd=vdd,
+                fmax_hz=fmax,
+                e_dynamic=e_dyn,
+                e_leakage=p_leak / fmax,
+                power=e_dyn * fmax + p_leak,
+            ))
+        return out
+
 
 def _voltage_point(model, vdd):
     return model.point(vdd)
+
+
+def _voltage_axis(model, vdds):
+    return model.points_axis(vdds)
+
+
+def _batch_kernel(model):
+    """The sweep batch kernel -- or ``None`` for non-pristine models.
+
+    A subclassed model, or one whose ``point`` was replaced on the
+    instance (tests do this to count evaluations), must keep the
+    point-at-a-time path so the override is honoured.
+    """
+    if type(model) is not SubvtModel \
+            or "point" in getattr(model, "__dict__", {}):
+        return None
+    return _voltage_axis
 
 
 def _model_cache_key(model):
@@ -104,7 +161,8 @@ def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76, runner=None):
     grid = [v_lo + (v_hi - v_lo) * k / (steps - 1) for k in range(steps)]
     return runner.run(_voltage_point, grid, context=model,
                       cache_key=_model_cache_key(model),
-                      label="energy_sweep")
+                      label="energy_sweep",
+                      batch_fn=_batch_kernel(model))
 
 
 def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3,

@@ -139,6 +139,16 @@ class TestObservabilityFlags:
                      "--stats-json", str(tmp_path / "s.json"),
                      "subvt", "counter16"]) == 0
         assert capsys.readouterr().out == plain
+        assert main(["--no-artifact-cache", "subvt", "counter16"]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_artifact_cache_keeps_reports_identical(self, capsys):
+        for command in (["sta", "counter16"],
+                        ["power", "counter16", "--freq", "1MHz"]):
+            assert main(command) == 0
+            cached = capsys.readouterr().out
+            assert main(["--no-artifact-cache"] + command) == 0
+            assert capsys.readouterr().out == cached
 
 
 class TestParser:
