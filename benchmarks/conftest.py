@@ -18,7 +18,12 @@ the env vars work from anywhere):
   shared runner's counters and stage timings as JSON when the session
   ends (CI uploads this as a build artifact);
 * ``--journal PATH`` / ``REPRO_BENCH_JOURNAL=PATH`` -- append the JSONL
-  run journal of every grid the shared runner executed.
+  run journal of every grid the shared runner executed;
+* ``--trace-out PATH`` / ``REPRO_BENCH_TRACE=PATH`` -- append the
+  JSONL trace spans of every grid the shared runner executed (pytest
+  owns the plain ``--trace`` spelling);
+* ``--metrics-out PATH`` / ``REPRO_BENCH_METRICS=PATH`` -- write the
+  shared runner's metrics in Prometheus text exposition at session end.
 """
 
 import json
@@ -35,6 +40,10 @@ def pytest_addoption(parser):
                     help="write the shared runner's stats as JSON")
     group.addoption("--journal", default=None, metavar="PATH",
                     help="append the shared runner's JSONL journal")
+    group.addoption("--trace-out", default=None, metavar="PATH",
+                    help="append the shared runner's JSONL trace spans")
+    group.addoption("--metrics-out", default=None, metavar="PATH",
+                    help="write the shared runner's Prometheus metrics")
 
 
 def _option(config, name, env):
@@ -62,15 +71,32 @@ def m0_study():
 @pytest.fixture(scope="session")
 def runner(pytestconfig):
     """Shared experiment runner (workers + result cache from the env)."""
+    from repro.obs import JsonlSink, MetricsRegistry, Tracer
     from repro.runner import Runner, default_cache
 
     value = os.environ.get("REPRO_BENCH_WORKERS", "")
     workers = int(value) if value.strip() else None
+    trace_path = _option(pytestconfig, "--trace-out",
+                          "REPRO_BENCH_TRACE")
+    metrics_path = _option(pytestconfig, "--metrics-out",
+                           "REPRO_BENCH_METRICS")
+    tracer = Tracer(JsonlSink(trace_path)) if trace_path else None
+    registry = MetricsRegistry() if metrics_path else None
     runner = Runner(workers=workers, cache=default_cache(),
                     journal=_option(pytestconfig, "--journal",
-                                    "REPRO_BENCH_JOURNAL"))
+                                    "REPRO_BENCH_JOURNAL"),
+                    tracer=tracer, metrics=registry)
     yield runner
     runner.close()
+    if tracer is not None:
+        tracer.close()
+        emit("Runner trace", "wrote {} ({} spans)".format(
+            trace_path, tracer.spans))
+    if registry is not None:
+        registry.fill_from_stats(runner.stats, cache=runner.cache)
+        with open(metrics_path, "w") as f:
+            f.write(registry.render())
+        emit("Runner metrics", "wrote {}".format(metrics_path))
     stats_path = _option(pytestconfig, "--stats-json",
                          "REPRO_BENCH_STATS_JSON")
     if stats_path:

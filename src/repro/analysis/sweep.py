@@ -81,11 +81,13 @@ def power_cache_key(model):
 
 
 def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX),
-          runner=None):
+          runner=None, label="sweep"):
     """Evaluate ``model`` across ``freqs`` for each mode.
 
     Infeasible (frequency, mode) points come back as ``None``, exactly as
-    the serial implementation always produced them.
+    the serial implementation always produced them.  ``label`` names the
+    grid in the journal/trace (``DesignHandle.sweep`` passes
+    ``"sweep:<design>"`` so replay reports break down per design).
     """
     runner = Runner() if runner is None else runner
     freqs = list(freqs)
@@ -93,7 +95,7 @@ def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX),
     grid = [(f, mode) for mode in modes for f in freqs]
     values = runner.run(_power_point, grid, context=model,
                         cache_key=power_cache_key(model),
-                        on_error=(ScpgError,), label="sweep",
+                        on_error=(ScpgError,), label=label,
                         batch_fn=_batch_kernel(model))
     out = FrequencySweep(freqs=freqs)
     for i, mode in enumerate(modes):

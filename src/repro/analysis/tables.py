@@ -32,14 +32,15 @@ class TableRowResult:
     saving_scpgmax_pct: float
 
 
-def build_table(model, freqs, runner=None):
+def build_table(model, freqs, runner=None, label="sweep"):
     """Evaluate the model on a frequency grid; returns
     ``list[TableRowResult]``.
 
     ``runner`` (a :class:`repro.runner.Runner`) supplies workers and the
-    result cache for the underlying sweep.
+    result cache for the underlying sweep; ``label`` names the grid in
+    the journal/trace.
     """
-    data = sweep(model, freqs, runner=runner)
+    data = sweep(model, freqs, runner=runner, label=label)
     rows = []
     for i, f in enumerate(freqs):
         nopg = data.results[Mode.NO_PG][i]

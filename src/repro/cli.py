@@ -12,6 +12,7 @@ writing Python:
 ``power``        power report at an operating point
 ``table``        regenerate Table I or Table II
 ``subvt``        sub-threshold sweep and minimum-energy point
+``report``       replay a run journal/trace into a timing + anomaly report
 ===============  ============================================================
 
 Designs are referenced either by a registered name (see
@@ -26,10 +27,12 @@ processes, ``--cache DIR`` reuses the content-addressed result cache
 ``--no-artifact-cache`` disables the per-circuit precompute cache
 (every analysis walks the netlist again, as before the artifact layer),
 ``--stats`` prints the runner's counters and stage timings to stderr,
-``--stats-json PATH`` writes the same counters as JSON, and
+``--stats-json PATH`` writes the same counters as JSON,
 ``--journal PATH`` appends a JSONL event log of every grid point the
-command evaluated -- stdout stays byte-identical to the serial,
-uncached output.
+command evaluated, ``--trace PATH`` appends nested trace spans
+(grid/stage/point/attempt) as JSONL, and ``--metrics PATH`` writes a
+Prometheus text exposition of the run's metrics on exit -- stdout stays
+byte-identical to the serial, uncached, untraced output.
 """
 
 from __future__ import annotations
@@ -57,7 +60,9 @@ def _session(args):
             workers=getattr(args, "workers", None),
             cache=cache,
             journal=getattr(args, "journal", None) or None,
-            artifacts=not getattr(args, "no_artifact_cache", False))
+            artifacts=not getattr(args, "no_artifact_cache", False),
+            trace=getattr(args, "trace", None) or None,
+            metrics=bool(getattr(args, "metrics", None)))
     return args._session_obj
 
 
@@ -183,6 +188,14 @@ def cmd_table(args):
     return 0
 
 
+def cmd_report(args):
+    from .obs.report import render_report
+
+    _out(args, render_report(args.journal_file,
+                             straggler_k=args.straggler_k))
+    return 0
+
+
 def cmd_subvt(args):
     from .subvt.energy import energy_sweep, minimum_energy_point
 
@@ -230,6 +243,14 @@ def build_parser():
     parser.add_argument("--stats-json", metavar="PATH",
                         help="write the runner's counters and stage "
                         "timings to PATH as JSON on exit")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="append JSONL trace spans (grid/stage/"
+                        "point/attempt, with parent ids and monotonic "
+                        "timings) to PATH")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write a Prometheus text exposition of the "
+                        "run's counters/gauges/histograms to PATH on "
+                        "exit")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="library summary").set_defaults(
@@ -277,6 +298,16 @@ def build_parser():
     p.add_argument("design")
     p.set_defaults(func=cmd_subvt)
 
+    p = sub.add_parser("report", help="replay a run journal/trace into "
+                       "per-stage timings, hit ratios and anomaly flags")
+    p.add_argument("journal_file", help="JSONL journal (--journal) or "
+                   "trace (--trace) file to replay")
+    p.add_argument("--straggler-k", type=float, default=3.0,
+                   help="flag points slower than K x the grid's p95 "
+                   "(default 3.0)")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_report)
+
     return parser
 
 
@@ -304,6 +335,9 @@ def main(argv=None):
                     json.dump(session.stats.to_dict(), f, indent=2,
                               sort_keys=True)
                     f.write("\n")
+            if getattr(args, "metrics", None):
+                with open(args.metrics, "w") as f:
+                    f.write(session.metrics().render())
             session.close()
 
 

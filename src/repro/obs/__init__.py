@@ -1,0 +1,60 @@
+"""Observability: tracing spans, a metrics registry, journal replay.
+
+Three dependency-free layers over the runner's raw record:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` produces nested spans
+  (grid -> stage -> point -> attempt) with monotonic timings and
+  pluggable sinks; :data:`NULL_TRACER` is the free-when-off default the
+  runner always calls through;
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` of counters,
+  gauges and histograms with Prometheus text exposition; subsumes
+  :class:`~repro.runner.instrument.RunStats` via ``fill_from_stats``;
+* :mod:`repro.obs.report` -- replay a JSONL journal/trace back into a
+  per-grid, per-stage report with anomaly flags (``repro report``).
+
+Wired through ``evaluate_grid``/``Runner`` (``tracer=``/``metrics=``),
+``Session`` (``trace=``/``metrics=``) and the CLI (``--trace``,
+``--metrics``, ``repro report``); see ``docs/observability.md``.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .report import (
+    DEFAULT_STRAGGLER_K,
+    JournalReport,
+    load_events,
+    percentile,
+    render_report,
+)
+from .trace import (
+    NULL_TRACER,
+    JournalSink,
+    JsonlSink,
+    MemorySink,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_STRAGGLER_K",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JournalReport",
+    "JournalSink",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "load_events",
+    "percentile",
+    "render_report",
+]

@@ -1,0 +1,335 @@
+"""Nested tracing spans for the runner/session stack.
+
+A :class:`Tracer` turns a run into a tree of timed spans -- ``grid``
+spans containing ``stage`` spans containing ``point`` spans containing
+``attempt`` spans -- each with a monotonic start offset, an elapsed
+wall-clock, a parent id and arbitrary attributes.  Where the
+:class:`~repro.runner.journal.RunJournal` answers "what happened, in
+order", spans answer "*where did the time go*, and inside what".
+
+Design constraints, in priority order:
+
+* **zero cost when off** -- the runner traces unconditionally, so the
+  disabled path (:data:`NULL_TRACER`) must cost a dict construction and
+  an attribute lookup per call, nothing more.  ``benchmarks/
+  test_obs_overhead.py`` holds this under 2 % of a sweep point;
+* **no dependencies** -- stdlib only, importable from anywhere in the
+  package without cycles;
+* **journal-compatible output** -- a serialised span is one flat JSON
+  object with ``t`` and ``event`` fields like every journal line, so
+  spans can interleave with journal events in one JSONL file
+  (:class:`JournalSink`) or live in their own (:class:`JsonlSink`) and
+  the same replay tooling (:mod:`repro.obs.report`) reads both.
+
+Span timing uses ``time.perf_counter`` (monotonic): ``start`` is the
+offset in seconds from the owning tracer's epoch, so spans from one
+tracer order and nest consistently even if the wall clock steps.
+``t`` (wall time at emission) exists only for interleaving with journal
+lines.  Spans are emitted on *exit*, children before parents -- replay
+rebuilds the tree from ids, not from file order.
+
+Only the parent process traces: fork-pool workers report their timings
+back through the result tuple (like they always did for the journal) and
+the parent records an externally-timed span via :meth:`Tracer.record`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+
+
+class Span:
+    """One timed region.  Context manager; emitted to sinks on exit.
+
+    Attributes may be attached at creation (``tracer.span(name, k=v)``)
+    or later via :meth:`set` -- e.g. a point's status, known only once
+    the evaluation returns.  ``set`` after exit is a silent no-op (the
+    span has already been emitted), not an error.
+    """
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "start",
+                 "elapsed", "attrs", "_done")
+
+    def __init__(self, tracer, name, span_id, parent_id, start, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.elapsed = None
+        self.attrs = attrs
+        self._done = False
+
+    def set(self, **attrs):
+        """Attach attributes (chainable); ignored after the span ends."""
+        if not self._done:
+            self.attrs.update(attrs)
+        return self
+
+    def finish(self):
+        """End the span now (idempotent; ``__exit__`` calls this)."""
+        if self._done:
+            return
+        self._done = True
+        self.elapsed = self.tracer._now() - self.start
+        self.tracer._emit(self)
+
+    def to_dict(self):
+        """The journal-schema line for this span (see module docstring)."""
+        line = {
+            "t": time.time(),
+            "event": "span",
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": round(self.start, 9),
+            "elapsed": round(self.elapsed, 9)
+            if self.elapsed is not None else None,
+        }
+        line.update(self.attrs)
+        return line
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.tracer._pop(self)
+        self.finish()
+        return False
+
+    def __repr__(self):
+        return "Span({!r}, id={}, parent={}, elapsed={})".format(
+            self.name, self.span_id, self.parent_id, self.elapsed)
+
+
+class _NullSpan:
+    """The shared do-nothing span the :data:`NULL_TRACER` hands out."""
+
+    __slots__ = ()
+    elapsed = None
+
+    def set(self, **attrs):
+        return self
+
+    def finish(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __repr__(self):
+        return "NULL_SPAN"
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces nested spans and fans finished ones out to sinks.
+
+    Parameters
+    ----------
+    sinks:
+        One sink or a list of sinks; each needs an ``emit(line_dict)``
+        and (optionally) a ``close()``.  See :class:`MemorySink`,
+        :class:`JsonlSink`, :class:`JournalSink`.
+
+    Nesting is tracked per thread (a thread-local stack), so one tracer
+    may be shared the way the journal is; span ids are unique across
+    threads.  The parent of an opened span is whatever span is open in
+    the same thread -- exactly the lexical ``with`` nesting.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks=()):
+        if hasattr(sinks, "emit"):
+            sinks = (sinks,)
+        self.sinks = list(sinks)
+        self.spans = 0
+        self._ids = itertools.count(1)
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+
+    # -- internals ---------------------------------------------------------
+
+    def _now(self):
+        return time.perf_counter() - self._epoch
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _pop(self, span):
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _emit(self, span):
+        self.spans += 1
+        line = span.to_dict()
+        for sink in self.sinks:
+            sink.emit(line)
+
+    # -- public surface ----------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Open a nested span; use as a context manager."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(self, name, next(self._ids), parent, self._now(),
+                    attrs)
+        stack.append(span)
+        return span
+
+    def record(self, name, elapsed, **attrs):
+        """Emit an externally-timed span (e.g. a point evaluated inside a
+        fork-pool worker, whose wall-clock came back in the result tuple).
+
+        The span is parented under the currently open span and dated
+        ``elapsed`` seconds before now, so replay sees the same tree the
+        serial path would have produced.
+        """
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(self, name, next(self._ids), parent,
+                    self._now() - elapsed, attrs)
+        span._done = True
+        span.elapsed = elapsed
+        self._emit(span)
+        return span
+
+    def close(self):
+        """Close every sink that knows how (idempotent)."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        return "Tracer(spans={}, sinks={})".format(
+            self.spans, len(self.sinks))
+
+
+class _NullTracer:
+    """The no-op tracer the runner uses when tracing is off.
+
+    Every method is the cheapest Python allows while keeping call sites
+    branch-free; the whole point of the class is to make ``tracer.span``
+    in a hot loop cost less than the loop's own bookkeeping.
+    """
+
+    enabled = False
+    spans = 0
+    sinks = ()
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def record(self, name, elapsed, **attrs):
+        return _NULL_SPAN
+
+    def close(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def __repr__(self):
+        return "NULL_TRACER"
+
+
+#: Shared no-op tracer used whenever no tracer was requested.
+NULL_TRACER = _NullTracer()
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+class MemorySink:
+    """Collects span lines in a list -- the test/report-building sink."""
+
+    def __init__(self):
+        self.lines = []
+
+    def emit(self, line):
+        self.lines.append(line)
+
+    def __len__(self):
+        return len(self.lines)
+
+    def __iter__(self):
+        return iter(self.lines)
+
+    def __repr__(self):
+        return "MemorySink({} lines)".format(len(self.lines))
+
+
+class JsonlSink:
+    """Appends span lines to a JSONL file (one object per line, flushed).
+
+    The format matches the run journal's line-per-event schema, so
+    ``repro report`` accepts a trace file, a journal, or a concatenation
+    of both.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._file = None
+
+    def emit(self, line):
+        text = json.dumps(line, sort_keys=True, default=repr)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "a")
+            self._file.write(text + "\n")
+            self._file.flush()
+
+    def close(self):
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __repr__(self):
+        return "JsonlSink({!r})".format(self.path)
+
+
+class JournalSink:
+    """Interleaves spans into an existing run journal.
+
+    Every span becomes a ``"span"`` journal event written under the
+    journal's own lock, so one JSONL file carries the full record --
+    events *and* timing tree -- with no torn lines.
+    """
+
+    def __init__(self, journal):
+        self.journal = journal
+
+    def emit(self, line):
+        fields = dict(line)
+        fields.pop("t", None)
+        fields.pop("event", None)
+        self.journal.record("span", **fields)
+
+    def __repr__(self):
+        return "JournalSink({!r})".format(self.journal)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..obs.trace import NULL_TRACER
 from .journal import NULL_JOURNAL
 
 #: Cache-key namespace (bump when any table's compiled layout changes).
@@ -528,12 +529,16 @@ class ArtifactStore:
     journal:
         Optional :class:`~repro.runner.journal.RunJournal`; records
         ``artifact_hit`` / ``artifact_miss`` / ``artifact_built``.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; every cache-missed
+        build is wrapped in an ``artifact_build`` span.
     """
 
-    def __init__(self, cache=None, stats=None, journal=None):
+    def __init__(self, cache=None, stats=None, journal=None, tracer=None):
         self.cache = cache
         self.stats = stats
         self.journal = journal if journal is not None else NULL_JOURNAL
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._memo = {}
 
     def key_for(self, fingerprint):
@@ -566,7 +571,10 @@ class ArtifactStore:
             self.stats.artifact_misses += 1
         self.journal.record("artifact_miss", fingerprint=fingerprint[:16])
         start = time.perf_counter()
-        bundle = builder()
+        with self.tracer.span(
+                "artifact_build", fingerprint=fingerprint[:16]) as span:
+            bundle = builder()
+            span.set(design=bundle.design_name)
         elapsed = time.perf_counter() - start
         self._memo[fingerprint] = bundle
         if key is not None:

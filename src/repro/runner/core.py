@@ -48,6 +48,7 @@ from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 
 from ..errors import PointTimeoutError, RunnerError
+from ..obs.trace import NULL_TRACER
 from .cache import ResultCache
 from .fingerprint import fingerprint
 from .instrument import RunStats
@@ -109,7 +110,7 @@ def _point_alarm(timeout):
 
 
 def _eval_point(fn, context, point, on_error, retry_on, retries, backoff,
-                timeout):
+                timeout, tracer=NULL_TRACER):
     """One point through the retry/timeout policy.
 
     Returns ``(value, status, attempts, timeouts)`` where ``status`` is
@@ -119,25 +120,28 @@ def _eval_point(fn, context, point, on_error, retry_on, retries, backoff,
     paid and ``timeouts`` how many attempts the alarm cut short.
     Exceptions outside ``retry_on``/``on_error`` -- and retryable ones
     once retries are exhausted, unless they also appear in ``on_error``
-    -- are the hard ones.
+    -- are the hard ones.  ``tracer`` (serial path only; workers always
+    pass the no-op default) gets one ``attempt`` span per try.
     """
     caught = None
     attempts = 0
     ntimeouts = 0
     for attempt in range(retries + 1):
         attempts = attempt
-        try:
-            with _point_alarm(timeout):
-                return _call(fn, context, point), "ok", attempt, ntimeouts
-        except PointTimeoutError as exc:
-            ntimeouts += 1
-            caught = exc
-        except retry_on as exc:
-            caught = exc
-        except on_error:
-            return None, "soft", attempt, ntimeouts
-        except Exception as exc:
-            return exc, "hard", attempt, ntimeouts
+        with tracer.span("attempt", n=attempt):
+            try:
+                with _point_alarm(timeout):
+                    return _call(fn, context, point), "ok", attempt, \
+                        ntimeouts
+            except PointTimeoutError as exc:
+                ntimeouts += 1
+                caught = exc
+            except retry_on as exc:
+                caught = exc
+            except on_error:
+                return None, "soft", attempt, ntimeouts
+            except Exception as exc:
+                return exc, "hard", attempt, ntimeouts
         if attempt < retries and backoff:
             time.sleep(backoff * (2 ** attempt))
     if on_error and isinstance(caught, on_error):
@@ -179,7 +183,7 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
                   cache=None, cache_key=None, on_error=(), stats=None,
                   retry_on=(), retries=DEFAULT_RETRIES,
                   backoff=DEFAULT_BACKOFF, timeout=None, journal=None,
-                  label=None, batch_fn=None):
+                  label=None, batch_fn=None, tracer=None, metrics=None):
     """Evaluate ``fn`` over ``points``; returns results in point order.
 
     Parameters
@@ -235,6 +239,19 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
         retry/timeout policy does not apply inside a batch (kernels are
         pure arithmetic); per-point cache writeback and journal events
         are preserved.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` producing nested spans
+        (``grid`` -> ``stage`` -> ``point`` -> ``attempt``).  Defaults
+        to the no-op :data:`~repro.obs.trace.NULL_TRACER`, whose cost
+        is held under 2 % of a sweep point by
+        ``benchmarks/test_obs_overhead.py``.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`; the run observes
+        per-point latency (``repro_point_seconds``) and, on the
+        parallel path, queue wait (``repro_queue_wait_seconds``) into
+        it.  Counters are *not* incremented live -- export them by
+        snapshotting ``stats`` via ``fill_from_stats`` so the two
+        ledgers cannot drift.
     """
     points = list(points)
     stats = RunStats() if stats is None else stats
@@ -242,6 +259,16 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
     on_error = tuple(on_error)
     retry_on = tuple(retry_on)
     use_cache = cache is not None and cache_key is not None
+    tracer = NULL_TRACER if tracer is None else tracer
+    point_hist = wait_hist = None
+    if metrics is not None:
+        point_hist = metrics.histogram(
+            "repro_point_seconds",
+            "wall-clock per evaluated grid point")
+        wait_hist = metrics.histogram(
+            "repro_queue_wait_seconds",
+            "submit-to-result latency minus evaluation time "
+            "(parallel path)")
 
     owns_journal = isinstance(journal, (str, os.PathLike))
     if owns_journal:
@@ -253,61 +280,77 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
     keys = [None] * len(points)
     pending = []
     try:
-        if use_cache:
-            with stats.stage("cache"):
-                for index, point in enumerate(points):
-                    key = cache.key_for(cache_key, fingerprint(point))
-                    keys[index] = key
-                    hit, value = cache.lookup(key)
-                    if hit:
-                        stats.cache_hits += 1
-                        if isinstance(value, str) \
-                                and value == INFEASIBLE_MARKER:
-                            stats.infeasible += 1
-                            value = None
-                        results[index] = value
+        with tracer.span("grid", label=label,
+                         points=len(points)) as grid_span:
+            if use_cache:
+                with stats.stage("cache"), \
+                        tracer.span("stage", stage="cache"):
+                    for index, point in enumerate(points):
+                        key = cache.key_for(cache_key,
+                                            fingerprint(point))
+                        keys[index] = key
+                        hit, value = cache.lookup(key)
+                        if hit:
+                            stats.cache_hits += 1
+                            if isinstance(value, str) \
+                                    and value == INFEASIBLE_MARKER:
+                                stats.infeasible += 1
+                                value = None
+                            results[index] = value
+                        else:
+                            stats.cache_misses += 1
+                            pending.append((index, point))
+            else:
+                pending = list(enumerate(points))
+
+            if use_cache:
+                def flush(index, soft):
+                    value = INFEASIBLE_MARKER if soft \
+                        else results[index]
+                    cache.writeback(keys[index], value)
+            else:
+                def flush(index, soft):
+                    pass
+
+            nworkers = min(resolve_workers(workers),
+                           max(len(pending), 1))
+            stats.workers = max(stats.workers, nworkers)
+            journal.record("run_start", label=label, points=len(points),
+                           cached=len(points) - len(pending),
+                           pending=len(pending), workers=nworkers,
+                           cache=use_cache)
+            grid_span.set(cached=len(points) - len(pending),
+                          pending=len(pending), workers=nworkers)
+            errored = set()
+            if pending:
+                with stats.stage("evaluate"), \
+                        tracer.span("stage", stage="evaluate"):
+                    policy = (on_error, retry_on, retries, backoff,
+                              timeout)
+                    if nworkers > 1 and _fork_available():
+                        leftover = _run_forked(
+                            fn, context, policy, pending, nworkers,
+                            results, errored, stats, journal, flush,
+                            tracer, point_hist, wait_hist)
+                        if leftover:
+                            journal.record("requeue_serial",
+                                           points=len(leftover))
+                            _run_serial(fn, context, policy, leftover,
+                                        results, errored, stats,
+                                        journal, flush, tracer,
+                                        point_hist)
+                    elif batch_fn is not None:
+                        _run_batch(batch_fn, context, pending, results,
+                                   errored, stats, journal, flush,
+                                   label, tracer, point_hist)
                     else:
-                        stats.cache_misses += 1
-                        pending.append((index, point))
-        else:
-            pending = list(enumerate(points))
-
-        if use_cache:
-            def flush(index, soft):
-                value = INFEASIBLE_MARKER if soft else results[index]
-                cache.writeback(keys[index], value)
-        else:
-            def flush(index, soft):
-                pass
-
-        nworkers = min(resolve_workers(workers), max(len(pending), 1))
-        stats.workers = max(stats.workers, nworkers)
-        journal.record("run_start", label=label, points=len(points),
-                       cached=len(points) - len(pending),
-                       pending=len(pending), workers=nworkers)
-        errored = set()
-        if pending:
-            with stats.stage("evaluate"):
-                policy = (on_error, retry_on, retries, backoff, timeout)
-                if nworkers > 1 and _fork_available():
-                    leftover = _run_forked(
-                        fn, context, policy, pending, nworkers, results,
-                        errored, stats, journal, flush)
-                    if leftover:
-                        journal.record("requeue_serial",
-                                       points=len(leftover))
-                        _run_serial(fn, context, policy, leftover,
+                        _run_serial(fn, context, policy, pending,
                                     results, errored, stats, journal,
-                                    flush)
-                elif batch_fn is not None:
-                    _run_batch(batch_fn, context, pending, results,
-                               errored, stats, journal, flush, label)
-                else:
-                    _run_serial(fn, context, policy, pending, results,
-                                errored, stats, journal, flush)
-            stats.evaluated += len(pending)
-            stats.infeasible += len(errored)
-        journal.record("run_finish", label=label, stats=stats.to_dict())
+                                    flush, tracer, point_hist)
+                stats.evaluated += len(pending)
+                stats.infeasible += len(errored)
+            journal.record("run_finish", label=label,
+                           stats=stats.to_dict())
     finally:
         if owns_journal:
             journal.close()
@@ -343,23 +386,31 @@ def _record_point(payload, results, errored, stats, journal, flush):
     flush(index, soft)
 
 
+_SPAN_STATUS = {"ok": "ok", "soft": "infeasible", "hard": "failed"}
+
+
 def _run_serial(fn, context, policy, pending, results, errored, stats,
-                journal, flush):
+                journal, flush, tracer=NULL_TRACER, point_hist=None):
     on_error, retry_on, retries, backoff, timeout = policy
     for index, point in pending:
         journal.record("point_started", index=index)
         start = time.perf_counter()
-        value, status, attempts, ntimeouts = _eval_point(
-            fn, context, point, on_error, retry_on, retries, backoff,
-            timeout)
+        with tracer.span("point", index=index) as span:
+            value, status, attempts, ntimeouts = _eval_point(
+                fn, context, point, on_error, retry_on, retries,
+                backoff, timeout, tracer)
+            span.set(status=_SPAN_STATUS[status], attempts=attempts)
+        elapsed = time.perf_counter() - start
+        if point_hist is not None:
+            point_hist.observe(elapsed)
         _record_point(
-            (index, value, status, attempts, ntimeouts,
-             time.perf_counter() - start),
+            (index, value, status, attempts, ntimeouts, elapsed),
             results, errored, stats, journal, flush)
 
 
 def _run_batch(batch_fn, context, pending, results, errored, stats,
-               journal, flush, label=None):
+               journal, flush, label=None, tracer=NULL_TRACER,
+               point_hist=None):
     """Evaluate all of ``pending`` through one batch-kernel call.
 
     The kernel owns the inner loop (hoisted model state, no per-point
@@ -367,15 +418,18 @@ def _run_batch(batch_fn, context, pending, results, errored, stats,
     results recorded in point order, ``None`` counted infeasible, every
     result flushed to the cache, one ``point_finished`` journal line per
     point (their ``elapsed`` is the batch wall-clock split evenly, since
-    points are not timed individually inside a kernel).
+    points are not timed individually inside a kernel).  The trace gets
+    one ``batch`` span for the kernel call; the latency histogram
+    observes the same even split the journal reports.
     """
     pts = [point for _, point in pending]
     journal.record("batch_started", label=label, points=len(pts))
     start = time.perf_counter()
-    if context is _NO_CONTEXT:
-        values = list(batch_fn(pts))
-    else:
-        values = list(batch_fn(context, pts))
+    with tracer.span("batch", label=label, points=len(pts)):
+        if context is _NO_CONTEXT:
+            values = list(batch_fn(pts))
+        else:
+            values = list(batch_fn(context, pts))
     elapsed = time.perf_counter() - start
     if len(values) != len(pending):
         raise RunnerError(
@@ -389,6 +443,8 @@ def _run_batch(batch_fn, context, pending, results, errored, stats,
         if soft:
             errored.add(index)
             nsoft += 1
+        if point_hist is not None:
+            point_hist.observe(share)
         journal.record("point_finished", index=index,
                        status="infeasible" if soft else "ok",
                        attempts=0, timeouts=0, elapsed=share)
@@ -398,15 +454,40 @@ def _run_batch(batch_fn, context, pending, results, errored, stats,
                    elapsed=round(elapsed, 6))
 
 
+def _note_parallel_point(payload, submitted, tracer, point_hist,
+                         wait_hist):
+    """Trace/measure one worker-evaluated point in the parent.
+
+    The worker timed the evaluation itself (``elapsed`` in the result
+    tuple); the parent knows when it submitted the task, so queue wait
+    is arrival minus submission minus evaluation, floored at zero
+    (clock jitter must not produce negative waits).
+    """
+    index, value, status, attempts, ntimeouts, elapsed = payload
+    wait = None
+    submit_t = submitted.get(index)
+    if submit_t is not None:
+        wait = max(time.perf_counter() - submit_t - elapsed, 0.0)
+    tracer.record("point", elapsed, index=index,
+                  status=_SPAN_STATUS[status], attempts=attempts,
+                  wait=None if wait is None else round(wait, 6))
+    if point_hist is not None:
+        point_hist.observe(elapsed)
+    if wait_hist is not None and wait is not None:
+        wait_hist.observe(wait)
+
+
 def _run_forked(fn, context, policy, pending, nworkers, results, errored,
-                stats, journal, flush):
+                stats, journal, flush, tracer=NULL_TRACER,
+                point_hist=None, wait_hist=None):
     """Fan ``pending`` over a fork pool; returns the unfinished points.
 
     A healthy pool returns ``[]``.  When a worker dies hard (SIGKILL,
     OOM) the executor raises ``BrokenProcessPool`` instead of hanging;
     every result that made it back is salvaged (and was already flushed
     to the cache incrementally) and the remainder is handed back for the
-    serial path to finish.
+    serial path to finish.  Workers never trace: each point's span is
+    recorded by the parent from the worker-reported wall-clock.
     """
     global _FORK_STATE
     on_error, retry_on, retries, backoff, timeout = policy
@@ -422,20 +503,25 @@ def _run_forked(fn, context, policy, pending, nworkers, results, errored,
         executor = ProcessPoolExecutor(max_workers=nworkers,
                                        mp_context=ctx)
         futures = {}
+        submitted = {}
         for index, point in pending:
             futures[executor.submit(_worker_eval, (index, point))] = \
                 (index, point)
+            submitted[index] = time.perf_counter()
             journal.record("point_submitted", index=index)
         done = set()
         try:
             for fut in as_completed(futures):
                 payload = fut.result()
+                _note_parallel_point(payload, submitted, tracer,
+                                     point_hist, wait_hist)
                 _record_point(payload, results, errored, stats, journal,
                               flush)
                 done.add(fut)
         except BrokenProcessPool:
             leftover = _salvage(futures, done, results, errored, stats,
-                                journal, flush)
+                                journal, flush, submitted, tracer,
+                                point_hist, wait_hist)
             stats.crashes += 1
             journal.record("pool_crashed", workers=nworkers,
                            completed=len(pending) - len(leftover),
@@ -449,7 +535,9 @@ def _run_forked(fn, context, policy, pending, nworkers, results, errored,
         _FORK_LOCK.release()
 
 
-def _salvage(futures, done, results, errored, stats, journal, flush):
+def _salvage(futures, done, results, errored, stats, journal, flush,
+             submitted=None, tracer=NULL_TRACER, point_hist=None,
+             wait_hist=None):
     """After a pool crash: keep every result that arrived, list the rest.
 
     Once the executor is broken every outstanding future is done (the
@@ -470,6 +558,8 @@ def _salvage(futures, done, results, errored, stats, journal, flush):
         if payload is None:
             leftover.append((index, point))
         else:
+            _note_parallel_point(payload, submitted or {}, tracer,
+                                 point_hist, wait_hist)
             _record_point(payload, results, errored, stats, journal,
                           flush)
     return leftover
@@ -544,7 +634,7 @@ class Runner:
 
     def __init__(self, workers=None, cache=None, stats=None, retry_on=(),
                  retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
-                 timeout=None, journal=None):
+                 timeout=None, journal=None, tracer=None, metrics=None):
         self.workers = workers
         if isinstance(cache, (str, os.PathLike)):
             cache = ResultCache(cache)
@@ -557,6 +647,8 @@ class Runner:
         if isinstance(journal, (str, os.PathLike)):
             journal = RunJournal(journal)
         self.journal = journal
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.metrics = metrics
 
     def run(self, fn, points, context=_NO_CONTEXT, cache_key=None,
             on_error=(), label=None, batch_fn=None):
@@ -567,7 +659,8 @@ class Runner:
             stats=self.stats, retry_on=self.retry_on,
             retries=self.retries, backoff=self.backoff,
             timeout=self.timeout, journal=self.journal, label=label,
-            batch_fn=batch_fn)
+            batch_fn=batch_fn, tracer=self.tracer,
+            metrics=self.metrics)
 
     def evaluator(self, fn, cache_key=None):
         """A :class:`CachedEvaluator` sharing this runner's cache/stats."""

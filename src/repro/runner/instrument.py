@@ -31,16 +31,33 @@ class RunStats:
     artifact_misses: int = 0  # bundles that had to be built
     workers: int = 1          # widest worker pool used
     stages: dict = field(default_factory=dict)   # stage name -> seconds
+    #: Open-stage child-time accumulators (reentrancy bookkeeping only;
+    #: excluded from equality, merge and to_dict).
+    _active: list = field(default_factory=list, repr=False, compare=False)
 
     @contextmanager
     def stage(self, name):
-        """Accumulate wall-clock spent in the ``with`` body under ``name``."""
+        """Accumulate wall-clock spent in the ``with`` body under ``name``.
+
+        Stages attribute **self time**: when stages nest, the inner
+        stage's wall-clock is charged to the inner bucket only, never
+        double-counted into the enclosing one -- so the buckets of any
+        nesting always sum to the outermost stage's wall-clock.  The
+        manager is reentrant (a stage may nest under itself, as a
+        recursive analysis does) but, like the rest of RunStats, not
+        thread-safe.
+        """
         start = time.perf_counter()
+        self._active.append(0.0)
         try:
             yield self
         finally:
+            total = time.perf_counter() - start
+            child_time = self._active.pop()
             self.stages[name] = self.stages.get(name, 0.0) \
-                + time.perf_counter() - start
+                + total - child_time
+            if self._active:
+                self._active[-1] += total
 
     def merge(self, other):
         """Fold ``other`` into this one (workers takes the max)."""

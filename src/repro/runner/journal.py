@@ -48,6 +48,8 @@ EVENTS = (
     "artifact_hit",     # fingerprint (truncated), source (memory|disk)
     "artifact_miss",    # fingerprint (truncated)
     "artifact_built",   # fingerprint (truncated), design, elapsed
+    "span",             # name, id, parent, start, elapsed, ... (a trace
+                        # span routed here by obs.trace.JournalSink)
 )
 
 

@@ -61,12 +61,23 @@ class Session:
         bundles there instead of the result cache (so artifact reuse
         can be controlled separately from point-result reuse).  Results
         are bit-identical either way.
+    trace:
+        Tracing: ``None``/``False`` (default) leaves the free no-op
+        tracer in place; ``True`` traces into an in-memory sink
+        (``session.tracer.sinks[0].lines``); a path traces to that JSONL
+        file (closed by :meth:`close`); a :class:`~repro.obs.trace.
+        Tracer` is used as-is (caller owns its sinks).
+    metrics:
+        Metrics: ``True`` creates a fresh :class:`~repro.obs.metrics.
+        MetricsRegistry`, or pass a registry to share one across
+        sessions; default ``None`` records live histograms nowhere (the
+        :meth:`metrics` snapshot still works on demand).
     """
 
     def __init__(self, library=None, liberty=None, workers=None,
                  cache="auto", journal=None, retry_on=(),
                  retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
-                 timeout=None, artifacts=True):
+                 timeout=None, artifacts=True, trace=None, metrics=None):
         if library is not None and liberty is not None:
             raise ValueError("pass either library or liberty, not both")
         self._library = library
@@ -79,11 +90,37 @@ class Session:
             import os
 
             cache = ResultCache(os.path.expanduser(cache))
+        tracer, self._owns_tracer = self._make_tracer(trace)
+        self._registry = self._make_registry(metrics)
         self.runner = Runner(workers=workers, cache=cache,
                              retry_on=retry_on, retries=retries,
                              backoff=backoff, timeout=timeout,
-                             journal=journal)
+                             journal=journal, tracer=tracer,
+                             metrics=self._registry)
         self.artifacts = self._artifact_store(artifacts)
+
+    @staticmethod
+    def _make_tracer(trace):
+        """``(tracer, owned)`` for the ``trace=`` constructor argument."""
+        if trace is None or trace is False:
+            return None, False
+        from .obs.trace import JsonlSink, MemorySink, Tracer
+
+        if isinstance(trace, Tracer):
+            return trace, False
+        if trace is True:
+            return Tracer(MemorySink()), True
+        return Tracer(JsonlSink(trace)), True
+
+    @staticmethod
+    def _make_registry(metrics):
+        if metrics is None or metrics is False:
+            return None
+        if metrics is True:
+            from .obs.metrics import MetricsRegistry
+
+            return MetricsRegistry()
+        return metrics
 
     def _artifact_store(self, artifacts):
         if artifacts is False or artifacts is None:
@@ -99,7 +136,8 @@ class Session:
 
             cache = ResultCache(os.path.expanduser(str(artifacts)))
         return ArtifactStore(cache=cache, stats=self.runner.stats,
-                             journal=self.runner.journal)
+                             journal=self.runner.journal,
+                             tracer=self.runner.tracer)
 
     @property
     def library(self):
@@ -125,10 +163,33 @@ class Session:
         """The session's :class:`~repro.runner.RunJournal` (or ``None``)."""
         return self.runner.journal
 
+    @property
+    def tracer(self):
+        """The session's :class:`~repro.obs.trace.Tracer` (the shared
+        no-op tracer unless ``trace=`` was given)."""
+        return self.runner.tracer
+
+    def metrics(self):
+        """The session's :class:`~repro.obs.metrics.MetricsRegistry`,
+        snapshotted from the current :attr:`stats` (and result cache) so
+        every RunStats counter is up to date at the moment of the call.
+        Creates a registry on the fly when the session runs without one
+        (the live latency histograms are then simply empty)."""
+        registry = self._registry
+        if registry is None:
+            from .obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        return registry.fill_from_stats(self.stats,
+                                        cache=self.runner.cache)
+
     def close(self):
-        """Close the journal, if any (idempotent; the session stays usable
-        -- recording reopens the file in append mode)."""
+        """Close the journal and any session-owned trace sink
+        (idempotent; the session stays usable -- recording reopens the
+        journal in append mode)."""
         self.runner.close()
+        if self._owns_tracer:
+            self.runner.tracer.close()
 
     def designs(self):
         """Names the registry can build (see :meth:`design`)."""
@@ -323,17 +384,20 @@ class DesignHandle:
         from .analysis.sweep import sweep as run_sweep
 
         model = self.power_model() if model is None else model
+        label = "sweep:{}".format(self.name)
         if modes is None:
-            return run_sweep(model, freqs, runner=self.session.runner)
+            return run_sweep(model, freqs, runner=self.session.runner,
+                             label=label)
         return run_sweep(model, freqs, modes=modes,
-                         runner=self.session.runner)
+                         runner=self.session.runner, label=label)
 
     def table(self, freqs):
         """Table I/II-style rows for ``freqs`` (list of mode dicts)."""
         from .analysis.tables import build_table
 
         return build_table(self.power_model(), freqs,
-                           runner=self.session.runner)
+                           runner=self.session.runner,
+                           label="sweep:{}".format(self.name))
 
     def convergence(self, mode=None, **kwargs):
         """Frequency where gating stops paying (see ``find_convergence``)."""

@@ -20,6 +20,13 @@ from repro.netlist.core import Design, Module
 from repro.tech.scl90 import build_scl90
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden files under tests/golden/data/ from "
+        "the current outputs instead of comparing against them")
+
+
 @pytest.fixture(scope="session")
 def lib():
     """The scl90 library (read-only)."""

@@ -1,0 +1,51 @@
+"""Golden-file machinery: exact JSON snapshots of paper outputs.
+
+``golden_check(name, data)`` compares ``data`` against the committed
+``tests/golden/data/<name>.json``.  The comparison is **exact** -- JSON
+serialises Python floats through ``repr``, which round-trips every bit,
+and the evaluation paths are bit-identical by contract (see
+``tests/integration/test_equivalence_matrix.py``) -- so any drift in a
+table or figure number is a real behaviour change, not noise.
+
+To bless intentional changes::
+
+    PYTHONPATH=src python -m pytest tests/golden --update-golden
+
+and commit the rewritten files with the change that caused them.
+"""
+
+import json
+import os
+
+import pytest
+
+DATA_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "data")
+
+
+@pytest.fixture()
+def golden_check(request):
+    update = request.config.getoption("update_golden", default=False)
+
+    def check(name, data):
+        path = os.path.join(DATA_DIR, name + ".json")
+        if update:
+            os.makedirs(DATA_DIR, exist_ok=True)
+            with open(path, "w") as f:
+                json.dump(data, f, indent=2, sort_keys=True)
+                f.write("\n")
+            return
+        if not os.path.exists(path):
+            pytest.fail(
+                "golden file {} missing -- generate it with "
+                "--update-golden and commit it".format(path))
+        with open(path) as f:
+            expected = json.load(f)
+        # round-trip `data` through JSON so tuples/lists and int-valued
+        # floats compare in their serialised form, then require equality
+        assert json.loads(json.dumps(data)) == expected, (
+            "{} drifted from its golden file; if the change is "
+            "intentional, rerun with --update-golden and commit".format(
+                name))
+
+    return check

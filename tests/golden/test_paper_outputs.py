@@ -1,0 +1,69 @@
+"""Golden regression tests for the paper's tables and figure series.
+
+Each test regenerates one published output from the shared fast-mode
+case studies and compares it, bit for bit, against the committed JSON
+snapshot under ``tests/golden/data/``.  These freeze the *numbers*; the
+shape/trend assertions live in ``tests/analysis/``.
+"""
+
+from dataclasses import asdict
+
+from repro.analysis.figures import (
+    energy_series,
+    power_series,
+    subvt_series,
+    switching_series,
+)
+from repro.analysis.tables import (
+    TABLE_I_FREQS,
+    TABLE_II_FREQS,
+    build_table,
+)
+
+#: Figure frequency grids (Hz): denser than the tables, like the plots.
+FIG6_FREQS = [0.5e6 * k for k in range(1, 20)]       # multiplier
+FIG8_FREQS = [0.25e6 * k for k in range(1, 25)]      # Cortex-M0
+
+
+def _series_data(series):
+    return [{"label": s.label, "x": s.x, "y": s.y} for s in series]
+
+
+class TestGoldenTables:
+    def test_table1_multiplier(self, mult_study, golden_check):
+        rows = build_table(mult_study.model, TABLE_I_FREQS)
+        golden_check("table1_mult16", [asdict(r) for r in rows])
+
+    def test_table2_cortex_m0(self, m0_study, golden_check):
+        rows = build_table(m0_study.model, TABLE_II_FREQS)
+        golden_check("table2_m0lite", [asdict(r) for r in rows])
+
+
+class TestGoldenFigures:
+    def test_fig6a_power_vs_frequency(self, mult_study, golden_check):
+        golden_check("fig6a_power_mult16", _series_data(
+            power_series(mult_study.model, FIG6_FREQS)))
+
+    def test_fig6b_energy_vs_frequency(self, mult_study, golden_check):
+        golden_check("fig6b_energy_mult16", _series_data(
+            energy_series(mult_study.model, FIG6_FREQS)))
+
+    def test_fig7_switching_probability(self, m0_study, golden_check):
+        series = switching_series(m0_study.activity_trace)
+        golden_check("fig7_switching_m0lite",
+                     {"label": series.label, "x": series.x,
+                      "y": series.y})
+
+    def test_fig8a_power_vs_frequency(self, m0_study, golden_check):
+        golden_check("fig8a_power_m0lite", _series_data(
+            power_series(m0_study.model, FIG8_FREQS)))
+
+    def test_fig8b_energy_vs_frequency(self, m0_study, golden_check):
+        golden_check("fig8b_energy_m0lite", _series_data(
+            energy_series(m0_study.model, FIG8_FREQS)))
+
+    def test_fig9_subvt_energy(self, mult_study, golden_check):
+        series = subvt_series(mult_study.subvt, steps=40)
+        golden_check("fig9_subvt_mult16",
+                     {"label": series.label, "x": series.x,
+                      "y": series.y})

@@ -1,0 +1,126 @@
+"""Every execution strategy produces bit-for-bit identical results.
+
+The runner promises that parallelism, batch kernels, the result cache
+and the artifact tables are pure execution detail: the Table I grid
+(Fig. 6's frequency axis x all three modes) must come back as *exactly*
+the same :class:`PowerBreakdown` objects -- float-equal, not approx --
+whichever way it is evaluated.  This is the differential harness that
+holds the PR 2/3 optimisations (and anything layered on top, like
+tracing) to the paper's numbers.
+"""
+
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.analysis.tables import TABLE_I_FREQS
+from repro.runner import Runner, RunJournal
+from repro.scpg.power_model import Mode
+
+MODES = (Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX)
+
+
+@pytest.fixture(scope="module")
+def model(mult_study):
+    return mult_study.model
+
+
+@pytest.fixture(scope="module")
+def reference(model):
+    """The plain serial, uncached, kernel-less evaluation."""
+    results = {}
+    for mode in MODES:
+        for f in TABLE_I_FREQS:
+            try:
+                results[(f, mode)] = model.power(f, mode)
+            except Exception:
+                results[(f, mode)] = None
+    return results
+
+
+def _flatten(data):
+    return {(f, mode): b
+            for mode in MODES
+            for f, b in zip(data.freqs, data.results[mode])}
+
+
+def _assert_identical(results, reference):
+    assert set(results) == set(reference)
+    for key, breakdown in results.items():
+        expected = reference[key]
+        if expected is None:
+            assert breakdown is None, key
+        else:
+            # dataclass ==: every field must be float-identical
+            assert breakdown == expected, key
+
+
+class TestEquivalenceMatrix:
+    def test_serial_point_at_a_time(self, model, reference, monkeypatch):
+        """The runner with the batch kernel disabled: one
+        ``model.power`` call per point, like the original code path."""
+        import importlib
+
+        sweep_mod = importlib.import_module("repro.analysis.sweep")
+        monkeypatch.setattr(sweep_mod, "_batch_kernel", lambda m: None)
+        data = sweep(model, TABLE_I_FREQS, runner=Runner())
+        _assert_identical(_flatten(data), reference)
+
+    def test_parallel_workers(self, model, reference):
+        data = sweep(model, TABLE_I_FREQS, runner=Runner(workers=2))
+        _assert_identical(_flatten(data), reference)
+
+    def test_batch_kernel(self, model, reference):
+        """type(model) is ScpgPowerModel, so the serial path uses the
+        vectorised power_points kernel."""
+        data = sweep(model, TABLE_I_FREQS, runner=Runner())
+        _assert_identical(_flatten(data), reference)
+
+    def test_batch_kernel_directly(self, model, reference):
+        points = [(f, mode) for mode in MODES for f in TABLE_I_FREQS]
+        feasible = [p for p in points if reference[p] is not None]
+        for point, breakdown in zip(feasible,
+                                    model.power_points(feasible)):
+            assert breakdown == reference[point], point
+
+    def test_cold_then_warm_cache(self, model, reference, tmp_path):
+        runner = Runner(cache=tmp_path / "cache")
+        cold = sweep(model, TABLE_I_FREQS, runner=runner)
+        assert runner.stats.cache_misses > 0
+        warm = sweep(model, TABLE_I_FREQS, runner=runner)
+        assert runner.stats.cache_hits >= runner.stats.cache_misses
+        _assert_identical(_flatten(cold), reference)
+        _assert_identical(_flatten(warm), reference)
+
+    def test_parallel_warm_cache(self, model, reference, tmp_path):
+        serial = Runner(cache=tmp_path / "cache")
+        sweep(model, TABLE_I_FREQS, runner=serial)
+        parallel = Runner(workers=2, cache=tmp_path / "cache")
+        data = sweep(model, TABLE_I_FREQS, runner=parallel)
+        _assert_identical(_flatten(data), reference)
+
+    def test_journal_and_trace_do_not_perturb(self, model, reference,
+                                              tmp_path):
+        """Observability on vs off: identical numbers."""
+        from repro.obs import MemorySink, MetricsRegistry, Tracer
+
+        runner = Runner(journal=RunJournal(tmp_path / "run.jsonl"),
+                        tracer=Tracer(MemorySink()),
+                        metrics=MetricsRegistry())
+        data = sweep(model, TABLE_I_FREQS, runner=runner)
+        runner.journal.close()
+        _assert_identical(_flatten(data), reference)
+        assert runner.tracer.spans > 0
+
+    def test_artifact_table_evaluation(self):
+        """Artifact tables on vs off: the Session rebuilds the same
+        model, so the whole grid matches bit-for-bit (the PR 3
+        contract, re-proved through the public facade)."""
+        from repro.session import Session
+
+        with_tables = Session(cache=False, artifacts=True) \
+            .design("mult16").sweep(TABLE_I_FREQS)
+        without = Session(cache=False, artifacts=False) \
+            .design("mult16").sweep(TABLE_I_FREQS)
+        for mode in MODES:
+            assert with_tables.results[mode] == without.results[mode], \
+                mode

@@ -1,0 +1,191 @@
+"""Tracer/span semantics: nesting, timing, sinks, the no-op path."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    JournalSink,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+)
+from repro.runner import RunJournal, read_journal
+
+
+class TestSpans:
+    def test_span_emitted_on_exit_with_elapsed(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("work", label="x"):
+            pass
+        (line,) = sink.lines
+        assert line["event"] == "span"
+        assert line["name"] == "work"
+        assert line["label"] == "x"
+        assert line["elapsed"] >= 0.0
+        assert line["start"] >= 0.0
+        assert "t" in line
+        assert tracer.spans == 1
+
+    def test_nesting_assigns_parent_ids(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # children are emitted before their parent
+        assert [l["name"] for l in sink.lines] \
+            == ["inner", "sibling", "outer"]
+        by_name = {l["name"]: l for l in sink.lines}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+
+    def test_span_ids_are_unique(self):
+        tracer = Tracer(MemorySink())
+        ids = set()
+        for _ in range(100):
+            with tracer.span("s") as span:
+                ids.add(span.span_id)
+        assert len(ids) == 100
+
+    def test_monotonic_containment(self):
+        """A child's [start, start+elapsed] lies inside its parent's."""
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.lines
+        assert outer["start"] <= inner["start"]
+        assert inner["start"] + inner["elapsed"] \
+            <= outer["start"] + outer["elapsed"] + 1e-9
+
+    def test_set_attaches_attrs_until_finish(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("s") as span:
+            span.set(status="ok", attempts=2)
+        span.set(ignored=True)           # after exit: silent no-op
+        (line,) = sink.lines
+        assert line["status"] == "ok"
+        assert line["attempts"] == 2
+        assert "ignored" not in line
+
+    def test_finish_is_idempotent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        span = tracer.span("s")
+        span.finish()
+        first = span.elapsed
+        span.finish()
+        assert span.elapsed == first
+        assert len(sink.lines) == 1
+
+    def test_exception_still_emits_the_span(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert len(sink.lines) == 1
+
+    def test_record_emits_pretimed_span_under_current_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("grid") as grid:
+            tracer.record("point", 0.5, index=3)
+        point, _ = sink.lines
+        assert point["name"] == "point"
+        assert point["parent"] == grid.span_id
+        assert point["elapsed"] == 0.5
+        assert point["index"] == 3
+        # dated `elapsed` seconds before emission: the tracer is only
+        # microseconds old, so the span starts before its own epoch
+        assert point["start"] < 0
+
+    def test_threads_nest_independently(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        seen = {}
+
+        def work(name):
+            with tracer.span(name) as span:
+                seen[name] = span.parent_id
+
+        with tracer.span("main"):
+            t = threading.Thread(target=work, args=("other",))
+            t.start()
+            t.join()
+            work("child")
+        assert seen["other"] is None      # not under "main"
+        assert seen["child"] is not None
+
+
+class TestNullTracer:
+    def test_null_tracer_produces_nothing(self):
+        with NULL_TRACER.span("x", a=1) as span:
+            span.set(b=2)
+        assert NULL_TRACER.record("y", 1.0) is span
+        assert NULL_TRACER.spans == 0
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.close()
+
+    def test_null_span_is_shared(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(JsonlSink(path)) as tracer:
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        lines = [json.loads(l) for l in open(path)]
+        assert [l["name"] for l in lines] == ["inner", "outer"]
+
+    def test_jsonl_sink_appends(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with Tracer(JsonlSink(path)) as tracer:
+                with tracer.span("s"):
+                    pass
+        assert len(open(path).read().splitlines()) == 2
+
+    def test_journal_sink_interleaves_with_events(self, tmp_path):
+        journal = RunJournal(tmp_path / "run.jsonl")
+        tracer = Tracer(JournalSink(journal))
+        journal.record("run_start", label="x")
+        with tracer.span("grid", label="x"):
+            pass
+        journal.record("run_finish", label="x")
+        journal.close()
+        events = read_journal(journal.path)
+        assert [e["event"] for e in events] \
+            == ["run_start", "span", "run_finish"]
+        span = events[1]
+        assert span["name"] == "grid"
+        assert "id" in span and "elapsed" in span
+        # the journal supplies its own t; the sink must not smuggle one in
+        assert events[0]["t"] <= span["t"] <= events[2]["t"]
+
+    def test_multiple_sinks_all_receive(self):
+        a, b = MemorySink(), MemorySink()
+        tracer = Tracer([a, b])
+        with tracer.span("s"):
+            pass
+        assert len(a) == len(b) == 1
+
+    def test_close_closes_sinks(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        tracer = Tracer(sink)
+        with tracer.span("s"):
+            pass
+        tracer.close()
+        assert sink._file is None
+        tracer.close()               # idempotent

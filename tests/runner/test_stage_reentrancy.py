@@ -1,0 +1,84 @@
+"""RunStats.stage() self-time attribution when stages nest.
+
+Regression: the old implementation charged each stage its full
+wall-clock, so an inner stage's time was counted twice -- once in its
+own bucket and again in the enclosing one -- and the buckets summed to
+more than the run actually took.
+"""
+
+import time
+
+import pytest
+
+from repro.runner import RunStats
+
+
+def _busy(seconds):
+    end = time.perf_counter() + seconds
+    while time.perf_counter() < end:
+        pass
+
+
+class TestNestedStages:
+    def test_inner_time_not_double_counted(self):
+        stats = RunStats()
+        with stats.stage("outer"):
+            _busy(0.02)
+            with stats.stage("inner"):
+                _busy(0.04)
+        assert stats.stages["inner"] == pytest.approx(0.04, abs=0.02)
+        # the bug: outer used to be ~0.06 (its own 0.02 + inner's 0.04)
+        assert stats.stages["outer"] == pytest.approx(0.02, abs=0.02)
+        assert stats.stages["outer"] < 0.04
+
+    def test_buckets_sum_to_outer_wall_clock(self):
+        stats = RunStats()
+        start = time.perf_counter()
+        with stats.stage("a"):
+            _busy(0.01)
+            with stats.stage("b"):
+                _busy(0.01)
+                with stats.stage("c"):
+                    _busy(0.01)
+            with stats.stage("b"):
+                _busy(0.01)
+        wall = time.perf_counter() - start
+        assert sum(stats.stages.values()) == pytest.approx(wall,
+                                                           rel=0.05)
+
+    def test_stage_nested_under_itself(self):
+        """Reentrant: a recursive analysis may re-enter its own stage."""
+        stats = RunStats()
+        with stats.stage("work"):
+            _busy(0.01)
+            with stats.stage("work"):
+                _busy(0.01)
+        # both levels' self time lands in the one bucket, once each
+        assert stats.stages["work"] == pytest.approx(0.02, abs=0.015)
+
+    def test_sequential_stages_accumulate(self):
+        stats = RunStats()
+        for _ in range(3):
+            with stats.stage("s"):
+                _busy(0.005)
+        assert stats.stages["s"] == pytest.approx(0.015, abs=0.01)
+
+    def test_exception_still_attributes_self_time(self):
+        stats = RunStats()
+        with pytest.raises(ValueError):
+            with stats.stage("outer"):
+                with stats.stage("inner"):
+                    raise ValueError("boom")
+        assert set(stats.stages) == {"outer", "inner"}
+        assert not stats._active              # bookkeeping unwound
+
+    def test_merge_and_to_dict_ignore_bookkeeping(self):
+        stats = RunStats()
+        with stats.stage("s"):
+            pass
+        data = stats.to_dict()
+        assert "_active" not in data
+        other = RunStats()
+        other.merge(stats)
+        assert other.stages["s"] == stats.stages["s"]
+        assert RunStats() == RunStats(_active=[1.0])   # excluded from ==

@@ -150,6 +150,70 @@ class TestObservabilityFlags:
             assert main(["--no-artifact-cache"] + command) == 0
             assert capsys.readouterr().out == cached
 
+    def test_trace_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["--trace", str(path), "subvt", "counter16"]) == 0
+        capsys.readouterr()
+        spans = [json.loads(l) for l in path.read_text().splitlines()]
+        names = {s["name"] for s in spans}
+        assert {"grid", "stage"} <= names
+        assert "batch" in names or "point" in names
+        assert all(s["event"] == "span" for s in spans)
+
+    def test_metrics_written(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["--metrics", str(path), "subvt", "counter16"]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert "# TYPE repro_points_total counter" in text
+        assert "repro_point_seconds_count" in text
+
+    def test_trace_and_metrics_leave_stdout_untouched(self, tmp_path,
+                                                      capsys):
+        assert main(["subvt", "counter16"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["--trace", str(tmp_path / "t.jsonl"),
+                     "--metrics", str(tmp_path / "m.prom"),
+                     "subvt", "counter16"]) == 0
+        assert capsys.readouterr().out == plain
+
+
+class TestReportCommand:
+    def test_report_over_real_sweep_journal(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        assert main(["--no-cache", "--journal", str(journal),
+                     "subvt", "counter16"]) == 0
+        capsys.readouterr()
+        assert main(["report", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "journal report:" in out
+        assert "per-grid breakdown" in out
+        assert "stage timings" in out
+        assert "result cache" in out
+
+    def test_report_straggler_k_and_out(self, tmp_path, capsys):
+        import json
+
+        events = [{"t": 0.0, "event": "run_start", "label": "g",
+                   "points": 100, "cached": 0, "pending": 100,
+                   "workers": 1, "cache": False}]
+        events += [{"t": 0.0, "event": "point_finished", "index": i,
+                    "status": "ok", "attempts": 0, "timeouts": 0,
+                    "elapsed": 0.5 if i == 99 else 0.01}
+                   for i in range(100)]
+        events.append({"t": 0.0, "event": "run_finish", "label": "g",
+                       "stats": {}})
+        journal = tmp_path / "synthetic.jsonl"
+        journal.write_text(
+            "".join(json.dumps(e) + "\n" for e in events))
+        out_path = tmp_path / "report.txt"
+        assert main(["report", str(journal), "--straggler-k", "3",
+                     "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert "[straggler]" in out_path.read_text()
+
 
 class TestParser:
     def test_requires_command(self):

@@ -116,3 +116,60 @@ class TestDesignHandleAnalyses:
         rerun.design("counter16").sweep([1e6])
         assert rerun.stats.evaluated == 0
         assert rerun.stats.cache_hits == rerun.stats.points
+
+
+class TestSessionObservability:
+    def test_trace_true_collects_spans_in_memory(self, lib):
+        session = Session(library=lib, cache=False, trace=True)
+        session.design("counter16").sweep([1e6])
+        lines = session.tracer.sinks[0].lines
+        names = {l["name"] for l in lines}
+        assert {"grid", "stage"} <= names
+        # the whole grid went through the vectorised kernel here
+        assert "batch" in names or "point" in names
+        grid = [l for l in lines if l["name"] == "grid"][0]
+        assert grid["label"] == "sweep:counter16"
+
+    def test_trace_path_owned_and_closed(self, tmp_path, lib):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        session = Session(library=lib, cache=False, trace=str(path))
+        session.design("counter16").sweep([1e6])
+        session.close()
+        assert session.tracer.sinks[0]._file is None
+        spans = [json.loads(l) for l in path.read_text().splitlines()]
+        assert spans
+
+    def test_caller_tracer_not_closed_by_session(self, lib):
+        from repro.obs import MemorySink, Tracer
+
+        tracer = Tracer(MemorySink())
+        session = Session(library=lib, cache=False, trace=tracer)
+        assert session.tracer is tracer
+        session.close()                  # must not touch caller's sinks
+
+    def test_default_is_the_null_tracer(self, session):
+        from repro.obs import NULL_TRACER
+
+        assert session.tracer is NULL_TRACER
+
+    def test_metrics_snapshot_subsumes_stats(self, lib):
+        session = Session(library=lib, cache=False, metrics=True)
+        session.design("counter16").sweep([1e6])
+        data = session.metrics().to_dict()
+        assert data["repro_points_total"] == session.stats.points
+        assert data["repro_point_seconds"]["count"] \
+            == session.stats.evaluated
+
+    def test_metrics_on_demand_without_registry(self, lib):
+        session = Session(library=lib, cache=False)
+        session.design("counter16").sweep([1e6])
+        data = session.metrics().to_dict()
+        assert data["repro_points_total"] == session.stats.points
+
+    def test_artifact_build_traced(self, lib):
+        session = Session(library=lib, cache=False, trace=True)
+        session.design("counter16").power_model()
+        names = [l["name"] for l in session.tracer.sinks[0].lines]
+        assert "artifact_build" in names
