@@ -10,9 +10,9 @@ pre-populated on-disk artifact store.  Both use a fresh
 
 Acceptance (ISSUE): warm is >= 2x faster than cold, with *numerically
 identical* sweep results and table rows.  The measured numbers are
-emitted as JSON so CI can diff them against the committed
-``BENCH_sweep.json`` baseline (see ``scripts/check_bench_regression.py``
-and ``docs/benchmarks.md``).
+emitted as a ``repro-bench-sweep-v2`` JSON section so CI can diff them
+against the committed ``BENCH_sweep.json`` baseline (see
+``scripts/check_bench_regression.py`` and ``docs/benchmarks.md``).
 """
 
 import json
@@ -25,7 +25,7 @@ import pytest
 
 from .conftest import emit
 
-BENCH_SCHEMA = "repro-bench-sweep-v1"
+BENCH_SCHEMA = "repro-bench-sweep-v2"
 DESIGN = "mult16"
 #: The Fig. 6 frequency axis: 65 log-spaced points, 10 kHz .. 16 MHz.
 FREQS = [10 ** (4 + 0.05 * k) for k in range(65)]
@@ -96,14 +96,18 @@ def test_artifact_cache_speedup(lib, tmp_path):
     payload = {
         "schema": BENCH_SCHEMA,
         "design": DESIGN,
-        "sweep_points": len(FREQS) * len(cold_curves.results),
-        "reps": REPS,
-        "cold_s": round(cold_s, 6),
-        "warm_s": round(warm_s, 6),
-        "speedup": round(speedup, 3),
-        "artifact_hits": warm_stats.artifact_hits,
         "python": platform.python_version(),
         "platform": sys.platform,
+        "measurements": {
+            "artifact_cache": {
+                "sweep_points": len(FREQS) * len(cold_curves.results),
+                "reps": REPS,
+                "cold_s": round(cold_s, 6),
+                "warm_s": round(warm_s, 6),
+                "speedup": round(speedup, 3),
+                "artifact_hits": warm_stats.artifact_hits,
+            },
+        },
     }
     emit("Artifact-cache speedup ({})".format(DESIGN),
          json.dumps(payload, indent=2, sort_keys=True))

@@ -5,13 +5,25 @@ Usage::
 
     python scripts/check_bench_regression.py CANDIDATE [BASELINE]
 
-``CANDIDATE`` is the JSON written by ``benchmarks/
-test_artifact_cache_speedup.py`` (``REPRO_BENCH_SWEEP_JSON=path``);
-``BASELINE`` defaults to the committed ``BENCH_sweep.json``.  The gate is
-deliberately generous -- CI runners are noisy and share cores -- so only
-a change that costs more than **2x** of the baseline speedup fails:
+``CANDIDATE`` is the JSON a benchmark wrote
+(``REPRO_BENCH_SWEEP_JSON=path`` for the artifact-cache benchmark,
+``REPRO_BENCH_PARBATCH_JSON=path`` for the parallel-batch one);
+``BASELINE`` defaults to the committed ``BENCH_sweep.json``.
 
-    candidate.speedup >= baseline.speedup / 2
+The current schema is ``repro-bench-sweep-v2``: one file carries named
+measurement sections under ``"measurements"`` (``artifact_cache``,
+``parallel_batch``, ...), each with its own ``speedup``.  A candidate
+may carry a *subset* of the baseline's sections -- each CI benchmark
+step checks only the section it measured -- but a section the baseline
+does not know, a missing ``speedup``, or any schema string other than
+v2 (or the retired v1, still accepted when *both* sides are v1) fails
+loudly: silent schema drift is how a gate stops gating.
+
+The gate itself is deliberately generous -- CI runners are noisy and
+share cores -- so only a change that costs more than **2x** of the
+baseline speedup fails:
+
+    candidate.speedup >= baseline.speedup / 2        (per section)
 
 Absolute wall-clocks are reported but never gated on; they are not
 comparable across machines.  Exit status: 0 pass, 1 regression or
@@ -23,11 +35,60 @@ import os
 import sys
 
 TOLERANCE = 2.0
+SCHEMA_V1 = "repro-bench-sweep-v1"
+SCHEMA_V2 = "repro-bench-sweep-v2"
 
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def fail(message):
+    print("error: {}".format(message), file=sys.stderr)
+    return 1
+
+
+def sections(data, side):
+    """``{name: section}`` from a v1 or v2 payload, or ``None`` + noise.
+
+    v1 files are one anonymous measurement; they present as a single
+    ``"artifact_cache"`` section so an old candidate can still be read
+    against an old baseline.
+    """
+    schema = data.get("schema")
+    if schema == SCHEMA_V2:
+        measurements = data.get("measurements")
+        if not isinstance(measurements, dict) or not measurements:
+            print("error: {} has no measurements".format(side),
+                  file=sys.stderr)
+            return None
+        for name, section in measurements.items():
+            if not isinstance(section, dict) \
+                    or not isinstance(section.get("speedup"),
+                                      (int, float)):
+                print("error: {} measurement {!r} has no numeric "
+                      "speedup".format(side, name), file=sys.stderr)
+                return None
+        return dict(measurements)
+    if schema == SCHEMA_V1:
+        if not isinstance(data.get("speedup"), (int, float)):
+            print("error: {} (v1) has no numeric speedup".format(side),
+                  file=sys.stderr)
+            return None
+        return {"artifact_cache": data}
+    print("error: {} schema {!r} is not recognised (expected {!r})"
+          .format(side, schema, SCHEMA_V2), file=sys.stderr)
+    return None
+
+
+def describe(name, section):
+    times = ", ".join(
+        "{} {:.3f}s".format(key, section[key])
+        for key in sorted(section)
+        if key.endswith("_s") and isinstance(section[key], (int, float)))
+    return "{}: {:.2f}x{}".format(
+        name, section["speedup"], " ({})".format(times) if times else "")
 
 
 def main(argv):
@@ -42,28 +103,44 @@ def main(argv):
         candidate = load(candidate_path)
         baseline = load(baseline_path)
     except (OSError, ValueError) as exc:
-        print("error: {}".format(exc), file=sys.stderr)
+        return fail(exc)
+
+    if candidate.get("schema") != baseline.get("schema"):
+        return fail(
+            "schema drift: candidate {!r} vs baseline {!r} -- "
+            "regenerate BENCH_sweep.json alongside the benchmark "
+            "change".format(candidate.get("schema"),
+                            baseline.get("schema")))
+    measured = sections(candidate, "candidate")
+    reference = sections(baseline, "baseline")
+    if measured is None or reference is None:
         return 1
 
-    for side, data in (("candidate", candidate), ("baseline", baseline)):
-        if data.get("schema") != baseline.get("schema") \
-                or "speedup" not in data:
-            print("error: {} {} is not a recognised benchmark JSON"
-                  .format(side, data.get("schema")), file=sys.stderr)
-            return 1
+    unknown = sorted(set(measured) - set(reference))
+    if unknown:
+        return fail(
+            "candidate measures {} absent from the baseline -- "
+            "regenerate BENCH_sweep.json alongside the benchmark "
+            "change".format(", ".join(unknown)))
 
-    floor = baseline["speedup"] / TOLERANCE
-    print("baseline : {:.2f}x (cold {:.3f}s / warm {:.3f}s)".format(
-        baseline["speedup"], baseline["cold_s"], baseline["warm_s"]))
-    print("candidate: {:.2f}x (cold {:.3f}s / warm {:.3f}s)".format(
-        candidate["speedup"], candidate["cold_s"], candidate["warm_s"]))
-    print("floor    : {:.2f}x (baseline / {})".format(floor, TOLERANCE))
-    if candidate["speedup"] < floor:
-        print("REGRESSION: candidate speedup {:.2f}x is below {:.2f}x"
-              .format(candidate["speedup"], floor), file=sys.stderr)
-        return 1
-    print("OK")
-    return 0
+    status = 0
+    for name in sorted(measured):
+        floor = reference[name]["speedup"] / TOLERANCE
+        print("baseline  {}".format(describe(name, reference[name])))
+        print("candidate {}".format(describe(name, measured[name])))
+        print("floor     {}: {:.2f}x (baseline / {})".format(
+            name, floor, TOLERANCE))
+        if measured[name]["speedup"] < floor:
+            print("REGRESSION: {} speedup {:.2f}x is below {:.2f}x"
+                  .format(name, measured[name]["speedup"], floor),
+                  file=sys.stderr)
+            status = 1
+    skipped = sorted(set(reference) - set(measured))
+    if skipped:
+        print("not measured here: {}".format(", ".join(skipped)))
+    if status == 0:
+        print("OK")
+    return status
 
 
 if __name__ == "__main__":

@@ -22,7 +22,10 @@ produced by this tool (or any tool emitting the supported subset).
 
 Every command runs through one :class:`repro.Session`, so the global
 options compose with all of them: ``--workers N`` fans sweeps over worker
-processes, ``--cache DIR`` reuses the content-addressed result cache
+processes (``--pool {shared,fresh}`` keeps one warm pool across every
+grid or forks per grid; ``--chunk-size N`` overrides the adaptive
+points-per-chunk of the parallel batch path), ``--cache DIR`` reuses the
+content-addressed result cache
 (``--no-cache`` disables it, default honours ``REPRO_CACHE_DIR``),
 ``--no-artifact-cache`` disables the per-circuit precompute cache
 (every analysis walks the netlist again, as before the artifact layer),
@@ -62,7 +65,9 @@ def _session(args):
             journal=getattr(args, "journal", None) or None,
             artifacts=not getattr(args, "no_artifact_cache", False),
             trace=getattr(args, "trace", None) or None,
-            metrics=bool(getattr(args, "metrics", None)))
+            metrics=bool(getattr(args, "metrics", None)),
+            pool=getattr(args, "pool", "shared") or "shared",
+            chunk_size=getattr(args, "chunk_size", None))
     return args._session_obj
 
 
@@ -226,6 +231,15 @@ def build_parser():
                         "file instead of the built-in scl90")
     parser.add_argument("--workers", type=int, help="worker processes "
                         "for sweeps (0 = one per core; default serial)")
+    parser.add_argument("--pool", choices=("shared", "fresh"),
+                        default="shared",
+                        help="worker-pool policy with --workers: "
+                        "'shared' keeps one warm pool across every grid "
+                        "(default), 'fresh' forks a new pool per grid")
+    parser.add_argument("--chunk-size", type=int, metavar="N",
+                        help="points per chunk on the parallel batch "
+                        "path (default: adaptive, about pending / "
+                        "(4 * workers))")
     parser.add_argument("--cache", help="result-cache directory "
                         "(default: $REPRO_CACHE_DIR when set)")
     parser.add_argument("--no-cache", action="store_true",

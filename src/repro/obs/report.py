@@ -85,6 +85,11 @@ class GridRecord:
     requeued: int = 0
     failed: list = field(default_factory=list)
     batches: int = 0
+    chunks: int = 0
+    chunk_size: int = None      # None: not a chunked run (or old journal)
+    chunk_elapsed: list = field(default_factory=list)
+    bisects: int = 0
+    poisoned: int = 0
     finished: bool = False
 
     @property
@@ -189,6 +194,15 @@ class JournalReport:
                 current.requeued += ev.get("points", 0)
             elif name == "batch_started":
                 current.batches += 1
+            elif name == "chunks_planned":
+                current.chunks += ev.get("chunks", 0)
+                current.chunk_size = ev.get("chunk_size")
+            elif name == "chunk_finished":
+                current.chunk_elapsed.append(ev.get("elapsed", 0.0))
+            elif name == "chunk_bisected":
+                current.bisects += 1
+            elif name == "chunk_failed":
+                current.poisoned += 1
             elif name == "artifact_hit":
                 self.artifact_hits += 1
             elif name == "artifact_miss":
@@ -257,6 +271,12 @@ class JournalReport:
                     "cold-cache",
                     "{} run {}: 0/{} points served from the result "
                     "cache".format(label, n, grid.points)))
+            if grid.bisects:
+                out.append(Anomaly(
+                    "chunk-bisect",
+                    "{} run {}: {} chunk bisection(s), {} poison "
+                    "point(s) isolated".format(label, n, grid.bisects,
+                                               grid.poisoned)))
             if grid.crashes:
                 out.append(Anomaly(
                     "pool-crash",
@@ -317,6 +337,28 @@ class JournalReport:
                         sum(g.retries for g in runs),
                         sum(g.timeouts for g in runs),
                         sum(elapsed), mean * 1e3, p95 * 1e3,
+                        (max(elapsed) if elapsed else 0.0) * 1e3))
+
+        chunked = [(label, runs) for label, runs in self.by_label().items()
+                   if any(g.chunks for g in runs)]
+        if chunked:
+            lines.append("")
+            lines.append("chunked dispatch")
+            lines.append("{:<24} {:>7} {:>7} {:>8} {:>9} {:>7}".format(
+                "label", "chunks", "size", "bisects", "mean_ms", "max_ms"))
+            lines.append("-" * 66)
+            for label, runs in chunked:
+                elapsed = [t for g in runs for t in g.chunk_elapsed]
+                sizes = {g.chunk_size for g in runs
+                         if g.chunk_size is not None}
+                lines.append(
+                    "{:<24} {:>7} {:>7} {:>8} {:>9.3f} {:>7.3f}".format(
+                        label[:24],
+                        sum(g.chunks for g in runs),
+                        "/".join(str(s) for s in sorted(sizes)) or "?",
+                        sum(g.bisects for g in runs),
+                        (sum(elapsed) / len(elapsed) if elapsed else 0.0)
+                        * 1e3,
                         (max(elapsed) if elapsed else 0.0) * 1e3))
 
         stages = self.stage_seconds()

@@ -190,17 +190,21 @@ class Tracer:
         stack.append(span)
         return span
 
-    def record(self, name, elapsed, **attrs):
+    def record(self, name, elapsed, parent_id=None, **attrs):
         """Emit an externally-timed span (e.g. a point evaluated inside a
-        fork-pool worker, whose wall-clock came back in the result tuple).
+        pool worker, whose wall-clock came back in the result tuple).
 
-        The span is parented under the currently open span and dated
-        ``elapsed`` seconds before now, so replay sees the same tree the
-        serial path would have produced.
+        The span is parented under the currently open span -- or under
+        ``parent_id`` when given (the chunked path parents its ``point``
+        spans under the ``chunk`` span recorded a moment earlier, which
+        is no longer on the stack) -- and dated ``elapsed`` seconds
+        before now, so replay sees the same tree the serial path would
+        have produced.
         """
-        stack = self._stack()
-        parent = stack[-1].span_id if stack else None
-        span = Span(self, name, next(self._ids), parent,
+        if parent_id is None:
+            stack = self._stack()
+            parent_id = stack[-1].span_id if stack else None
+        span = Span(self, name, next(self._ids), parent_id,
                     self._now() - elapsed, attrs)
         span._done = True
         span.elapsed = elapsed

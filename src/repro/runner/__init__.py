@@ -8,6 +8,8 @@ through this package.  The public surface:
   workers (serial fallback), an optional content-addressed cache with
   incremental writeback, bounded retries with backoff, per-point
   timeouts, and worker-crash recovery;
+* :class:`WorkerPool` -- the reusable warm worker pool: one executor
+  surviving across grids, serving the chunked parallel batch path;
 * :class:`ResultCache` -- the on-disk store, keyed by stable fingerprints
   of (design netlist, library parameters, operating point, mode);
 * :class:`CachedEvaluator` -- point-at-a-time caching for search loops;
@@ -40,6 +42,7 @@ from .fingerprint import (
 )
 from .instrument import RunStats
 from .journal import NULL_JOURNAL, RunJournal, read_journal
+from .pool import WorkerPool
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -56,6 +59,7 @@ __all__ = [
     "RunJournal",
     "RunStats",
     "Runner",
+    "WorkerPool",
     "can_fingerprint",
     "default_cache",
     "evaluate_grid",

@@ -41,10 +41,20 @@ EVENTS = (
     "point_failed",     # index, attempts, timeouts, error (hard failure,
                         # recorded just before the exception propagates)
     "pool_crashed",     # workers, completed, remaining
+    "pool_finished",    # workers, method, points, inflight_peak,
+                        # inflight_limit (+ chunks on the chunked path)
     "requeue_serial",   # points (remainder re-run on the serial path)
     "run_finish",       # label, stats (RunStats.to_dict())
     "batch_started",    # label, points (serial batch-kernel path)
     "batch_finished",   # label, points, ok, infeasible, elapsed
+    "chunks_planned",   # label, points, chunks, chunk_size, workers,
+                        # warm (chunked parallel path)
+    "chunk_submitted",  # chunk, points, first, last (point indices)
+    "chunk_finished",   # chunk, points, ok, infeasible, elapsed, wait
+    "chunk_bisected",   # chunk, points, into ([left, right] chunk ids),
+                        # error (kernel raise; halves resubmitted)
+    "chunk_failed",     # chunk, index, error (poison point isolated at
+                        # size 1; re-run in the parent per-point)
     "artifact_hit",     # fingerprint (truncated), source (memory|disk)
     "artifact_miss",    # fingerprint (truncated)
     "artifact_built",   # fingerprint (truncated), design, elapsed

@@ -1,0 +1,127 @@
+"""Reusable warm worker pool for parallel grid execution.
+
+A :class:`WorkerPool` owns one ``ProcessPoolExecutor`` that *survives
+across* :func:`~repro.runner.core.evaluate_grid` calls, so a session
+running many sweeps pays worker startup once instead of per grid.
+Workers start lazily on first use; under the preferred ``fork`` start
+method they inherit everything the parent had built by then -- the cell
+library, the in-process artifact memos, the imported model modules --
+copy-on-write.  That is the ``CircuitArtifacts`` preload: a
+:class:`~repro.session.Session` builds a design's power model (and its
+artifact bundle) *before* its first parallel sweep, so every forked
+worker is born with the tables already in memory.  On platforms without
+``fork`` the pool falls back to ``spawn``; grid state then travels as a
+pickled blob per chunk, memoised worker-side per grid epoch, and
+callers may pass an ``initializer`` to warm spawn workers by hand.
+
+The pool is deliberately dumb about scheduling: chunking, bounded
+submission, bisect-and-retry and crash salvage live in
+:mod:`repro.runner.core`.  The pool only manages executor lifetime --
+lazy start, :meth:`restart` after a ``BrokenProcessPool``, idempotent
+:meth:`close`.  A closed pool is not an error at the call sites:
+``evaluate_grid`` degrades to an ephemeral per-grid pool with identical
+results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+import threading
+
+from ..errors import RunnerError
+from .core import _start_method, resolve_workers
+
+
+class WorkerPool:
+    """A lazily-started, restartable process pool shared across grids.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``0`` (default) means one per core, like
+        :class:`~repro.runner.core.Runner`.
+    method:
+        Start-method override (``"fork"`` / ``"spawn"``).  Default
+        ``None`` resolves on first use: fork where available, spawn
+        otherwise.
+    initializer / initargs:
+        Optional worker warm-up forwarded to the executor -- the
+        spawn-platform substitute for fork inheritance.
+
+    ``generation`` counts executor (re)starts -- a pool that served ten
+    grids without a crash still reports ``generation == 1``, which the
+    warm-pool tests assert.
+    """
+
+    def __init__(self, workers=0, method=None, initializer=None,
+                 initargs=()):
+        self.workers = resolve_workers(workers)
+        self._method = method
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._executor = None
+        self._lock = threading.Lock()
+        self.generation = 0
+        self.closed = False
+
+    @property
+    def method(self):
+        """The start method workers use (resolved lazily; ``None`` when
+        no pool may be created here, e.g. inside another pool's
+        worker)."""
+        if self._method is None:
+            self._method = _start_method()
+        return self._method
+
+    @property
+    def alive(self):
+        """Whether worker processes are currently warm."""
+        return self._executor is not None
+
+    def executor(self):
+        """The shared executor, started on first call."""
+        with self._lock:
+            if self.closed:
+                raise RunnerError("WorkerPool is closed")
+            if self._executor is None:
+                method = self.method
+                if method is None:
+                    raise RunnerError(
+                        "no multiprocessing start method available "
+                        "(nested or daemonized caller)")
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context(method),
+                    initializer=self._initializer,
+                    initargs=self._initargs)
+                self.generation += 1
+            return self._executor
+
+    def restart(self):
+        """Discard the current executor (after a crash); the next use
+        starts a fresh one."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+
+    def close(self):
+        """Shut the workers down for good (idempotent)."""
+        with self._lock:
+            self.closed = True
+            if self._executor is not None:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __repr__(self):
+        state = "closed" if self.closed else \
+            ("warm" if self.alive else "cold")
+        return "WorkerPool(workers={}, method={!r}, {})".format(
+            self.workers, self._method, state)

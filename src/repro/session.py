@@ -22,7 +22,8 @@ facade; the lower-level modules (``repro.analysis``, ``repro.subvt``,
 from __future__ import annotations
 
 from .runner import DEFAULT_BACKOFF, DEFAULT_RETRIES, ResultCache, Runner, \
-    default_cache, module_fingerprint, stable_hash
+    WorkerPool, default_cache, module_fingerprint, resolve_workers, \
+    stable_hash
 
 
 class Session:
@@ -72,12 +73,27 @@ class Session:
         MetricsRegistry`, or pass a registry to share one across
         sessions; default ``None`` records live histograms nowhere (the
         :meth:`metrics` snapshot still works on demand).
+    pool:
+        Warm worker pool policy for the chunked parallel batch path:
+        ``"shared"`` (default) creates one
+        :class:`~repro.runner.WorkerPool` lazily reused by every grid
+        the session runs, so workers fork once -- after the first power
+        model (and its artifact bundle) is built, which the forked
+        workers then inherit copy-on-write; ``"fresh"``/``None`` forks
+        an ephemeral pool per grid (the pre-pool behaviour); a
+        :class:`~repro.runner.WorkerPool` is used as-is (caller owns
+        and closes it).  Irrelevant unless ``workers`` enables
+        parallelism.
+    chunk_size:
+        Points per chunk on the chunked parallel path (default: adaptive
+        ``pending / (4 * workers)``, clamped).
     """
 
     def __init__(self, library=None, liberty=None, workers=None,
                  cache="auto", journal=None, retry_on=(),
                  retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
-                 timeout=None, artifacts=True, trace=None, metrics=None):
+                 timeout=None, artifacts=True, trace=None, metrics=None,
+                 pool="shared", chunk_size=None):
         if library is not None and liberty is not None:
             raise ValueError("pass either library or liberty, not both")
         self._library = library
@@ -92,11 +108,13 @@ class Session:
             cache = ResultCache(os.path.expanduser(cache))
         tracer, self._owns_tracer = self._make_tracer(trace)
         self._registry = self._make_registry(metrics)
+        self.pool, self._owns_pool = self._make_pool(pool, workers)
         self.runner = Runner(workers=workers, cache=cache,
                              retry_on=retry_on, retries=retries,
                              backoff=backoff, timeout=timeout,
                              journal=journal, tracer=tracer,
-                             metrics=self._registry)
+                             metrics=self._registry, pool=self.pool,
+                             chunk_size=chunk_size)
         self.artifacts = self._artifact_store(artifacts)
 
     @staticmethod
@@ -111,6 +129,20 @@ class Session:
         if trace is True:
             return Tracer(MemorySink()), True
         return Tracer(JsonlSink(trace)), True
+
+    @staticmethod
+    def _make_pool(pool, workers):
+        """``(WorkerPool or None, owned)`` for the ``pool=`` argument."""
+        if pool is None or pool is False or pool == "fresh":
+            return None, False
+        if isinstance(pool, WorkerPool):
+            return pool, False
+        if pool is True or pool == "shared":
+            if workers is None or resolve_workers(workers) <= 1:
+                return None, False
+            return WorkerPool(workers=workers), True
+        raise ValueError(
+            "pool must be 'shared', 'fresh', a WorkerPool or None")
 
     @staticmethod
     def _make_registry(metrics):
@@ -184,12 +216,16 @@ class Session:
                                         cache=self.runner.cache)
 
     def close(self):
-        """Close the journal and any session-owned trace sink
-        (idempotent; the session stays usable -- recording reopens the
-        journal in append mode)."""
+        """Close the journal, any session-owned trace sink and the
+        session-owned warm pool (idempotent; the session stays usable --
+        recording reopens the journal in append mode, and later parallel
+        grids degrade to ephemeral per-grid pools with identical
+        results)."""
         self.runner.close()
         if self._owns_tracer:
             self.runner.tracer.close()
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
 
     def designs(self):
         """Names the registry can build (see :meth:`design`)."""

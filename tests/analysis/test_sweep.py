@@ -82,7 +82,12 @@ class TestConvergenceCaching:
             calls.append((freq, mode))
             return real(freq, mode)
 
-        monkeypatch.setattr(model, "power", counting)
+        # Not monkeypatch.setattr: its undo would "restore" the saved
+        # *bound method* as an instance attribute on this session-scoped
+        # model, leaving it non-pristine (sweep's batch kernel refuses
+        # overridden models) for every later test.  Patching the instance
+        # dict makes the undo *delete* the override instead.
+        monkeypatch.setitem(vars(model), "power", counting)
         return calls
 
     def test_warm_cache_rerun_evaluates_nothing(

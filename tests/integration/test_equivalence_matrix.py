@@ -9,14 +9,28 @@ holds the PR 2/3 optimisations (and anything layered on top, like
 tracing) to the paper's numbers.
 """
 
+import importlib
+
 import pytest
 
 from repro.analysis.sweep import sweep
-from repro.analysis.tables import TABLE_I_FREQS
-from repro.runner import Runner, RunJournal
+from repro.analysis.tables import TABLE_I_FREQS, TABLE_II_FREQS
+from repro.runner import Runner, RunJournal, WorkerPool
 from repro.scpg.power_model import Mode
 
 MODES = (Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX)
+
+
+def _reference_for(model, freqs):
+    """Plain serial, uncached, kernel-less evaluation of a grid."""
+    results = {}
+    for mode in MODES:
+        for f in freqs:
+            try:
+                results[(f, mode)] = model.power(f, mode)
+            except Exception:
+                results[(f, mode)] = None
+    return results
 
 
 @pytest.fixture(scope="module")
@@ -27,14 +41,7 @@ def model(mult_study):
 @pytest.fixture(scope="module")
 def reference(model):
     """The plain serial, uncached, kernel-less evaluation."""
-    results = {}
-    for mode in MODES:
-        for f in TABLE_I_FREQS:
-            try:
-                results[(f, mode)] = model.power(f, mode)
-            except Exception:
-                results[(f, mode)] = None
-    return results
+    return _reference_for(model, TABLE_I_FREQS)
 
 
 def _flatten(data):
@@ -58,8 +65,6 @@ class TestEquivalenceMatrix:
     def test_serial_point_at_a_time(self, model, reference, monkeypatch):
         """The runner with the batch kernel disabled: one
         ``model.power`` call per point, like the original code path."""
-        import importlib
-
         sweep_mod = importlib.import_module("repro.analysis.sweep")
         monkeypatch.setattr(sweep_mod, "_batch_kernel", lambda m: None)
         data = sweep(model, TABLE_I_FREQS, runner=Runner())
@@ -111,6 +116,13 @@ class TestEquivalenceMatrix:
         _assert_identical(_flatten(data), reference)
         assert runner.tracer.spans > 0
 
+    def test_parallel_batch_explicit_chunks(self, model, reference):
+        """Chunk boundaries are pure scheduling: a deliberately odd
+        chunk size still reassembles the grid bit-for-bit."""
+        data = sweep(model, TABLE_I_FREQS,
+                     runner=Runner(workers=2, chunk_size=3))
+        _assert_identical(_flatten(data), reference)
+
     def test_artifact_table_evaluation(self):
         """Artifact tables on vs off: the Session rebuilds the same
         model, so the whole grid matches bit-for-bit (the PR 3
@@ -124,3 +136,62 @@ class TestEquivalenceMatrix:
         for mode in MODES:
             assert with_tables.results[mode] == without.results[mode], \
                 mode
+
+
+#: design -> (case-study fixture, paper frequency axis)
+CASES = {
+    "mult16": ("mult_study", TABLE_I_FREQS),
+    "m0": ("m0_study", TABLE_II_FREQS),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CASES), ids=sorted(CASES))
+def case(request):
+    """``(model, freqs, reference)`` for each paper case study."""
+    study_fixture, freqs = CASES[request.param]
+    model = request.getfixturevalue(study_fixture).model
+    return model, freqs, _reference_for(model, freqs)
+
+
+class TestParallelBatchMatrix:
+    """The chunked parallel batch path (PR 5) against every other
+    execution strategy, for *both* paper case studies: the scheduler may
+    shard, pool and requeue however it likes, but the Table I / Table II
+    grids must come back float-identical."""
+
+    def test_serial_reference_strategy(self, case, monkeypatch):
+        model, freqs, reference = case
+        sweep_mod = importlib.import_module("repro.analysis.sweep")
+        monkeypatch.setattr(sweep_mod, "_batch_kernel", lambda m: None)
+        data = sweep(model, freqs, runner=Runner())
+        _assert_identical(_flatten(data), reference)
+
+    def test_serial_batch_kernel(self, case):
+        model, freqs, reference = case
+        data = sweep(model, freqs, runner=Runner())
+        _assert_identical(_flatten(data), reference)
+
+    def test_per_point_parallel(self, case, monkeypatch):
+        model, freqs, reference = case
+        sweep_mod = importlib.import_module("repro.analysis.sweep")
+        monkeypatch.setattr(sweep_mod, "_batch_kernel", lambda m: None)
+        data = sweep(model, freqs, runner=Runner(workers=2))
+        _assert_identical(_flatten(data), reference)
+
+    def test_parallel_batch(self, case):
+        model, freqs, reference = case
+        data = sweep(model, freqs,
+                     runner=Runner(workers=2, chunk_size=4))
+        _assert_identical(_flatten(data), reference)
+
+    def test_parallel_batch_on_a_warm_pool(self, case):
+        model, freqs, reference = case
+        with WorkerPool(workers=2) as pool:
+            runner = Runner(workers=2, pool=pool, chunk_size=4)
+            data = sweep(model, freqs, runner=runner)
+            again = sweep(model, freqs, runner=runner)
+            # The pool really served the grids (unpicklable state would
+            # have silently degraded to an ephemeral fork pool).
+            assert pool.alive and pool.generation == 1
+        _assert_identical(_flatten(data), reference)
+        _assert_identical(_flatten(again), reference)

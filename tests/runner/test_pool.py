@@ -1,0 +1,249 @@
+"""The reusable warm :class:`WorkerPool` and the spawn fallback.
+
+The pool's contract: workers survive across grids (``generation`` stays
+1, worker pids repeat), a crash is recovered by :meth:`restart` without
+losing the grid, a closed pool degrades to an ephemeral per-grid pool,
+and -- the platform regression this file pins -- every parallel path
+still produces identical results when ``fork`` is unavailable and the
+runner must fall back to ``spawn`` (or, with unpicklable state, all the
+way to serial).
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner import RunStats, WorkerPool, evaluate_grid, read_journal
+from repro.runner import core as runner_core
+
+
+def _square(point):
+    return point * point
+
+
+def _square_batch(points):
+    return [p * p for p in points]
+
+
+def _pid_batch(points):
+    return [os.getpid() for _ in points]
+
+
+def _ctx_call(ctx, point):
+    return ctx(point)
+
+
+def _ctx_call_batch(ctx, points):
+    return [ctx(p) for p in points]
+
+
+KILL_POINT = 7
+
+
+def _killer_batch(points):
+    # Only ever kill inside a pool worker; the serial-batch requeue runs
+    # this same kernel in the parent, which must survive.
+    if KILL_POINT in points \
+            and multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return [p * p for p in points]
+
+
+def _events(path):
+    return [e["event"] for e in read_journal(path)]
+
+
+class TestWarmPool:
+    def test_workers_survive_across_grids(self):
+        with WorkerPool(workers=2) as pool:
+            first = set(evaluate_grid(_square, list(range(16)),
+                                      workers=2, pool=pool,
+                                      chunk_size=2,
+                                      batch_fn=_pid_batch))
+            second = set(evaluate_grid(_square, list(range(16)),
+                                       workers=2, pool=pool,
+                                       chunk_size=2,
+                                       batch_fn=_pid_batch))
+            assert pool.generation == 1
+            assert pool.alive
+            # Same process set served both grids -- had the pool
+            # re-forked per grid, up to four distinct pids would show.
+            assert len(first | second) <= 2
+            assert os.getpid() not in first
+
+    def test_results_match_serial(self):
+        points = list(range(40))
+        with WorkerPool(workers=2) as pool:
+            got = evaluate_grid(_square, points, workers=2, pool=pool,
+                                batch_fn=_square_batch)
+        assert got == evaluate_grid(_square, points)
+
+    def test_journal_marks_warm_dispatch(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with WorkerPool(workers=2) as pool:
+            evaluate_grid(_square, list(range(8)), workers=2, pool=pool,
+                          journal=str(path), batch_fn=_square_batch)
+        planned = [e for e in read_journal(path)
+                   if e["event"] == "chunks_planned"][0]
+        assert planned["warm"] is True
+
+    def test_crash_recovered_and_pool_restartable(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        stats = RunStats()
+        with WorkerPool(workers=2) as pool:
+            got = evaluate_grid(_square, list(range(16)), workers=2,
+                                pool=pool, chunk_size=4, stats=stats,
+                                journal=str(path),
+                                batch_fn=_killer_batch)
+            # The serial-batch requeue re-ran the lost chunks in the
+            # parent, so the grid still completed bit-identically.
+            assert got == [p * p for p in range(16)]
+            assert stats.crashes == 1
+            names = _events(path)
+            assert "pool_crashed" in names
+            assert "requeue_serial" in names
+            # The pool shed its broken executor and serves the next
+            # grid on a fresh one.
+            assert not pool.alive
+            again = evaluate_grid(_square, list(range(16)), workers=2,
+                                  pool=pool, batch_fn=_square_batch)
+            assert again == [p * p for p in range(16)]
+            assert pool.generation == 2
+
+    def test_closed_pool_degrades_to_ephemeral(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        got = evaluate_grid(_square, list(range(12)), workers=2,
+                            pool=pool, batch_fn=_square_batch)
+        assert got == [p * p for p in range(12)]
+        assert not pool.alive
+
+    def test_unpicklable_state_skips_the_warm_pool(self):
+        # A lambda context cannot ride the blob; the grid falls back to
+        # an ephemeral fork pool (state inherited, never pickled) and
+        # the warm pool is left untouched.
+        with WorkerPool(workers=2) as pool:
+            got = evaluate_grid(_ctx_call, list(range(12)), workers=2,
+                                context=lambda p: 3 * p, pool=pool,
+                                batch_fn=_ctx_call_batch)
+            assert got == [3 * p for p in range(12)]
+            assert not pool.alive
+
+    def test_closed_pool_refuses_an_executor(self):
+        pool = WorkerPool(workers=2)
+        pool.close()
+        with pytest.raises(RunnerError):
+            pool.executor()
+        pool.close()    # idempotent
+
+
+class TestSpawnFallback:
+    """Platform regression: every path must survive ``spawn``."""
+
+    @pytest.fixture(autouse=True)
+    def force_spawn(self, monkeypatch):
+        monkeypatch.setattr(runner_core, "_start_method",
+                            lambda: "spawn")
+
+    def test_per_point_parallel_under_spawn(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        got = evaluate_grid(_square, list(range(12)), workers=2,
+                            journal=str(path))
+        assert got == [p * p for p in range(12)]
+        finish = [e for e in read_journal(path)
+                  if e["event"] == "pool_finished"][0]
+        assert finish["method"] == "spawn"
+
+    def test_chunked_under_spawn(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        got = evaluate_grid(_square, list(range(12)), workers=2,
+                            chunk_size=3, journal=str(path),
+                            batch_fn=_square_batch)
+        assert got == [p * p for p in range(12)]
+        finish = [e for e in read_journal(path)
+                  if e["event"] == "pool_finished"][0]
+        assert finish["method"] == "spawn"
+        assert finish["chunks"] == 4
+
+    def test_unpicklable_state_degrades_to_serial(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        got = evaluate_grid(_ctx_call, list(range(8)), workers=2,
+                            context=lambda p: 3 * p, journal=str(path))
+        assert got == [3 * p for p in range(8)]
+        names = _events(path)
+        assert "point_submitted" not in names
+        assert "point_started" in names
+
+    def test_unpicklable_state_degrades_to_serial_batch(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        got = evaluate_grid(_ctx_call, list(range(8)), workers=2,
+                            context=lambda p: 3 * p, journal=str(path),
+                            batch_fn=_ctx_call_batch)
+        assert got == [3 * p for p in range(8)]
+        names = _events(path)
+        assert "chunk_submitted" not in names
+        assert "batch_started" in names
+
+    def test_warm_spawn_pool_ships_the_blob(self):
+        with WorkerPool(workers=2, method="spawn") as pool:
+            pids = set(evaluate_grid(_square, list(range(8)), workers=2,
+                                     pool=pool, chunk_size=2,
+                                     batch_fn=_pid_batch))
+            assert os.getpid() not in pids
+            again = set(evaluate_grid(_square, list(range(8)),
+                                      workers=2, pool=pool,
+                                      chunk_size=2,
+                                      batch_fn=_pid_batch))
+            assert pool.generation == 1
+            assert len(pids | again) <= 2
+
+
+class TestSessionPoolWiring:
+    def test_parallel_session_owns_a_shared_pool(self):
+        from repro.session import Session
+
+        session = Session(workers=2, cache=False)
+        try:
+            assert isinstance(session.pool, WorkerPool)
+            assert session.runner.pool is session.pool
+        finally:
+            session.close()
+        assert session.pool.closed
+
+    def test_serial_session_has_no_pool(self):
+        from repro.session import Session
+
+        session = Session(cache=False)
+        try:
+            assert session.pool is None
+        finally:
+            session.close()
+
+    def test_fresh_policy_has_no_pool(self):
+        from repro.session import Session
+
+        session = Session(workers=2, cache=False, pool="fresh")
+        try:
+            assert session.pool is None
+        finally:
+            session.close()
+
+    def test_caller_pool_is_not_owned(self):
+        from repro.session import Session
+
+        with WorkerPool(workers=2) as pool:
+            session = Session(workers=2, cache=False, pool=pool)
+            try:
+                assert session.pool is pool
+            finally:
+                session.close()
+            assert not pool.closed    # caller owns it
+
+    def test_bad_pool_policy_rejected(self):
+        from repro.session import Session
+
+        with pytest.raises(ValueError):
+            Session(workers=2, cache=False, pool="bogus")
