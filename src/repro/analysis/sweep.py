@@ -22,8 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import ScpgError
-from ..runner import Runner, can_fingerprint, stable_hash
-from ..scpg.power_model import Mode, ScpgPowerModel
+from ..runner import Runner, can_fingerprint, compile_kernel, stable_hash
+from ..scpg.power_model import Mode
 
 
 @dataclass
@@ -52,21 +52,11 @@ def _power_point(model, point):
     return model.power(freq_hz, mode)
 
 
-def _power_batch(model, points):
-    return model.power_points(points)
-
-
 def _batch_kernel(model):
-    """The sweep batch kernel -- or ``None`` for non-pristine models.
-
-    A subclassed model, or one whose ``power`` was replaced on the
-    instance (tests do this to count evaluations), must keep the
-    point-at-a-time path so the override is honoured.
-    """
-    if type(model) is not ScpgPowerModel \
-            or "power" in getattr(model, "__dict__", {}):
-        return None
-    return _power_batch
+    """The compiled sweep kernel -- or ``None`` for non-pristine models
+    (the ``ScpgPowerKernel.applies`` guard keeps instance overrides
+    honoured on the point-at-a-time path)."""
+    return compile_kernel(model)
 
 
 def power_cache_key(model):
@@ -96,7 +86,7 @@ def sweep(model, freqs, modes=(Mode.NO_PG, Mode.SCPG, Mode.SCPG_MAX),
     values = runner.run(_power_point, grid, context=model,
                         cache_key=power_cache_key(model),
                         on_error=(ScpgError,), label=label,
-                        batch_fn=_batch_kernel(model))
+                        kernel=_batch_kernel(model))
     out = FrequencySweep(freqs=freqs)
     for i, mode in enumerate(modes):
         out.results[mode] = values[i * len(freqs):(i + 1) * len(freqs)]

@@ -1,0 +1,337 @@
+"""Struct-of-arrays netlist lowering for the levelized gate simulator.
+
+:func:`lower_soa` walks a flat module once and rebuilds it as dense
+integer-indexed arrays: every net becomes an index into a value vector,
+every combinational (instance, output pin) pair becomes one *gate entry*
+with an ``int8`` ternary truth table in a shared flat table array, and
+the entries are ranked into dependency levels
+(:func:`repro.netlist.traverse.levelize`) and grouped by arity so a whole
+level evaluates as one batched table lookup::
+
+    keys = V[:, in_idx] @ pow3          # (B, gates) ternary codes
+    V[:, out_idx] = tables[base + keys] # one gather per (level, arity)
+
+Per-cell physical data (delay, leakage, switched capacitance) and the
+per-net load capacitance are lowered into aligned ``numpy`` arrays when a
+library is supplied, so power accounting over a toggle matrix is a single
+vector expression instead of a netlist walk.
+
+The lowered form holds only names, indices and arrays -- no ``Net`` /
+``Instance`` / ``Cell`` references -- so it pickles into the artifact
+cache and ships to worker processes unchanged.  Combinational feedback
+makes a levelized schedule impossible; :func:`lower_soa` then raises
+:class:`~repro.errors.NetlistError` (callers fall back to the event
+simulator, see :mod:`repro.sim.compiled`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..tech.library import CellKind
+from ..sim.logic import X, compile_cell
+from .traverse import levelize, topological_instances
+
+
+@dataclass
+class CombGroup:
+    """One (level, arity) batch of gate entries.
+
+    ``in_idx`` is ``(gates, arity)``; ``pow3`` encodes the operand order
+    of :class:`~repro.sim.logic.CompiledCell` (operand ``k`` weighted
+    ``3**k``); ``table_base`` offsets each gate's truth table inside the
+    shared flat table array.
+    """
+
+    arity: int
+    in_idx: np.ndarray
+    out_idx: np.ndarray
+    table_base: np.ndarray
+    pow3: np.ndarray
+    gate_ids: np.ndarray
+    #: Per-operand contiguous column views of ``in_idx`` (gather order).
+    in_cols: list = field(default_factory=list)
+
+
+@dataclass
+class SoaNetlist:
+    """A flat module lowered to struct-of-arrays form."""
+
+    module_name: str = ""
+    #: Net index space: ``net_names[i]`` is the name of net ``i``.
+    net_names: list = field(default_factory=list)
+    net_index: dict = field(default_factory=dict)
+    const_idx: np.ndarray = None
+    const_val: np.ndarray = None
+    #: Port name -> net index, in declaration order.
+    input_ports: dict = field(default_factory=dict)
+    output_ports: dict = field(default_factory=dict)
+    #: Levelized evaluation schedule: ``levels[L]`` is a list of
+    #: :class:`CombGroup` whose inputs are all settled by level ``L``.
+    levels: list = field(default_factory=list)
+    tables: np.ndarray = None
+    #: Per gate entry (topological order): names, fanin tuples, output
+    #: net, level rank.
+    gate_names: list = field(default_factory=list)
+    gate_cell_names: list = field(default_factory=list)
+    gate_inputs: list = field(default_factory=list)
+    gate_out: np.ndarray = None
+    gate_level: np.ndarray = None
+    #: Sequential rows: pin net indices with ``-1`` for absent pins.
+    seq_names: list = field(default_factory=list)
+    seq_d: np.ndarray = None
+    seq_ck: np.ndarray = None
+    seq_q: np.ndarray = None
+    seq_en: np.ndarray = None
+    seq_rn: np.ndarray = None
+    #: ``driver_gate[i]`` / ``driver_seq[i]``: gate entry / seq row
+    #: driving net ``i`` (``-1`` when port-, const- or un-driven).
+    driver_gate: np.ndarray = None
+    driver_seq: np.ndarray = None
+    non_const_nets: int = 0
+    #: Library-derived physics (``None`` without a library).
+    gate_delay: np.ndarray = None
+    gate_leakage: np.ndarray = None
+    gate_switched_cap: np.ndarray = None
+    net_cap: np.ndarray = None
+
+    @property
+    def n_nets(self):
+        return len(self.net_names)
+
+    @property
+    def n_seq(self):
+        return len(self.seq_names)
+
+    def initial_values(self):
+        """The pre-simulation value vector: all-X except constants."""
+        values = np.full(self.n_nets, X, dtype=np.int8)
+        if len(self.const_idx):
+            values[self.const_idx] = self.const_val
+        return values
+
+    def subschedule(self, sources):
+        """Levels filtered to the transitive fanout of ``sources``.
+
+        Returns a ``levels``-shaped list usable with :meth:`eval_comb`:
+        only gates whose fan-in cone reaches a source net are kept, so a
+        phase that perturbs few nets (a clock edge, an input change)
+        settles by evaluating just the affected cone.  Starting from a
+        settled state this computes the same fixed point as a full pass.
+        """
+        dirty = np.zeros(self.n_nets, dtype=bool)
+        for idx in sources:
+            if idx >= 0:
+                dirty[idx] = True
+        levels = []
+        for level in self.levels:
+            sub = []
+            for grp in level:
+                if grp.arity == 0:
+                    continue        # constants settle in the init pass
+                hit = dirty[grp.in_idx].any(axis=1)
+                if hit.all():
+                    sub.append(grp)
+                    dirty[grp.out_idx] = True
+                elif hit.any():
+                    keep = np.nonzero(hit)[0]
+                    in_idx = grp.in_idx[keep]
+                    cut = CombGroup(
+                        arity=grp.arity,
+                        in_idx=in_idx,
+                        out_idx=grp.out_idx[keep],
+                        table_base=grp.table_base[keep],
+                        pow3=grp.pow3,
+                        gate_ids=grp.gate_ids[keep],
+                        in_cols=[np.ascontiguousarray(in_idx[:, j])
+                                 for j in range(grp.arity)],
+                    )
+                    sub.append(cut)
+                    dirty[cut.out_idx] = True
+            if sub:
+                levels.append(sub)
+        return levels
+
+    def eval_comb(self, values, levels=None):
+        """Settle every combinational net of ``values`` in place.
+
+        ``values`` is ``(batch, n_nets)`` ``int8``; one pass evaluates
+        each level as batched truth-table gathers, so every net
+        transitions at most once -- the functional (hazard-free) fixed
+        point of the sources (ports, constants, flop outputs).
+        ``levels`` restricts the pass to a :meth:`subschedule`.
+        """
+        tables = self.tables
+        for level in (self.levels if levels is None else levels):
+            for grp in level:
+                if grp.arity == 0:
+                    values[:, grp.out_idx] = tables[grp.table_base]
+                    continue
+                cols = grp.in_cols
+                keys = grp.table_base + values[:, cols[0]]
+                for j in range(1, grp.arity):
+                    keys += values[:, cols[j]] * grp.pow3[j]
+                values[:, grp.out_idx] = tables[keys]
+
+    def switched_energy(self, toggle_counts, cycles, vdd, glitch_factor=1.0):
+        """Vectorized switched energy per cycle from a toggle vector.
+
+        ``toggle_counts`` is a length-``n_nets`` array (e.g. a summed
+        toggle matrix from :class:`repro.sim.compiled.CompiledSchedule`);
+        returns ``(e_cycle, by_net)`` with the same per-net formula as
+        :func:`repro.power.dynamic.dynamic_power`.
+        """
+        if self.net_cap is None:
+            raise ValueError("lowered without a library; no capacitances")
+        counts = np.asarray(toggle_counts, dtype=np.float64)
+        energy = (0.5 * vdd * vdd) * self.net_cap * counts \
+            * (glitch_factor / cycles)
+        nonzero = np.nonzero(energy)[0]
+        by_net = {self.net_names[i]: float(energy[i]) for i in nonzero}
+        return float(energy.sum()), by_net
+
+
+def lower_soa(module, library=None):
+    """Lower a flat ``module`` into a :class:`SoaNetlist`.
+
+    Raises :class:`~repro.errors.NetlistError` for hierarchical modules
+    or combinational feedback (no levelized order exists).
+    """
+    from ..sta.delay import net_load
+
+    soa = SoaNetlist(module_name=module.name)
+    nets = module.nets()
+    for i, net in enumerate(nets):
+        soa.net_index[net.name] = i
+        soa.net_names.append(net.name)
+    index = {id(net): i for i, net in enumerate(nets)}
+
+    const_idx = []
+    const_val = []
+    for net in nets:
+        if net.is_const:
+            const_idx.append(index[id(net)])
+            const_val.append(net.const_value)
+    soa.const_idx = np.asarray(const_idx, dtype=np.int64)
+    soa.const_val = np.asarray(const_val, dtype=np.int8)
+    soa.non_const_nets = len(nets) - len(const_idx)
+    for port in module.input_ports():
+        soa.input_ports[port.name] = index[id(port.net)]
+    for port in module.output_ports():
+        soa.output_ports[port.name] = index[id(port.net)]
+
+    # -- combinational gate entries, in topological order --------------------
+    order = topological_instances(module)   # raises on loops / hierarchy
+    rank_of = levelize(module)
+    table_offset = {}
+    flat_tables = []
+    entries = []                            # (level, arity, in, out, base)
+    driver_gate = np.full(len(nets), -1, dtype=np.int64)
+    for inst in order:
+        compiled = compile_cell(inst.cell)
+        in_idx = tuple(index[id(inst.connections[p])]
+                       for p in compiled.input_names)
+        level = rank_of[inst.name]
+        for pin, table in compiled.tables.items():
+            net = inst.connections.get(pin)
+            if net is None:
+                continue
+            key = (id(inst.cell), pin)
+            base = table_offset.get(key)
+            if base is None:
+                base = len(flat_tables)
+                table_offset[key] = base
+                flat_tables.extend(table)
+            gate_id = len(entries)
+            out_idx = index[id(net)]
+            entries.append((level, len(in_idx), in_idx, out_idx, base,
+                            gate_id))
+            driver_gate[out_idx] = gate_id
+            soa.gate_names.append(inst.name)
+            soa.gate_cell_names.append(inst.cell.name)
+            soa.gate_inputs.append(in_idx)
+    soa.tables = np.asarray(flat_tables, dtype=np.int8)
+    soa.gate_out = np.asarray([e[3] for e in entries], dtype=np.int64)
+    soa.gate_level = np.asarray([e[0] for e in entries], dtype=np.int64)
+    soa.driver_gate = driver_gate
+
+    n_levels = 1 + max((e[0] for e in entries), default=-1)
+    soa.levels = [[] for _ in range(n_levels)]
+    by_bucket = {}
+    for level, arity, in_idx, out_idx, base, gate_id in entries:
+        by_bucket.setdefault((level, arity), []).append(
+            (in_idx, out_idx, base, gate_id))
+    for (level, arity), rows in sorted(by_bucket.items()):
+        in_idx = np.asarray([r[0] for r in rows],
+                            dtype=np.int64).reshape(len(rows), arity)
+        soa.levels[level].append(CombGroup(
+            arity=arity,
+            in_idx=in_idx,
+            out_idx=np.asarray([r[1] for r in rows], dtype=np.int64),
+            table_base=np.asarray([r[2] for r in rows], dtype=np.int64),
+            pow3=np.asarray([3 ** k for k in range(arity)], dtype=np.int64),
+            gate_ids=np.asarray([r[3] for r in rows], dtype=np.int64),
+            in_cols=[np.ascontiguousarray(in_idx[:, j])
+                     for j in range(arity)],
+        ))
+
+    # -- sequential rows -----------------------------------------------------
+    driver_seq = np.full(len(nets), -1, dtype=np.int64)
+    d, ck, q, en, rn = [], [], [], [], []
+    for inst in module.cell_instances():
+        if inst.cell.kind is not CellKind.SEQUENTIAL:
+            continue
+
+        def pin_idx(name):
+            net = inst.connections.get(name)
+            return -1 if net is None else index[id(net)]
+
+        row = len(soa.seq_names)
+        soa.seq_names.append(inst.name)
+        d.append(pin_idx("D"))
+        ck.append(pin_idx("CK"))
+        q.append(pin_idx("Q"))
+        en.append(pin_idx("EN") if inst.cell.has_pin("EN") else -1)
+        rn.append(pin_idx("RN") if inst.cell.has_pin("RN") else -1)
+        if q[-1] >= 0:
+            driver_seq[q[-1]] = row
+    soa.seq_d = np.asarray(d, dtype=np.int64)
+    soa.seq_ck = np.asarray(ck, dtype=np.int64)
+    soa.seq_q = np.asarray(q, dtype=np.int64)
+    soa.seq_en = np.asarray(en, dtype=np.int64)
+    soa.seq_rn = np.asarray(rn, dtype=np.int64)
+    soa.driver_seq = driver_seq
+
+    # -- library physics -----------------------------------------------------
+    if library is not None:
+        net_cap = np.zeros(len(nets), dtype=np.float64)
+        for net in nets:
+            if net.is_const:
+                continue
+            cap = net_load(net, library)
+            driver = net.driver
+            if isinstance(driver, tuple) and driver[0].is_cell:
+                cap += driver[0].cell.c_internal
+            net_cap[index[id(net)]] = cap
+        soa.net_cap = net_cap
+        delay, leak = [], []
+        gate_id = 0
+        for inst in order:
+            compiled = compile_cell(inst.cell)
+            for pin in compiled.tables:
+                net = inst.connections.get(pin)
+                if net is None:
+                    continue
+                delay.append(inst.cell.intrinsic_delay
+                             + inst.cell.drive_resistance
+                             * net_load(net, library))
+                leak.append(inst.cell.leakage)
+                gate_id += 1
+        soa.gate_delay = np.asarray(delay, dtype=np.float64)
+        soa.gate_leakage = np.asarray(leak, dtype=np.float64)
+        soa.gate_switched_cap = net_cap[soa.gate_out] \
+            if len(soa.gate_out) else np.zeros(0)
+
+    return soa

@@ -30,13 +30,14 @@ from .isa.programs import dhrystone_memory, dhrystone_program
 from .isa.trace import GateLevelCpu
 from .netlist.core import Design
 from .power.dynamic import (
-    DEFAULT_GLITCH_FACTOR,
     M0LITE_GLITCH_FACTOR,
+    MULT16_GLITCH_FACTOR,
     dynamic_power,
 )
 from .power.leakage import leakage_power
 from .scpg.power_model import ScpgPowerModel
-from .sim.testbench import ClockedTestbench, bus_values
+from .sim.compiled import schedule_for
+from .sim.testbench import bus_values
 from .subvt.energy import SubvtModel
 from .tech.calibration import CORTEX_M0_ANCHORS, MULTIPLIER_ANCHORS
 from .tech.scl90 import build_scl90
@@ -94,19 +95,22 @@ def _finish_study(name, flow_result, base_flow, e_cycle, glitch, anchors,
 
 
 def _measure_multiplier_energy(module, library, vectors, seed):
-    """Switched energy per cycle under random operand vectors."""
-    tb = ClockedTestbench(module)
-    tb.reset_flops()
+    """Switched energy per cycle under random operand vectors.
+
+    Runs through the levelized struct-of-arrays engine
+    (:mod:`repro.sim.compiled`); its toggle counts are bit-identical to
+    the event simulator's, so the calibration numbers are unchanged.
+    """
     rng = random.Random(seed)
-    for _ in range(vectors):
-        tb.cycle({
-            **bus_values("a", 16, rng.getrandbits(16)),
-            **bus_values("b", 16, rng.getrandbits(16)),
-        })
+    stimulus = [{
+        **bus_values("a", 16, rng.getrandbits(16)),
+        **bus_values("b", 16, rng.getrandbits(16)),
+    } for _ in range(vectors)]
+    run = schedule_for(module, library).run_vectors(stimulus)
     dyn = dynamic_power(
-        module, library, tb.sim.toggle_snapshot(), tb.cycles,
-        glitch_factor=DEFAULT_GLITCH_FACTOR)
-    return dyn.energy_per_cycle, tb.cycles
+        module, library, run.toggle_snapshot(), run.cycles,
+        glitch_factor=MULT16_GLITCH_FACTOR)
+    return dyn.energy_per_cycle, run.cycles
 
 
 @lru_cache(maxsize=None)
@@ -132,7 +136,7 @@ def multiplier_study(fast=False, seed=2011):
 
     return _finish_study(
         "mult16", flow_result, base_flow, e_cycle,
-        DEFAULT_GLITCH_FACTOR, MULTIPLIER_ANCHORS, library,
+        MULT16_GLITCH_FACTOR, MULTIPLIER_ANCHORS, library,
         cycles=cycles)
 
 

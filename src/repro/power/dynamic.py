@@ -5,12 +5,12 @@ Every 0->1/1->0 transition of a net dissipates ``0.5 * C * VDD^2`` where
 wire estimate.  Toggle counts come from the zero-delay event simulator,
 which sees functional transitions only; the *glitch factor* multiplies
 them to stand in for the hazard activity a delay-accurate simulation would
-add.  scl90's capacitance constants are calibrated so functional toggles
-of the registered multiplier reproduce Table I's energy-per-cycle slope at
-``glitch_factor = 1.0``; the M0-lite, whose wide ALU/shifter/multiplier
-arrays glitch on every operand change regardless of the selected
-operation, is calibrated at 2.3 against Table II's slope (see
-``repro.tech.calibration``).
+add.  The multiplier's array of reconvergent partial-product and carry
+paths roughly doubles its functional activity in a delay-accurate view,
+so it is calibrated at 2.0 against Table I's energy-per-cycle slope; the
+M0-lite, whose wide ALU/shifter/multiplier arrays glitch on every operand
+change regardless of the selected operation, is calibrated at 3.5 against
+Table II's slope (see ``repro.tech.calibration``).
 """
 
 from __future__ import annotations
@@ -23,8 +23,11 @@ from ..sta.delay import net_load
 #: Default hazard multiplier for functional (zero-delay) toggle counts.
 DEFAULT_GLITCH_FACTOR = 1.0
 
+#: Calibrated hazard multiplier for the multiplier array (Table I slope).
+MULT16_GLITCH_FACTOR = 2.0
+
 #: Calibrated hazard multiplier for the M0-lite core (Table II slope).
-M0LITE_GLITCH_FACTOR = 2.3
+M0LITE_GLITCH_FACTOR = 3.5
 
 
 @dataclass
@@ -81,17 +84,39 @@ def dynamic_power(module, library, toggles, cycles, vdd=None, freq_hz=1e6,
     report = DynamicReport(
         vdd=vdd, freq_hz=freq_hz, cycles=cycles, glitch_factor=glitch_factor
     )
+    caps = _compiled_caps(module)
     total = 0.0
     for net in module.nets():
         count = toggles.get(net.name, 0)
         if not count or net.is_const:
             continue
-        cap = net_load(net, library)
-        driver = net.driver
-        if isinstance(driver, tuple) and driver[0].is_cell:
-            cap += driver[0].cell.c_internal
+        cap = caps.get(net.name) if caps is not None else None
+        if cap is None:
+            cap = net_load(net, library)
+            driver = net.driver
+            if isinstance(driver, tuple) and driver[0].is_cell:
+                cap += driver[0].cell.c_internal
         energy = half_v2 * cap * count * glitch_factor / cycles
         report.by_net[net.name] = energy
         total += energy
     report.energy_per_cycle = total
     return report
+
+
+def _compiled_caps(module):
+    """Per-net capacitance from an already-compiled levelized schedule.
+
+    The struct-of-arrays lowering prices every net with the exact
+    arithmetic of the loop below (``net_load`` plus the driver's internal
+    capacitance), so reusing its table is bit-identical -- and free when
+    the workload just ran on the compiled engine.  Never compiles a
+    schedule; returns ``None`` when none is memoised for ``module``.
+    """
+    from ..sim.compiled import peek_schedule
+
+    schedule = peek_schedule(module)
+    if schedule is None or schedule.soa is None \
+            or schedule.soa.net_cap is None:
+        return None
+    soa = schedule.soa
+    return dict(zip(soa.net_names, soa.net_cap.tolist()))

@@ -42,6 +42,13 @@ from .fingerprint import (
 )
 from .instrument import RunStats
 from .journal import NULL_JOURNAL, RunJournal, read_journal
+from .kernel import (
+    CompiledKernel,
+    Kernel,
+    compile_kernel,
+    kernel_for,
+    register_kernel,
+)
 from .pool import WorkerPool
 
 __all__ = [
@@ -51,9 +58,11 @@ __all__ = [
     "CACHE_SCHEMA",
     "CircuitArtifacts",
     "CachedEvaluator",
+    "CompiledKernel",
     "DEFAULT_BACKOFF",
     "DEFAULT_RETRIES",
     "INFEASIBLE_MARKER",
+    "Kernel",
     "NULL_JOURNAL",
     "ResultCache",
     "RunJournal",
@@ -61,11 +70,14 @@ __all__ = [
     "Runner",
     "WorkerPool",
     "can_fingerprint",
+    "compile_kernel",
     "default_cache",
     "evaluate_grid",
     "fingerprint",
+    "kernel_for",
     "module_fingerprint",
     "read_journal",
+    "register_kernel",
     "resolve_workers",
     "stable_hash",
 ]

@@ -38,7 +38,7 @@ from ..obs.trace import NULL_TRACER
 from .journal import NULL_JOURNAL
 
 #: Cache-key namespace (bump when any table's compiled layout changes).
-ARTIFACT_SCHEMA = "circuit-artifacts-v1"
+ARTIFACT_SCHEMA = "circuit-artifacts-v2"
 
 
 # ---------------------------------------------------------------------------
@@ -66,11 +66,12 @@ class LeakageTable:
             rows.append((cell.leakage, cell.kind, cell.name))
         return cls(rows=rows)
 
-    def evaluate(self, library, vdd=None, temp_c=None):
+    def evaluate(self, library, *, vdd=None, temp_c=None):
         """:class:`~repro.power.leakage.LeakageReport` at ``vdd``.
 
         Bit-identical to ``leakage_power(module, library, vdd)`` (the
         stateless path; state-dependent leakage needs the netlist).
+        Every table shares this keyword-only operating-point signature.
         """
         from ..power.leakage import LeakageReport
         from ..tech.library import CellKind
@@ -130,9 +131,13 @@ class SwitchedCapTable:
             rows.append((net.name, cap, density))
         return cls(rows=rows)
 
-    def evaluate(self, library, vdd=None):
+    def evaluate(self, library, *, vdd=None, temp_c=None):
         """``(e_cycle, by_net)`` -- bit-identical to
-        ``vectorless_switching(module, library, vdd)``."""
+        ``vectorless_switching(module, library, vdd)``.
+
+        ``temp_c`` is accepted for signature uniformity and ignored:
+        switched capacitance is temperature-independent in this model.
+        """
         vdd = library.vdd_nom if vdd is None else vdd
         half_v2 = 0.5 * vdd * vdd
         by_net = {}
@@ -252,14 +257,14 @@ class TimingTable:
             trace_inputs={name: idxs for name, idxs, _ in steps},
         )
 
-    def evaluate(self, library, vdd=None):
+    def evaluate(self, library, *, vdd=None, temp_c=None):
         """:class:`~repro.sta.analysis.TimingResult` at ``vdd`` --
         bit-identical to ``TimingAnalysis(module, library).run(vdd)``."""
         from ..errors import TimingError
         from ..sta.analysis import TimingResult
 
         vdd = library.vdd_nom if vdd is None else vdd
-        scale = library.delay_scale(vdd)
+        scale = library.delay_scale(vdd, temp_c)
 
         arrivals = {}
         trace = {}
@@ -372,6 +377,47 @@ class TimingTable:
 
 
 # ---------------------------------------------------------------------------
+# the levelized gate-sim schedule
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GateSimTable:
+    """The circuit's compiled levelized simulation schedule.
+
+    Wraps a :class:`~repro.sim.compiled.CompiledSchedule`: the netlist
+    lowered once to struct-of-arrays form (int-indexed gates/nets, flat
+    truth tables, per-net capacitance) with its level-ordered evaluation
+    plan.  The schedule pickles without the live module, so a bundle
+    loaded from the on-disk cache replays vector workloads and the
+    combinational :meth:`kernel` without re-lowering -- only the event-
+    simulator *fallback* (feedback/sequential-special cases) needs the
+    module, and :meth:`repro.session.DesignHandle.gate_sim` re-binds it.
+    """
+
+    schedule: object = None    # CompiledSchedule (module dropped on pickle)
+
+    @classmethod
+    def compile(cls, module, library):
+        """Lower ``module``; never raises (feedback records its reason)."""
+        from ..sim.compiled import compile_schedule
+
+        return cls(schedule=compile_schedule(module, library))
+
+    def kernel(self, library=None):
+        """The compiled gate-sim :class:`~repro.runner.kernel.Kernel`
+        callable (combinational circuits only), or ``None`` when the
+        levelized engine does not apply."""
+        from ..runner.kernel import CompiledKernel
+        from ..sim.compiled import GateSimKernel
+
+        schedule = self.schedule
+        if schedule is None or schedule.soa is None \
+                or schedule.soa.n_seq:
+            return None
+        return CompiledKernel(GateSimKernel(), schedule, library)
+
+
+# ---------------------------------------------------------------------------
 # the SCPG power model, without the transformed netlist
 # ---------------------------------------------------------------------------
 
@@ -417,7 +463,7 @@ class ScpgModelTable:
 
         lib = library
         vdd = lib.vdd_nom if vdd is None else vdd
-        report = self.leakage.evaluate(lib, vdd)
+        report = self.leakage.evaluate(lib, vdd=vdd)
         scale = lib.delay_scale(vdd)
         timing = self.timing_nominal.scaled(scale / lib.delay_scale(
             self.sta_vdd))
@@ -487,6 +533,7 @@ class CircuitArtifacts:
     switching: SwitchedCapTable = field(default_factory=SwitchedCapTable)
     scpg: ScpgModelTable = field(default_factory=ScpgModelTable)
     partition: DomainPartition = field(default_factory=DomainPartition)
+    gate_sim: GateSimTable = field(default_factory=GateSimTable)
 
     @classmethod
     def build(cls, design, fingerprint="", name=""):
@@ -511,6 +558,7 @@ class CircuitArtifacts:
             switching=switching,
             scpg=ScpgModelTable.compile(scpg_design),
             partition=DomainPartition.compile(scpg_design),
+            gate_sim=GateSimTable.compile(top, library),
         )
 
 

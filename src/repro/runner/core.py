@@ -59,6 +59,7 @@ import pickle
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -85,6 +86,53 @@ _NO_CONTEXT = _NoContext
 #: Stored in the cache for points whose evaluation raised a soft error, so
 #: deterministic infeasibility is a warm-cache no-op like any other result.
 INFEASIBLE_MARKER = "__repro:infeasible__"
+
+
+class _KernelBatch:
+    """Adapter presenting a compiled kernel under the internal batch
+    arity (``batch(points)`` / ``batch(context, points)``).  A compiled
+    kernel closes over its own context, so the grid context -- still
+    shipped for ``fn`` -- is ignored here.  Module-level and slotted so
+    the chunked parallel path can pickle it into worker state."""
+
+    __slots__ = ("kernel",)
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def __call__(self, context, points=None):
+        if points is None:
+            points = context
+        return self.kernel(points)
+
+    def __getstate__(self):
+        return self.kernel
+
+    def __setstate__(self, state):
+        self.kernel = state
+
+
+class _LegacyBatch:
+    """A deprecated ``batch_fn`` re-shaped as ``kernel(points)``.  Bakes
+    in the grid context so the legacy context-dependent arity keeps
+    working through the uniform kernel path."""
+
+    __slots__ = ("batch_fn", "context")
+
+    def __init__(self, batch_fn, context):
+        self.batch_fn = batch_fn
+        self.context = context
+
+    def __call__(self, points):
+        if self.context is _NO_CONTEXT:
+            return self.batch_fn(points)
+        return self.batch_fn(self.context, points)
+
+    def __getstate__(self):
+        return (self.batch_fn, self.context)
+
+    def __setstate__(self, state):
+        self.batch_fn, self.context = state
 
 #: Default retry policy: up to 2 extra attempts, 50 ms base backoff.
 DEFAULT_RETRIES = 2
@@ -317,8 +365,8 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
                   cache=None, cache_key=None, on_error=(), stats=None,
                   retry_on=(), retries=DEFAULT_RETRIES,
                   backoff=DEFAULT_BACKOFF, timeout=None, journal=None,
-                  label=None, batch_fn=None, tracer=None, metrics=None,
-                  pool=None, chunk_size=None):
+                  label=None, kernel=None, batch_fn=None, tracer=None,
+                  metrics=None, pool=None, chunk_size=None):
     """Evaluate ``fn`` over ``points``; returns results in point order.
 
     Parameters
@@ -366,21 +414,29 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
     label:
         Short name for this grid in the journal (``"sweep"``,
         ``"energy_sweep"``, ...).
+    kernel:
+        Optional batch kernel ``kernel(pending_points)`` -- usually a
+        :class:`~repro.runner.kernel.CompiledKernel` from
+        :func:`~repro.runner.kernel.compile_kernel`, but any callable
+        of that shape works -- that evaluates a list of points in one
+        pass, returning one value per point with ``None`` marking
+        infeasible points.  Serial runs feed it every cache-missed
+        point at once; parallel runs shard the missed points into
+        contiguous chunks and run the kernel *inside* the workers (see
+        ``chunk_size``), so it must be picklable.  It must produce
+        results bit-identical to ``fn`` per point, with ``on_error``
+        exceptions already mapped to ``None``.  The retry/timeout
+        policy does not apply inside a kernel call (kernels are pure
+        arithmetic) -- but a kernel that raises on the parallel path is
+        bisected until the poison point is isolated and re-run in the
+        parent under the full per-point policy.  Per-point cache
+        writeback and journal events are preserved on every path.
     batch_fn:
-        Optional batch kernel ``batch_fn(pending_points)`` -- or
-        ``batch_fn(context, pending_points)`` with ``context`` -- that
-        evaluates a list of points in one pass, returning one value per
-        point with ``None`` marking infeasible points.  Serial runs feed
-        it every cache-missed point at once; parallel runs shard the
-        missed points into contiguous chunks and run the kernel *inside*
-        the workers (see ``chunk_size``).  It must produce results
-        bit-identical to ``fn`` per point, with ``on_error`` exceptions
-        already mapped to ``None``.  The retry/timeout policy does not
-        apply inside a kernel call (kernels are pure arithmetic) -- but
-        a kernel that raises on the parallel path is bisected until the
-        poison point is isolated and re-run in the parent under the
-        full per-point policy.  Per-point cache writeback and journal
-        events are preserved on every path.
+        Deprecated spelling of ``kernel`` (emits
+        :class:`DeprecationWarning`): a callable
+        ``batch_fn(pending_points)`` -- or
+        ``batch_fn(context, pending_points)`` when ``context`` is given
+        -- with the same contract.  Mutually exclusive with ``kernel``.
     tracer:
         A :class:`~repro.obs.trace.Tracer` producing nested spans
         (``grid`` -> ``stage`` -> [``chunk`` ->] ``point`` ->
@@ -407,6 +463,15 @@ def evaluate_grid(fn, points, workers=None, context=_NO_CONTEXT,
         ``None`` sizes adaptively: ``pending / (4 * workers)`` clamped
         to ``[CHUNK_FLOOR, CHUNK_CAP]``.
     """
+    if batch_fn is not None:
+        warnings.warn(
+            "evaluate_grid(batch_fn=...) is deprecated; pass kernel= "
+            "(see repro.runner.kernel)", DeprecationWarning,
+            stacklevel=2)
+        if kernel is not None:
+            raise RunnerError("pass kernel= or batch_fn=, not both")
+    elif kernel is not None:
+        batch_fn = _KernelBatch(kernel)
     points = list(points)
     stats = RunStats() if stats is None else stats
     stats.points += len(points)
@@ -1071,17 +1136,24 @@ class Runner:
         self.chunk_size = chunk_size
 
     def run(self, fn, points, context=_NO_CONTEXT, cache_key=None,
-            on_error=(), label=None, batch_fn=None):
+            on_error=(), label=None, kernel=None, batch_fn=None):
         """:func:`evaluate_grid` under this runner's policy."""
+        if batch_fn is not None:
+            warnings.warn(
+                "Runner.run(batch_fn=...) is deprecated; pass kernel= "
+                "(see repro.runner.kernel)", DeprecationWarning,
+                stacklevel=2)
+            if kernel is not None:
+                raise RunnerError("pass kernel= or batch_fn=, not both")
+            kernel = _LegacyBatch(batch_fn, context)
         return evaluate_grid(
             fn, points, workers=self.workers, context=context,
             cache=self.cache, cache_key=cache_key, on_error=on_error,
             stats=self.stats, retry_on=self.retry_on,
             retries=self.retries, backoff=self.backoff,
             timeout=self.timeout, journal=self.journal, label=label,
-            batch_fn=batch_fn, tracer=self.tracer,
-            metrics=self.metrics, pool=self.pool,
-            chunk_size=self.chunk_size)
+            kernel=kernel, tracer=self.tracer, metrics=self.metrics,
+            pool=self.pool, chunk_size=self.chunk_size)
 
     def evaluator(self, fn, cache_key=None):
         """A :class:`CachedEvaluator` sharing this runner's cache/stats."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from ..errors import ScpgError
 from ..power.leakage import leakage_power
+from ..runner.kernel import Kernel, register_kernel
 from ..sta.constraints import ClockSpec
 from .clocking import scpg_feasible
 from .duty import DUTY_CYCLE_CAP, DUTY_CYCLE_FLOOR, optimise_duty
@@ -253,6 +254,21 @@ class ScpgPowerModel:
     # -- batch kernels ----------------------------------------------------------
 
     def power_axis(self, freqs, mode, duty=None):
+        """Deprecated spelling of the frequency-axis batch kernel.
+
+        Use the :class:`~repro.runner.kernel.Kernel` API instead:
+        ``compile_kernel(model)`` returns the uniform
+        ``callable(points)`` the runner dispatches.
+        """
+        import warnings
+
+        warnings.warn(
+            "ScpgPowerModel.power_axis is deprecated; use "
+            "repro.runner.compile_kernel(model) and the (freq, mode) "
+            "point shape", DeprecationWarning, stacklevel=2)
+        return self._power_axis(freqs, mode, duty)
+
+    def _power_axis(self, freqs, mode, duty=None):
         """Evaluate one mode across a whole frequency axis in one pass.
 
         Returns one :class:`PowerBreakdown` per frequency, with ``None``
@@ -336,19 +352,34 @@ class ScpgPowerModel:
         return out
 
     def power_points(self, points):
+        """Deprecated spelling of the sweep-point batch kernel.
+
+        Use ``repro.runner.compile_kernel(model)`` -- the compiled
+        kernel takes the same ``(freq_hz, mode)`` points and returns
+        the same breakdowns.
+        """
+        import warnings
+
+        warnings.warn(
+            "ScpgPowerModel.power_points is deprecated; use "
+            "repro.runner.compile_kernel(model)", DeprecationWarning,
+            stacklevel=2)
+        return self._power_points(points)
+
+    def _power_points(self, points):
         """Batch-evaluate ``(freq_hz, mode)`` sweep points.
 
         Groups the points by mode, runs each group through
-        :meth:`power_axis`, and reassembles results in point order --
-        the batch kernel :func:`repro.analysis.sweep.sweep` hands to the
-        runner.
+        :meth:`_power_axis`, and reassembles results in point order --
+        what :class:`ScpgPowerKernel` dispatches for
+        :func:`repro.analysis.sweep.sweep`.
         """
         out = [None] * len(points)
         by_mode = {}
         for i, (freq_hz, mode) in enumerate(points):
             by_mode.setdefault(mode, []).append((i, freq_hz))
         for mode, items in by_mode.items():
-            values = self.power_axis([f for _, f in items], mode)
+            values = self._power_axis([f for _, f in items], mode)
             for (i, _), value in zip(items, values):
                 out[i] = value
         return out
@@ -415,3 +446,23 @@ class ScpgPowerModel:
             except ScpgError:
                 row[mode] = None
         return row
+
+
+class ScpgPowerKernel(Kernel):
+    """Batch kernel for ``(freq_hz, mode)`` grids over a pristine
+    :class:`ScpgPowerModel` (see :mod:`repro.runner.kernel`)."""
+
+    name = "scpg-power"
+
+    def applies(self, model):
+        # A subclassed model, or one whose ``power`` was replaced on the
+        # instance (tests do this to count evaluations), must keep the
+        # point-at-a-time path so the override is honoured.
+        return type(model) is ScpgPowerModel \
+            and "power" not in getattr(model, "__dict__", {})
+
+    def evaluate(self, model, points, library=None):
+        return model._power_points(points)
+
+
+register_kernel(ScpgPowerModel, ScpgPowerKernel())

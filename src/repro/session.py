@@ -413,6 +413,32 @@ class DesignHandle:
                 self.sta().min_period)
         return self._subvt_model
 
+    def gate_sim(self):
+        """The design's compiled levelized simulation schedule
+        (:class:`~repro.sim.compiled.CompiledSchedule`).
+
+        Served from the artifact bundle when the session caches
+        artifacts -- re-bound to the live module so the event-simulator
+        fallback still works on a bundle loaded from disk -- otherwise
+        compiled (and memoised) from the netlist directly.
+        """
+        art = self.artifacts()
+        if art is not None and art.gate_sim.schedule is not None:
+            return art.gate_sim.schedule.bind_module(self.design.top)
+        from .sim.compiled import schedule_for
+
+        return schedule_for(self.design.top, self.session.library)
+
+    def activity(self, vectors, clock="clk", reset=0, group_size=None):
+        """Simulate a clocked workload; returns a
+        :class:`~repro.sim.compiled.CompiledRun` (toggle counts, final
+        values, optional grouped :class:`~repro.sim.activity.
+        ActivityTrace`).  Rides the levelized engine when the circuit
+        qualifies, the event simulator otherwise -- bit-identical either
+        way."""
+        return self.gate_sim().run_vectors(
+            vectors, clock=clock, reset=reset, group_size=group_size)
+
     # -- experiments (through the session runner) ------------------------------
 
     def sweep(self, freqs, modes=None, model=None):

@@ -116,14 +116,15 @@ class GroupRecorder:
 
 def group_activity(module, vectors, group_size=10, clock="clk"):
     """Run ``vectors`` through ``module`` and return the grouped
-    :class:`ActivityTrace` (paper Fig. 7 pipeline for open-loop stimuli)."""
-    from .testbench import ClockedTestbench
+    :class:`ActivityTrace` (paper Fig. 7 pipeline for open-loop stimuli).
 
-    tb = ClockedTestbench(module, clock=clock)
-    tb.reset_flops()
-    recorder = GroupRecorder(tb.sim, group_size)
-    for vec in vectors:
-        tb.cycle(vec)
-        recorder.after_cycle()
-    recorder.flush()
-    return recorder.trace
+    Rides the levelized struct-of-arrays engine
+    (:mod:`repro.sim.compiled`) when the circuit qualifies, with a
+    transparent event-simulator fallback -- the traces are bit-identical
+    either way.
+    """
+    from .compiled import schedule_for
+
+    run = schedule_for(module).run_vectors(
+        list(vectors), clock=clock, group_size=group_size)
+    return run.trace

@@ -1,0 +1,530 @@
+"""Vector-parallel levelized gate simulation over the SoA netlist.
+
+:func:`compile_schedule` lowers a flat module once
+(:func:`repro.netlist.soa.lower_soa`) and wraps it in a
+:class:`CompiledSchedule` -- the levelized evaluation schedule.  A whole
+workload of input vectors then simulates as a handful of batched numpy
+passes instead of per-event Python dispatch: each clock cycle is three
+settled states (inputs applied with the clock low, the rising edge, the
+falling edge), every state is one levelized sweep over a ``(cycles,
+nets)`` value matrix, and flip-flops sample vectorized with the event
+simulator's exact rules (pre-settle D/EN, async RN dominance, X edges).
+
+Cross-cycle state is resolved by fixed-point iteration: the cycle-``k``
+row starts from cycle ``k-1``'s settled end state, so each batched pass
+finalises at least one more cycle and a ``d``-deep pipeline converges in
+``d + 1`` passes.  Toggle counts are consecutive-snapshot differences
+(both values known), which makes the result **bit-identical** to the
+event simulator's functional (generational) toggle accounting -- the
+differential tests in ``tests/sim/test_compiled.py`` assert equality,
+not closeness.
+
+Not every netlist is batchable: combinational feedback has no levelized
+order, and clock/reset cones that pass through logic or state cannot be
+replayed per-phase.  :meth:`CompiledSchedule.vector_ready` reports this,
+and :meth:`CompiledSchedule.run_vectors` transparently falls back to the
+event-driven :class:`~repro.sim.event.Simulator` (float-exact by
+construction) for those designs.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import NetlistError, SimulationError
+from ..netlist.core import Module
+from ..netlist.soa import lower_soa
+from ..runner.kernel import CompiledKernel, Kernel, register_kernel
+from .activity import ActivityTrace, GroupActivity
+from .logic import X, to_ternary
+
+
+def _diff(a, b):
+    """Functional-toggle mask between consecutive settled states."""
+    return (a != b) & (a != X) & (b != X)
+
+
+@dataclass
+class CompiledRun:
+    """Result of one workload run (levelized or event fallback)."""
+
+    cycles: int
+    engine: str
+    #: Per-net toggle counts (all nets, zeros included) -- same key set
+    #: and values as ``Simulator.toggle_snapshot`` after the same run.
+    toggles: dict = field(default_factory=dict)
+    trace: ActivityTrace = None
+    #: Net name -> final settled value (clock low).
+    final_values: dict = field(default_factory=dict)
+    #: Per-cycle per-net toggle matrix (levelized engine only).
+    toggle_matrix: np.ndarray = None
+
+    def toggle_snapshot(self):
+        """Dict net name -> toggle count (``Simulator`` parity)."""
+        return dict(self.toggles)
+
+    def total_toggles(self):
+        return sum(self.toggles.values())
+
+    def value(self, net_name):
+        """Final settled value of a net (0/1/X)."""
+        return self.final_values[net_name]
+
+
+class CompiledSchedule:
+    """A module's levelized evaluation schedule plus eligibility facts.
+
+    Instances pickle (for the artifact cache) without the source module;
+    an unpickled schedule keeps the full vector-parallel path but cannot
+    fall back to the event simulator.
+    """
+
+    def __init__(self, module=None, soa=None, why=""):
+        self._module = module
+        self.soa = soa
+        self.why = why          # non-empty when lowering failed
+        self._cones = {}
+        if soa is not None:
+            self._port_name = {idx: name
+                               for name, idx in soa.input_ports.items()}
+            self._init = self._build_init()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_module"] = None
+        state.pop("_fo_state", None)
+        state.pop("_fo_clock", None)
+        return state
+
+    @property
+    def module(self):
+        return self._module
+
+    def bind_module(self, module):
+        """Re-attach the live module an unpickled schedule lost, restoring
+        the event-simulator fallback.  Returns ``self``."""
+        if self._module is None:
+            self._module = module
+        return self
+
+    # -- eligibility ---------------------------------------------------------
+
+    def _cone(self, idx):
+        """``(source port names, depends-on-state)`` of one net's cone."""
+        res = self._cones.get(idx)
+        if res is not None:
+            return res
+        soa = self.soa
+        if soa.driver_seq[idx] >= 0:
+            res = (frozenset(), True)
+        elif soa.driver_gate[idx] >= 0:
+            self._cones[idx] = (frozenset(), False)  # placeholder (DAG)
+            ports = set()
+            seq = False
+            for i in soa.gate_inputs[soa.driver_gate[idx]]:
+                p, s = self._cone(i)
+                ports |= p
+                seq = seq or s
+            res = (frozenset(ports), seq)
+        else:
+            name = self._port_name.get(idx)
+            res = (frozenset([name]) if name else frozenset(), False)
+        self._cones[idx] = res
+        return res
+
+    def vector_ready(self, clock="clk"):
+        """``(ok, reason)``: can this schedule batch a clocked workload?
+
+        Requires an acyclic combinational graph, every flop clocked from
+        a pure clock cone (sources only the ``clock`` port / constants),
+        and async resets free of state feedback -- the conditions under
+        which the three-phase batched replay is exact.
+        """
+        if self.soa is None:
+            return False, self.why or "combinational feedback"
+        soa = self.soa
+        if clock not in soa.input_ports:
+            return False, "no input port {!r}".format(clock)
+        for row in range(soa.n_seq):
+            if soa.seq_ck[row] < 0:
+                return False, "flop {} has no clock pin".format(
+                    soa.seq_names[row])
+            if soa.seq_q[row] >= 0 and soa.seq_d[row] < 0:
+                return False, "flop {} has no data pin".format(
+                    soa.seq_names[row])
+        for idx in set(soa.seq_ck.tolist()):
+            if idx < 0:
+                continue
+            ports, seq = self._cone(idx)
+            if seq or not ports <= {clock}:
+                return False, (
+                    "clock cone of net {} mixes in {}".format(
+                        soa.net_names[idx],
+                        "state" if seq else ", ".join(sorted(ports - {
+                            clock}))))
+        for idx in set(soa.seq_rn.tolist()):
+            if idx < 0:
+                continue
+            if self._cone(idx)[1]:
+                return False, "reset cone of net {} depends on state".format(
+                    soa.net_names[idx])
+        return True, ""
+
+    # -- batched engine ------------------------------------------------------
+
+    def _build_init(self):
+        """Settled pre-run state: all-X, constants applied, combinational
+        nets evaluated (ties propagate)."""
+        row = self.soa.initial_values()[np.newaxis, :].copy()
+        self.soa.eval_comb(row)
+        return row[0]
+
+    def _sample_flops(self, pre, now):
+        """Vectorized flip-flop sampling for one phase.
+
+        ``pre`` holds the phase-start (pre-settle) values, ``now`` the
+        settled values; Q columns of ``now`` are updated in place.
+        Returns True when any Q changed.  Rules replicate the event
+        simulator: RN (async, post-settle) dominates; a rising edge
+        samples the *pre-settle* D/EN; a non-rising change to X drives
+        Q to X; EN==0 holds, EN==X corrupts the sample.
+        """
+        soa = self.soa
+        rows = np.nonzero(soa.seq_q >= 0)[0]
+        if not len(rows):
+            return False
+        qcol = soa.seq_q[rows]
+        ck = soa.seq_ck[rows]
+        dcol = soa.seq_d[rows]
+        ck_old = pre[:, ck]
+        ck_new = now[:, ck]
+        d_pre = pre[:, dcol]
+        en = soa.seq_en[rows]
+        has_en = en >= 0
+        en_pre = np.where(has_en, pre[:, np.where(has_en, en, 0)], 1)
+        rn = soa.seq_rn[rows]
+        has_rn = rn >= 0
+        rn_now = np.where(has_rn, now[:, np.where(has_rn, rn, 0)], 1)
+
+        held = now[:, qcol]
+        changed = ck_new != ck_old
+        rising = (ck_old == 0) & (ck_new == 1)
+        q_next = np.where(changed & ~rising & (ck_new == X), X, held)
+        d_eff = np.where(en_pre == X, X, d_pre)
+        q_next = np.where(rising & (en_pre != 0), d_eff, q_next)
+        q_next = np.where(rn_now == 0, 0, q_next)
+        q_next = np.where(rn_now == X, X, q_next)
+        q_next = q_next.astype(np.int8)
+        if np.array_equal(q_next, held):
+            return False
+        now[:, qcol] = q_next
+        return True
+
+    def _phase(self, start, mutate, levels):
+        """One settled phase: copy ``start``, apply ``mutate``, settle
+        the perturbed cone (``levels``), sample flops against ``start``,
+        re-settle the state cone if any flop moved.
+        Returns ``(pre_sample_state, post_sample_state)``."""
+        soa = self.soa
+        pre = start.copy()
+        mutate(pre)
+        soa.eval_comb(pre, levels)
+        post = pre.copy()
+        if self._sample_flops(start, post):
+            soa.eval_comb(post, self._state_levels())
+        else:
+            post = pre
+        return pre, post
+
+    def _state_levels(self):
+        """Subschedule for the fanout of every flop output."""
+        levels = getattr(self, "_fo_state", None)
+        if levels is None:
+            levels = self.soa.subschedule(self.soa.seq_q.tolist())
+            self._fo_state = levels
+        return levels
+
+    def _clock_levels(self, clk_idx):
+        """Subschedule for the clock fanout (memoised per clock net)."""
+        cache = getattr(self, "_fo_clock", None)
+        if cache is None:
+            cache = self._fo_clock = {}
+        levels = cache.get(clk_idx)
+        if levels is None:
+            levels = cache[clk_idx] = self.soa.subschedule([clk_idx])
+        return levels
+
+    def _run_levelized(self, vectors, clock, reset, group_size,
+                       max_batch=1024):
+        soa = self.soa
+        n = soa.n_nets
+        clk_idx = soa.input_ports[clock]
+
+        # Pre-run settle sequence mirrors ClockedTestbench construction:
+        # clock low, then all flops forced to the reset value.  All
+        # transitions are X -> known, so no toggles accrue -- identical
+        # to the event path's zero pre-run count.
+        state = self._init[np.newaxis, :].copy()
+        state[0, clk_idx] = 0
+        soa.eval_comb(state)
+        qcols = soa.seq_q[soa.seq_q >= 0]
+        if len(qcols):
+            state[0, qcols] = to_ternary(reset)
+            soa.eval_comb(state)
+        state = state[0]
+
+        per_cycle = []
+        final = state
+        groups = None if group_size is None else []
+        done = 0
+        vectors = list(vectors)
+        for at in range(0, len(vectors), max_batch):
+            chunk = vectors[at:at + max_batch]
+            tog, final = self._run_chunk(chunk, clock, clk_idx, state=final)
+            per_cycle.append(tog)
+            done += len(chunk)
+        toggle_matrix = np.concatenate(per_cycle, axis=0) if per_cycle \
+            else np.zeros((0, n), dtype=np.int64)
+        counts = toggle_matrix.sum(axis=0)
+
+        if group_size is not None:
+            trace = ActivityTrace()
+            for start in range(0, len(vectors), group_size):
+                block = toggle_matrix[start:start + group_size]
+                sums = block.sum(axis=0)
+                nz = np.nonzero(sums)[0]
+                trace.groups.append(GroupActivity(
+                    index=len(trace.groups),
+                    cycles=block.shape[0],
+                    total_toggles=int(sums.sum()),
+                    nets=soa.non_const_nets,
+                    toggles={soa.net_names[i]: int(sums[i]) for i in nz},
+                ))
+        else:
+            trace = None
+
+        return CompiledRun(
+            cycles=len(vectors),
+            engine="levelized",
+            toggles={name: int(counts[i])
+                     for i, name in enumerate(soa.net_names)},
+            trace=trace,
+            final_values={name: int(final[i])
+                          for i, name in enumerate(soa.net_names)},
+            toggle_matrix=toggle_matrix,
+        )
+
+    def _run_chunk(self, vectors, clock, clk_idx, state):
+        """Fixed-point batched replay of one chunk of cycles.
+
+        ``state`` is the settled clock-low state entering the chunk;
+        returns ``(per-cycle toggle matrix, final state row)``.
+        """
+        soa = self.soa
+        ncyc = len(vectors)
+        n = soa.n_nets
+        if ncyc == 0:
+            return np.zeros((0, n), dtype=np.int64), state
+
+        # Input stimulus with carry-forward for unspecified ports.
+        stim_cols = []
+        stim_idx = []
+        prev = {name: int(state[idx])
+                for name, idx in soa.input_ports.items() if name != clock}
+        series = {name: [] for name in prev}
+        for vec in vectors:
+            vec = vec or {}
+            if clock in vec:
+                raise SimulationError(
+                    "drive the clock via the cycle protocol, not vectors")
+            for name in vec:
+                if name not in prev:
+                    raise SimulationError(
+                        "module {} has no input port {}".format(
+                            soa.module_name, name))
+                prev[name] = to_ternary(vec[name])
+            for name, col in series.items():
+                col.append(prev[name])
+        for name, col in series.items():
+            stim_idx.append(soa.input_ports[name])
+            stim_cols.append(col)
+        stim_idx = np.asarray(stim_idx, dtype=np.int64)
+        stim = np.asarray(stim_cols, dtype=np.int8).T \
+            if stim_cols else np.zeros((ncyc, 0), dtype=np.int8)
+
+        def apply_inputs(v):
+            if len(stim_idx):
+                v[:, stim_idx] = stim
+
+        def clk_to(value):
+            def mutate(v):
+                v[:, clk_idx] = value
+            return mutate
+
+        fo_inputs = soa.subschedule(stim_idx.tolist())
+        fo_clock = self._clock_levels(clk_idx)
+        prev_c = np.repeat(state[np.newaxis, :], ncyc, axis=0)
+        for _ in range(ncyc + 1):
+            a_pre, a_post = self._phase(prev_c, apply_inputs, fo_inputs)
+            b_pre, b_post = self._phase(a_post, clk_to(1), fo_clock)
+            c_pre, c_post = self._phase(b_post, clk_to(0), fo_clock)
+            rolled = np.vstack([state[np.newaxis, :], c_post[:-1]])
+            if np.array_equal(rolled, prev_c):
+                break
+            prev_c = rolled
+        else:  # pragma: no cover - ncyc+1 iterations always suffice
+            raise SimulationError("batched replay failed to converge")
+
+        tog = _diff(prev_c, a_pre).astype(np.int64)
+        for before, after in ((a_pre, a_post), (a_post, b_pre),
+                              (b_pre, b_post), (b_post, c_pre),
+                              (c_pre, c_post)):
+            tog += _diff(before, after)
+        return tog, c_post[-1]
+
+    # -- event-simulator fallback --------------------------------------------
+
+    def _run_event(self, vectors, clock, reset, group_size):
+        if self._module is None:
+            raise SimulationError(
+                "schedule for {} needs the event simulator ({}), but was "
+                "restored without its module".format(
+                    self.soa.module_name if self.soa else "?", self.why))
+        from .activity import GroupRecorder
+        from .testbench import ClockedTestbench
+
+        tb = ClockedTestbench(self._module, clock=clock)
+        tb.reset_flops(reset)
+        recorder = None if group_size is None \
+            else GroupRecorder(tb.sim, group_size)
+        for vec in vectors:
+            tb.cycle(vec)
+            if recorder is not None:
+                recorder.after_cycle()
+        if recorder is not None:
+            recorder.flush()
+        return CompiledRun(
+            cycles=tb.cycles,
+            engine="event",
+            toggles=tb.sim.toggle_snapshot(),
+            trace=None if recorder is None else recorder.trace,
+            final_values={net.name: tb.sim.value(net.name)
+                          for net in self._module.nets()},
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def run_vectors(self, vectors, clock="clk", reset=0, group_size=None):
+        """Simulate a clocked workload; returns a :class:`CompiledRun`.
+
+        One vector dict per cycle (standard apply / posedge / negedge
+        protocol, flops pre-forced to ``reset``).  Batches through the
+        levelized engine when :meth:`vector_ready`, otherwise replays
+        through the event simulator -- either way the toggle counts and
+        final values are bit-identical.
+        """
+        vectors = list(vectors)
+        ok, _why = self.vector_ready(clock)
+        if ok:
+            return self._run_levelized(vectors, clock, reset, group_size)
+        return self._run_event(vectors, clock, reset, group_size)
+
+    def evaluate(self, points):
+        """Batch-evaluate a purely combinational module.
+
+        ``points`` is ``(batch, n_inputs)`` of 0/1/X values in
+        ``input_ports`` declaration order; returns ``(batch,
+        n_outputs)`` in ``output_ports`` order.  This is the gate-level
+        :class:`~repro.runner.kernel.Kernel` callable shape.
+        """
+        if self.soa is None:
+            raise SimulationError(
+                "no levelized schedule: {}".format(self.why))
+        soa = self.soa
+        if soa.n_seq:
+            raise SimulationError(
+                "evaluate() is combinational-only; module {} has {} "
+                "flops (use run_vectors)".format(
+                    soa.module_name, soa.n_seq))
+        points = np.asarray(points, dtype=np.int8)
+        if points.ndim == 1:
+            points = points[np.newaxis, :]
+        in_idx = np.asarray(list(soa.input_ports.values()), dtype=np.int64)
+        if points.shape[1] != len(in_idx):
+            raise SimulationError(
+                "expected {} input columns, got {}".format(
+                    len(in_idx), points.shape[1]))
+        values = np.repeat(self._init[np.newaxis, :], len(points), axis=0)
+        values[:, in_idx] = points
+        soa.eval_comb(values)
+        out_idx = np.asarray(list(soa.output_ports.values()), dtype=np.int64)
+        return values[:, out_idx]
+
+
+def compile_schedule(module, library=None):
+    """Compile ``module`` into a :class:`CompiledSchedule`.
+
+    Never raises for feedback: an un-lowerable module yields a schedule
+    whose :meth:`~CompiledSchedule.vector_ready` is False and whose
+    workload runs ride the event simulator.
+    """
+    try:
+        soa = lower_soa(module, library)
+    except NetlistError as exc:
+        return CompiledSchedule(module=module, soa=None, why=str(exc))
+    return CompiledSchedule(module=module, soa=soa)
+
+
+_SCHEDULES = weakref.WeakKeyDictionary()
+
+
+def peek_schedule(module):
+    """The memoised schedule for ``module``, or ``None`` -- never
+    compiles one (for callers that only want to reuse paid-for tables,
+    e.g. :func:`repro.power.dynamic.dynamic_power`)."""
+    return _SCHEDULES.get(module)
+
+
+def schedule_for(module, library=None):
+    """Per-module memoised :func:`compile_schedule` (keyed weakly, so
+    dropping the module drops the schedule)."""
+    entry = _SCHEDULES.get(module)
+    if entry is None or (library is not None and entry.soa is not None
+                         and entry.soa.net_cap is None):
+        entry = compile_schedule(module, library)
+        _SCHEDULES[module] = entry
+    return entry
+
+
+class GateSimKernel(Kernel):
+    """The gate-level :class:`~repro.runner.kernel.Kernel`: a flat
+    combinational :class:`~repro.netlist.core.Module` compiles once into
+    its levelized schedule; the compiled callable batch-evaluates input
+    matrices (see :meth:`CompiledSchedule.evaluate`)."""
+
+    name = "gate-sim"
+
+    def applies(self, module):
+        schedule = schedule_for(module)
+        return schedule.soa is not None and schedule.soa.n_seq == 0
+
+    def evaluate(self, schedule, points, library=None):
+        return schedule.evaluate(points)
+
+    def compile(self, module, library=None):
+        # Lower once here: the compiled kernel embeds the (picklable)
+        # schedule, not the module, so worker processes replay the
+        # levelized tables without re-lowering the netlist.
+        if not self.applies(module):
+            schedule = schedule_for(module)
+            raise SimulationError(
+                "gate-sim kernel needs a flat combinational module: "
+                + (schedule.why or "{} has {} flops".format(
+                    module.name, schedule.soa.n_seq)))
+        return CompiledKernel(self, schedule_for(module, library))
+
+
+register_kernel(Module, GateSimKernel())

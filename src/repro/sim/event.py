@@ -7,6 +7,16 @@ measured glitch factor for deep arithmetic arrays, see
 net at their clock pin -- the clock is an ordinary net, so gated and
 duty-cycle-shaped clocks (the SCPG header control) simulate naturally.
 
+On an acyclic combinational graph each settle wave is processed in
+*topological generations*: all gates affected by one simultaneous set of
+net changes are evaluated once each, in dependency order, so every net
+makes at most one transition per generation and the recorded toggles are
+exactly the functional ones (this is also what makes the levelized
+vector-parallel engine in :mod:`repro.sim.compiled` bit-for-bit
+equivalent).  Netlists with combinational feedback (latch loops) fall
+back to FIFO event order, which settles loops but may record
+order-dependent hazard transitions.
+
 Typical use goes through :class:`~repro.sim.testbench.ClockedTestbench`;
 direct use::
 
@@ -18,9 +28,10 @@ direct use::
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 
-from ..errors import SimulationError
+from ..errors import NetlistError, SimulationError
 from ..tech.library import CellKind
 from .logic import X, compile_cell, to_ternary
 
@@ -28,13 +39,14 @@ _MAX_EVENTS_PER_SETTLE = 4_000_000
 
 
 class _CombRecord:
-    __slots__ = ("name", "compiled", "in_idx", "out_idx")
+    __slots__ = ("name", "compiled", "in_idx", "out_idx", "rank")
 
-    def __init__(self, name, compiled, in_idx, out_idx):
+    def __init__(self, name, compiled, in_idx, out_idx, rank=0):
         self.name = name
         self.compiled = compiled
         self.in_idx = in_idx        # net index per input pin
         self.out_idx = out_idx      # (pin_name, net_index) pairs
+        self.rank = rank            # topological position (0 on loops)
 
 
 class _SeqRecord:
@@ -80,6 +92,19 @@ class Simulator:
             if net.is_const:
                 self.values[self._net_index[id(net)]] = net.const_value
 
+        # Topological ranks drive the generational wave ordering; a
+        # combinational loop (or a hierarchy error surfaced below) keeps
+        # ranks empty and selects the FIFO fallback.
+        try:
+            from ..netlist.traverse import topological_instances
+
+            ranks = {
+                id(i): r for r, i in enumerate(topological_instances(module))
+            }
+        except NetlistError:
+            ranks = None
+        self._levelized = ranks is not None
+
         # Build instance records and the net -> loads map.
         self._comb = []
         self._seq = []
@@ -104,9 +129,13 @@ class Simulator:
                 rec = self._build_comb(inst)
                 if rec is None:
                     continue
+                if ranks is not None:
+                    rec.rank = ranks[id(inst)]
                 self._comb.append(rec)
                 for idx in set(rec.in_idx):
                     self._loads[idx].append(rec)
+        if self._levelized:
+            self._comb.sort(key=lambda r: r.rank)
 
         self._input_index = {}
         for port in module.input_ports():
@@ -218,6 +247,76 @@ class Simulator:
         return d
 
     def _drain(self, queue):
+        if not self._levelized:
+            return self._drain_fifo(queue)
+        events = 0
+        outer = self._settle_shadow is None
+        if outer:
+            # Record each net's first pre-change value for this wave.
+            self._settle_shadow = {}
+            for idx, old, _new in queue:
+                self._settle_shadow.setdefault(idx, old)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        try:
+            while queue:
+                # One generation: every change queued so far happened
+                # "simultaneously".  Flops sample per originating event;
+                # the affected combinational cone then settles in one
+                # dependency-ordered sweep (each gate evaluated once, so
+                # each net transitions at most once per generation).
+                seq_updates = None
+                dirty = {}
+                heap = []
+                for _ in range(len(queue)):
+                    idx, old, new = queue.popleft()
+                    events += 1
+                    if events > _MAX_EVENTS_PER_SETTLE:
+                        raise SimulationError(
+                            "simulation did not settle (oscillating loop?)"
+                            " in module {}".format(self.module.name)
+                        )
+                    for rec in self._loads[idx]:
+                        if isinstance(rec, _SeqRecord):
+                            value = self._sample_seq(rec, old, new, idx)
+                            if value is not None and rec.q_idx >= 0 \
+                                    and self.values[rec.q_idx] != value:
+                                if seq_updates is None:
+                                    seq_updates = []
+                                seq_updates.append((rec.q_idx, value))
+                        elif rec.rank not in dirty:
+                            dirty[rec.rank] = rec
+                            heappush(heap, rec.rank)
+                # In-generation settling: evaluating a gate may dirty
+                # higher-ranked loads; they join this same sweep.  Output
+                # changes still enqueue (via _set_net) so flip-flops fed
+                # by derived nets -- clock buffers, gated clocks -- sample
+                # in the next generation.
+                mark = len(queue)
+                while heap:
+                    self._eval_comb(dirty[heappop(heap)], queue)
+                    for _ in range(len(queue) - mark):
+                        oidx, _old, _new = queue[mark]
+                        has_seq = False
+                        for rec in self._loads[oidx]:
+                            if isinstance(rec, _SeqRecord):
+                                has_seq = True
+                            elif rec.rank not in dirty:
+                                dirty[rec.rank] = rec
+                                heappush(heap, rec.rank)
+                        if has_seq:
+                            mark += 1
+                        else:
+                            del queue[mark]
+                if seq_updates is not None:
+                    for q_idx, value in seq_updates:
+                        self._set_net(q_idx, value, queue)
+        finally:
+            if outer:
+                self._settle_shadow = None
+
+    def _drain_fifo(self, queue):
+        """FIFO event order -- the fallback for combinational feedback."""
         events = 0
         outer = self._settle_shadow is None
         if outer:

@@ -14,9 +14,11 @@ higher supply, exactly the Fig. 9 vs Fig. 10 contrast.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..errors import PowerError
+from ..runner.kernel import Kernel, register_kernel
 
 
 @dataclass(frozen=True)
@@ -78,6 +80,19 @@ class SubvtModel:
         )
 
     def points_axis(self, vdds):
+        """Deprecated spelling of the supply-axis batch kernel.
+
+        Use ``repro.runner.compile_kernel(model)`` -- the compiled
+        kernel takes the same supply points and returns the same
+        :class:`EnergyPoint` objects.
+        """
+        warnings.warn(
+            "SubvtModel.points_axis is deprecated; use "
+            "repro.runner.compile_kernel(model)", DeprecationWarning,
+            stacklevel=2)
+        return self._points_axis(vdds)
+
+    def _points_axis(self, vdds):
         """Evaluate a whole supply axis in one pass (the batch kernel).
 
         Hoists the device models and reference currents the library's
@@ -118,25 +133,37 @@ class SubvtModel:
         return out
 
 
+class SubvtKernel(Kernel):
+    """Batch kernel for supply-voltage grids over a pristine
+    :class:`SubvtModel` (see :mod:`repro.runner.kernel`)."""
+
+    name = "subvt-energy"
+
+    def applies(self, model):
+        # A subclassed model, or one whose ``point`` was replaced on
+        # the instance (tests do this to count evaluations), must keep
+        # the point-at-a-time path so the override is honoured.
+        return type(model) is SubvtModel \
+            and "point" not in getattr(model, "__dict__", {})
+
+    def evaluate(self, model, points, library=None):
+        return model._points_axis(points)
+
+
+register_kernel(SubvtModel, SubvtKernel())
+
+
 def _voltage_point(model, vdd):
     return model.point(vdd)
 
 
-def _voltage_axis(model, vdds):
-    return model.points_axis(vdds)
-
-
 def _batch_kernel(model):
-    """The sweep batch kernel -- or ``None`` for non-pristine models.
+    """The compiled sweep kernel -- or ``None`` for non-pristine models
+    (the :meth:`SubvtKernel.applies` guard keeps instance overrides
+    honoured on the point-at-a-time path)."""
+    from ..runner.kernel import compile_kernel
 
-    A subclassed model, or one whose ``point`` was replaced on the
-    instance (tests do this to count evaluations), must keep the
-    point-at-a-time path so the override is honoured.
-    """
-    if type(model) is not SubvtModel \
-            or "point" in getattr(model, "__dict__", {}):
-        return None
-    return _voltage_axis
+    return compile_kernel(model)
 
 
 def _model_cache_key(model):
@@ -162,7 +189,7 @@ def energy_sweep(model, v_lo=0.15, v_hi=0.9, steps=76, runner=None):
     return runner.run(_voltage_point, grid, context=model,
                       cache_key=_model_cache_key(model),
                       label="energy_sweep",
-                      batch_fn=_batch_kernel(model))
+                      kernel=_batch_kernel(model))
 
 
 def minimum_energy_point(model, v_lo=0.15, v_hi=0.9, tolerance=1e-3,

@@ -81,10 +81,12 @@ class TestEquivalenceMatrix:
         _assert_identical(_flatten(data), reference)
 
     def test_batch_kernel_directly(self, model, reference):
+        from repro.runner import compile_kernel
+
+        kernel = compile_kernel(model)
         points = [(f, mode) for mode in MODES for f in TABLE_I_FREQS]
         feasible = [p for p in points if reference[p] is not None]
-        for point, breakdown in zip(feasible,
-                                    model.power_points(feasible)):
+        for point, breakdown in zip(feasible, kernel(feasible)):
             assert breakdown == reference[point], point
 
     def test_cold_then_warm_cache(self, model, reference, tmp_path):

@@ -75,8 +75,12 @@ class TestDynamicPower:
 
     def test_calibration_anchor(self, mult_module, lib):
         """Random-operand multiplier E/cycle must sit near the Table I
-        slope (2.34 pJ) -- this is the key dynamic calibration."""
+        slope (2.34 pJ) -- this is the key dynamic calibration, at the
+        multiplier's calibrated glitch factor."""
+        from repro.power.dynamic import MULT16_GLITCH_FACTOR
+
         tb = _run_mult(mult_module, cycles=120)
         report = dynamic_power(mult_module, lib, tb.sim.toggle_snapshot(),
-                               tb.cycles)
+                               tb.cycles,
+                               glitch_factor=MULT16_GLITCH_FACTOR)
         assert 1.6e-12 < report.energy_per_cycle < 3.2e-12

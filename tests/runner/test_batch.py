@@ -1,10 +1,12 @@
 """The serial batch-kernel path of :func:`evaluate_grid`.
 
-A ``batch_fn`` evaluates every cache-missed point in one call instead of
+A ``kernel`` evaluates every cache-missed point in one call instead of
 dispatching ``fn`` per point.  The contract under test: identical
 results, identical cache behaviour, per-point journal events preserved,
 and the kernel only ever used on the serial path.
 """
+
+import functools
 
 import pytest
 
@@ -45,12 +47,14 @@ def _evens_only_batch(points):
 class TestBatchPath:
     def test_results_match_serial(self):
         points = list(range(10))
-        assert evaluate_grid(_square, points, batch_fn=_square_batch) \
+        assert evaluate_grid(_square, points, kernel=_square_batch) \
             == evaluate_grid(_square, points)
 
     def test_context_forwarded(self):
+        # Kernels close over their own context (functools.partial here);
+        # the grid context still reaches ``fn`` for the per-point path.
         got = evaluate_grid(_ctx_scale, [1, 2, 3], context=10,
-                            batch_fn=_ctx_scale_batch)
+                            kernel=functools.partial(_ctx_scale_batch, 10))
         assert got == [10, 20, 30]
 
     def test_infeasible_nones_counted(self):
@@ -59,7 +63,7 @@ class TestBatchPath:
         stats = RunStats()
         got = evaluate_grid(_evens_only, list(range(6)),
                             on_error=(ScpgError,), stats=stats,
-                            batch_fn=_evens_only_batch)
+                            kernel=_evens_only_batch)
         assert got == [0, None, 2, None, 4, None]
         assert stats.infeasible == 3
         assert stats.evaluated == 6
@@ -67,12 +71,12 @@ class TestBatchPath:
     def test_length_mismatch_raises(self):
         with pytest.raises(RunnerError):
             evaluate_grid(_square, [1, 2, 3],
-                          batch_fn=lambda pts: [1])
+                          kernel=lambda pts: [1])
 
     def test_journal_keeps_per_point_events(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         evaluate_grid(_square, [1, 2, 3], journal=str(path),
-                      label="batch-test", batch_fn=_square_batch)
+                      label="batch-test", kernel=_square_batch)
         events = list(read_journal(path))
         names = [e["event"] for e in events]
         assert names.count("point_finished") == 3
@@ -85,11 +89,11 @@ class TestBatchPath:
         points = list(range(8))
         cold = RunStats()
         evaluate_grid(_square, points, cache=cache, cache_key="sq",
-                      stats=cold, batch_fn=_square_batch)
+                      stats=cold, kernel=_square_batch)
         assert cold.evaluated == 8
         warm = RunStats()
         got = evaluate_grid(_square, points, cache=cache, cache_key="sq",
-                            stats=warm, batch_fn=_square_batch)
+                            stats=warm, kernel=_square_batch)
         assert got == [p * p for p in points]
         assert warm.evaluated == 0
         assert warm.cache_hits == 8
@@ -97,7 +101,7 @@ class TestBatchPath:
     def test_partial_cache_batches_only_the_misses(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         evaluate_grid(_square, [0, 1, 2, 3], cache=cache, cache_key="sq",
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         seen = []
 
         def spy(points):
@@ -105,7 +109,7 @@ class TestBatchPath:
             return _square_batch(points)
 
         got = evaluate_grid(_square, [2, 3, 4, 5], cache=cache,
-                            cache_key="sq", batch_fn=spy)
+                            cache_key="sq", kernel=spy)
         assert got == [4, 9, 16, 25]
         assert seen == [4, 5]  # 2 and 3 came from the cache
 
@@ -114,11 +118,11 @@ class TestBatchPath:
 
         cache = ResultCache(tmp_path / "cache")
         evaluate_grid(_evens_only, [1, 2], cache=cache, cache_key="ev",
-                      on_error=(ScpgError,), batch_fn=_evens_only_batch)
+                      on_error=(ScpgError,), kernel=_evens_only_batch)
         warm = RunStats()
         got = evaluate_grid(_evens_only, [1, 2], cache=cache,
                             cache_key="ev", on_error=(ScpgError,),
-                            stats=warm, batch_fn=_evens_only_batch)
+                            stats=warm, kernel=_evens_only_batch)
         assert got == [None, 2]
         assert warm.evaluated == 0
         assert warm.infeasible == 1

@@ -1,6 +1,6 @@
 """The chunked parallel batch path of :func:`evaluate_grid`.
 
-With ``workers > 1`` *and* a ``batch_fn``, pending points are sharded
+With ``workers > 1`` *and* a ``kernel``, pending points are sharded
 into contiguous chunks and the kernel runs inside the pool workers.  The
 contract under test: results identical to the serial paths, adaptive
 chunk sizing, bounded in-flight submission, bisect-and-retry isolation
@@ -8,6 +8,8 @@ of poison points without losing their siblings, per-point cache
 writeback and journal events preserved, and chunk-level observability
 (journal events, spans, metrics).
 """
+
+import functools
 
 import pytest
 
@@ -87,19 +89,22 @@ class TestChunkedPath:
     def test_results_match_serial(self):
         points = list(range(40))
         assert evaluate_grid(_square, points, workers=2,
-                             batch_fn=_square_batch) \
+                             kernel=_square_batch) \
             == evaluate_grid(_square, points)
 
     def test_context_forwarded(self):
+        # The kernel carries its own context (a picklable partial); the
+        # grid context still reaches ``fn`` on the per-point paths.
         got = evaluate_grid(_ctx_scale, list(range(12)), workers=2,
-                            context=10, batch_fn=_ctx_scale_batch)
+                            context=10,
+                            kernel=functools.partial(_ctx_scale_batch, 10))
         assert got == [10 * p for p in range(12)]
 
     def test_journal_records_chunk_lifecycle(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         evaluate_grid(_square, list(range(10)), workers=2,
                       chunk_size=2, journal=str(path), label="chunky",
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         events = read_journal(path)
         names = [e["event"] for e in events]
         planned = [e for e in events if e["event"] == "chunks_planned"]
@@ -115,7 +120,7 @@ class TestChunkedPath:
         path = tmp_path / "journal.jsonl"
         evaluate_grid(_square, list(range(20)), workers=2,
                       chunk_size=4, journal=str(path),
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         submits = [e for e in read_journal(path)
                    if e["event"] == "chunk_submitted"]
         spans = sorted((e["first"], e["last"]) for e in submits)
@@ -125,7 +130,7 @@ class TestChunkedPath:
         path = tmp_path / "journal.jsonl"
         evaluate_grid(_square, list(range(48)), workers=2,
                       chunk_size=1, journal=str(path),
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         finish = [e for e in read_journal(path)
                   if e["event"] == "pool_finished"][0]
         limit = MAX_INFLIGHT_PER_WORKER * 2
@@ -139,13 +144,13 @@ class TestChunkedPath:
         points = list(range(16))
         cold = RunStats()
         evaluate_grid(_square, points, workers=2, cache=cache,
-                      cache_key="sq", stats=cold, batch_fn=_square_batch)
+                      cache_key="sq", stats=cold, kernel=_square_batch)
         assert cold.evaluated == 16
         assert cache.puts == 16
         warm = RunStats()
         got = evaluate_grid(_square, points, workers=2, cache=cache,
                             cache_key="sq", stats=warm,
-                            batch_fn=_square_batch)
+                            kernel=_square_batch)
         assert got == [p * p for p in points]
         assert warm.evaluated == 0
         assert warm.cache_hits == 16
@@ -153,11 +158,11 @@ class TestChunkedPath:
     def test_partial_cache_chunks_only_the_misses(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         evaluate_grid(_square, list(range(8)), cache=cache,
-                      cache_key="sq", batch_fn=_square_batch)
+                      cache_key="sq", kernel=_square_batch)
         path = tmp_path / "journal.jsonl"
         got = evaluate_grid(_square, list(range(12)), workers=2,
                             cache=cache, cache_key="sq",
-                            journal=str(path), batch_fn=_square_batch)
+                            journal=str(path), kernel=_square_batch)
         assert got == [p * p for p in range(12)]
         planned = [e for e in read_journal(path)
                    if e["event"] == "chunks_planned"][0]
@@ -168,7 +173,7 @@ class TestChunkedPath:
         got = evaluate_grid(
             _soft_poison_point, list(range(20)), workers=2,
             on_error=(ScpgError,), stats=stats, chunk_size=20,
-            batch_fn=lambda pts: [None if p == POISON else p * p
+            kernel=lambda pts: [None if p == POISON else p * p
                                   for p in pts])
         assert got[POISON] is None
         assert got[0] == 0 and got[19] == 361
@@ -182,7 +187,7 @@ class TestBisectAndRetry:
         with pytest.raises(RuntimeError, match="poison 13"):
             evaluate_grid(_poison_point, list(range(32)), workers=2,
                           cache=cache, cache_key="pz", retries=0,
-                          journal=str(path), batch_fn=_poison_batch)
+                          journal=str(path), kernel=_poison_batch)
         # Every sibling of the poison point was flushed before the raise.
         assert cache.puts == 31
         events = read_journal(path)
@@ -199,7 +204,7 @@ class TestBisectAndRetry:
         with pytest.raises(RuntimeError):
             evaluate_grid(_poison_point, list(range(32)), workers=2,
                           retries=0, chunk_size=32, journal=str(path),
-                          batch_fn=_poison_batch)
+                          kernel=_poison_batch)
         events = read_journal(path)
         bisected = {e["chunk"]: e["into"] for e in events
                     if e["event"] == "chunk_bisected"}
@@ -216,7 +221,7 @@ class TestBisectAndRetry:
         got = evaluate_grid(_soft_poison_point, list(range(32)),
                             workers=2, on_error=(ScpgError,), retries=0,
                             stats=stats, journal=str(path),
-                            batch_fn=_soft_poison_batch)
+                            kernel=_soft_poison_batch)
         assert got[POISON] is None
         assert [got[p] for p in range(32) if p != POISON] \
             == [p * p for p in range(32) if p != POISON]
@@ -245,7 +250,7 @@ class TestBisectAndRetry:
         got = evaluate_grid(flaky, list(range(32)), workers=2,
                             retry_on=(OSError,), retries=2, backoff=0,
                             chunk_size=8, journal=str(path),
-                            batch_fn=poison_kernel)
+                            kernel=poison_kernel)
         assert got == [p * p for p in range(32)]
         names = _events(path)
         assert "chunk_failed" in names
@@ -257,7 +262,7 @@ class TestChunkObservability:
         sink = MemorySink()
         tracer = Tracer(sink)
         evaluate_grid(_square, list(range(12)), workers=2, chunk_size=4,
-                      tracer=tracer, batch_fn=_square_batch)
+                      tracer=tracer, kernel=_square_batch)
         chunk_ids = {line["id"] for line in sink
                      if line["name"] == "chunk"}
         assert len(chunk_ids) == 3
@@ -268,14 +273,14 @@ class TestChunkObservability:
     def test_metrics_observe_chunks(self):
         registry = MetricsRegistry()
         evaluate_grid(_square, list(range(12)), workers=2, chunk_size=4,
-                      metrics=registry, batch_fn=_square_batch)
+                      metrics=registry, kernel=_square_batch)
         assert registry.histogram("repro_chunk_seconds").count == 3
         assert registry.gauge("repro_chunk_size").value == 4
 
     def test_serial_runs_create_no_chunk_series(self):
         registry = MetricsRegistry()
         evaluate_grid(_square, list(range(12)), metrics=registry,
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         names = {metric.name for metric in registry}
         assert "repro_chunk_seconds" not in names
         assert "repro_chunk_size" not in names
@@ -287,7 +292,7 @@ class TestChunkObservability:
         with pytest.raises(RuntimeError):
             evaluate_grid(_poison_point, list(range(32)), workers=2,
                           retries=0, chunk_size=8, journal=str(path),
-                          label="poisoned", batch_fn=_poison_batch)
+                          label="poisoned", kernel=_poison_batch)
         report = JournalReport(read_journal(path))
         grid = report.grids[0]
         assert grid.chunks == 4
@@ -312,6 +317,6 @@ class TestPerPointBoundedSubmission:
 
     def test_fork_state_cleared_after_chunked_run(self):
         evaluate_grid(_square, list(range(12)), workers=2, chunk_size=4,
-                      batch_fn=_square_batch)
+                      kernel=_square_batch)
         assert runner_core._FORK_STATE is None
         assert not runner_core._FORK_LOCK.locked()

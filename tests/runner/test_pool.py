@@ -9,6 +9,7 @@ runner must fall back to ``spawn`` (or, with unpicklable state, all the
 way to serial).
 """
 
+import functools
 import multiprocessing
 import os
 import signal
@@ -62,11 +63,11 @@ class TestWarmPool:
             first = set(evaluate_grid(_square, list(range(16)),
                                       workers=2, pool=pool,
                                       chunk_size=2,
-                                      batch_fn=_pid_batch))
+                                      kernel=_pid_batch))
             second = set(evaluate_grid(_square, list(range(16)),
                                        workers=2, pool=pool,
                                        chunk_size=2,
-                                       batch_fn=_pid_batch))
+                                       kernel=_pid_batch))
             assert pool.generation == 1
             assert pool.alive
             # Same process set served both grids -- had the pool
@@ -78,14 +79,14 @@ class TestWarmPool:
         points = list(range(40))
         with WorkerPool(workers=2) as pool:
             got = evaluate_grid(_square, points, workers=2, pool=pool,
-                                batch_fn=_square_batch)
+                                kernel=_square_batch)
         assert got == evaluate_grid(_square, points)
 
     def test_journal_marks_warm_dispatch(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         with WorkerPool(workers=2) as pool:
             evaluate_grid(_square, list(range(8)), workers=2, pool=pool,
-                          journal=str(path), batch_fn=_square_batch)
+                          journal=str(path), kernel=_square_batch)
         planned = [e for e in read_journal(path)
                    if e["event"] == "chunks_planned"][0]
         assert planned["warm"] is True
@@ -97,7 +98,7 @@ class TestWarmPool:
             got = evaluate_grid(_square, list(range(16)), workers=2,
                                 pool=pool, chunk_size=4, stats=stats,
                                 journal=str(path),
-                                batch_fn=_killer_batch)
+                                kernel=_killer_batch)
             # The serial-batch requeue re-ran the lost chunks in the
             # parent, so the grid still completed bit-identically.
             assert got == [p * p for p in range(16)]
@@ -109,7 +110,7 @@ class TestWarmPool:
             # grid on a fresh one.
             assert not pool.alive
             again = evaluate_grid(_square, list(range(16)), workers=2,
-                                  pool=pool, batch_fn=_square_batch)
+                                  pool=pool, kernel=_square_batch)
             assert again == [p * p for p in range(16)]
             assert pool.generation == 2
 
@@ -117,7 +118,7 @@ class TestWarmPool:
         pool = WorkerPool(workers=2)
         pool.close()
         got = evaluate_grid(_square, list(range(12)), workers=2,
-                            pool=pool, batch_fn=_square_batch)
+                            pool=pool, kernel=_square_batch)
         assert got == [p * p for p in range(12)]
         assert not pool.alive
 
@@ -126,9 +127,11 @@ class TestWarmPool:
         # an ephemeral fork pool (state inherited, never pickled) and
         # the warm pool is left untouched.
         with WorkerPool(workers=2) as pool:
+            ctx = lambda p: 3 * p  # noqa: E731 -- deliberately unpicklable
             got = evaluate_grid(_ctx_call, list(range(12)), workers=2,
-                                context=lambda p: 3 * p, pool=pool,
-                                batch_fn=_ctx_call_batch)
+                                context=ctx, pool=pool,
+                                kernel=functools.partial(
+                                    _ctx_call_batch, ctx))
             assert got == [3 * p for p in range(12)]
             assert not pool.alive
 
@@ -161,7 +164,7 @@ class TestSpawnFallback:
         path = tmp_path / "journal.jsonl"
         got = evaluate_grid(_square, list(range(12)), workers=2,
                             chunk_size=3, journal=str(path),
-                            batch_fn=_square_batch)
+                            kernel=_square_batch)
         assert got == [p * p for p in range(12)]
         finish = [e for e in read_journal(path)
                   if e["event"] == "pool_finished"][0]
@@ -179,9 +182,10 @@ class TestSpawnFallback:
 
     def test_unpicklable_state_degrades_to_serial_batch(self, tmp_path):
         path = tmp_path / "journal.jsonl"
+        ctx = lambda p: 3 * p  # noqa: E731 -- deliberately unpicklable
         got = evaluate_grid(_ctx_call, list(range(8)), workers=2,
-                            context=lambda p: 3 * p, journal=str(path),
-                            batch_fn=_ctx_call_batch)
+                            context=ctx, journal=str(path),
+                            kernel=functools.partial(_ctx_call_batch, ctx))
         assert got == [3 * p for p in range(8)]
         names = _events(path)
         assert "chunk_submitted" not in names
@@ -191,12 +195,12 @@ class TestSpawnFallback:
         with WorkerPool(workers=2, method="spawn") as pool:
             pids = set(evaluate_grid(_square, list(range(8)), workers=2,
                                      pool=pool, chunk_size=2,
-                                     batch_fn=_pid_batch))
+                                     kernel=_pid_batch))
             assert os.getpid() not in pids
             again = set(evaluate_grid(_square, list(range(8)),
                                       workers=2, pool=pool,
                                       chunk_size=2,
-                                      batch_fn=_pid_batch))
+                                      kernel=_pid_batch))
             assert pool.generation == 1
             assert len(pids | again) <= 2
 

@@ -1,0 +1,76 @@
+"""Repo-wide lint: no in-tree caller uses the deprecated kernel names.
+
+The unified Kernel API (``repro.runner.kernel``) replaced
+``ScpgPowerModel.power_axis`` / ``power_points``,
+``SubvtModel.points_axis`` and the ``batch_fn=`` keyword.  The shims
+stay for external callers, but every caller *inside this repository*
+must be on the new spelling -- otherwise the deprecation period never
+ends.  Only the modules that implement or test the shims may mention
+the old names.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Deprecated spelling -> regex that catches a live use of it.  The
+#: leading ``.`` / word boundary keeps the blessed ``_``-prefixed
+#: internals (``model._power_axis``) from matching.
+DEPRECATED = {
+    "ScpgPowerModel.power_axis": re.compile(r"\.power_axis\("),
+    "ScpgPowerModel.power_points": re.compile(r"\.power_points\("),
+    "SubvtModel.points_axis": re.compile(r"\.points_axis\("),
+    "batch_fn= keyword": re.compile(r"\bbatch_fn\s*="),
+}
+
+#: The only files allowed to spell the old names: the shim
+#: implementations and the tests that pin their behaviour.
+ALLOWED = {
+    "src/repro/scpg/power_model.py",
+    "src/repro/subvt/energy.py",
+    "src/repro/runner/core.py",
+    "src/repro/runner/kernel.py",
+    "tests/runner/test_deprecations.py",
+    "tests/test_api_lint.py",
+}
+
+SCAN_DIRS = ("src", "tests", "benchmarks", "scripts")
+
+
+def iter_sources():
+    for top in SCAN_DIRS:
+        root = REPO / top
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+class TestNoDeprecatedCallers:
+    def test_scan_finds_the_sources(self):
+        files = list(iter_sources())
+        assert len(files) > 50  # the scan really walked the tree
+
+    @pytest.mark.parametrize("name", sorted(DEPRECATED))
+    def test_no_in_repo_use(self, name):
+        pattern = DEPRECATED[name]
+        offenders = []
+        for path in iter_sources():
+            rel = path.relative_to(REPO).as_posix()
+            if rel in ALLOWED:
+                continue
+            for lineno, line in enumerate(
+                    path.read_text().splitlines(), 1):
+                if pattern.search(line):
+                    offenders.append("{}:{}: {}".format(
+                        rel, lineno, line.strip()))
+        assert not offenders, (
+            "{} is deprecated; use the Kernel API "
+            "(repro.runner.kernel):\n{}".format(
+                name, "\n".join(offenders)))
+
+    def test_allowlist_entries_exist(self):
+        """A deleted shim file must leave the allowlist too."""
+        for rel in ALLOWED:
+            assert (REPO / rel).is_file(), rel
