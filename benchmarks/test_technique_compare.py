@@ -1,0 +1,87 @@
+"""Experiment S-COMPARE: the cross-technique comparison sweep.
+
+Runs every registered power-gating technique (SCPG, CBTSTC clustered
+sleep transistors, LECTOR leakage-control transistors) against the
+ungated baseline on both case-study designs through
+``Session.compare_techniques`` -- the same sweep ``repro compare``
+serves and the golden snapshots in ``tests/golden/test_compare.py``
+pin exactly.
+
+Every technique must produce a leakage saving at the paper's low-speed
+operating points; SCPG must stay the best active-mode scheme at the
+bottom of the frequency range (the source paper's thesis: sub-clock
+gating reclaims leakage *within* the active cycle, which neither
+cluster-level sleep control nor static LECTOR stacks can match).
+
+Set ``REPRO_BENCH_COMPARE_JSON=PATH`` to dump both comparisons as JSON
+(CI uploads it with the other run artifacts).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.session import Session
+from repro.techniques import format_comparison
+
+from .conftest import emit
+
+#: The paper's low-frequency regime, where leakage dominates.
+FREQS = (1e4, 1e5, 1e6)
+
+
+@pytest.fixture(scope="module")
+def compare_session():
+    value = os.environ.get("REPRO_BENCH_WORKERS", "")
+    workers = int(value) if value.strip() else None
+    session = Session(workers=workers)
+    yield session
+    session.close()
+
+
+_RESULTS = {}
+
+
+def _run(session, design):
+    comparison = session.compare_techniques(design, freqs=list(FREQS))
+    _RESULTS[design] = comparison.as_dict()
+    return comparison
+
+
+def _check(comparison):
+    assert comparison.techniques == ["cbtstc", "lector", "scpg"]
+    for entry in comparison.entries:
+        # Each scheme saves power at the leakage-dominated 10 kHz point.
+        assert entry.savings_pct[0] is not None
+        assert entry.savings_pct[0] > 0.0
+        assert entry.fmax_hz < comparison.baseline.fmax_hz
+    # The paper's thesis: sub-clock gating wins the active-mode
+    # leakage battle at low speed.
+    best = max(comparison.entries, key=lambda e: e.savings_pct[0])
+    assert best.technique == "scpg"
+
+
+def test_compare_multiplier(benchmark, compare_session):
+    comparison = benchmark(_run, compare_session, "mult16")
+    emit("Technique comparison -- multiplier",
+         format_comparison(comparison))
+    _check(comparison)
+
+
+def test_compare_m0(benchmark, compare_session):
+    comparison = benchmark(_run, compare_session, "m0lite")
+    emit("Technique comparison -- Cortex-M0",
+         format_comparison(comparison))
+    _check(comparison)
+
+
+def test_dump_results():
+    """Write the comparisons for the CI artifact (after both runs)."""
+    path = os.environ.get("REPRO_BENCH_COMPARE_JSON", "").strip()
+    if not path:
+        pytest.skip("REPRO_BENCH_COMPARE_JSON not set")
+    with open(path, "w") as f:
+        json.dump(_RESULTS, f, indent=2, sort_keys=True)
+        f.write("\n")
+    emit("Technique comparison JSON", "wrote {}".format(path))

@@ -16,12 +16,12 @@ import random
 from repro import Design, Mode
 from repro.circuits import CircuitBuilder, ripple_adder
 from repro.circuits.builder import new_module
-from repro.flows import run_scpg_flow
 from repro.netlist.verilog import dumps_verilog, parse_verilog
 from repro.power import dynamic_power, leakage_power
 from repro.scpg import ScpgPowerModel
 from repro.sim.testbench import ClockedTestbench, bus_values, read_bus
 from repro.tech import build_scl90
+from repro.techniques import technique
 from repro.units import fmt_freq, fmt_power
 
 
@@ -67,7 +67,7 @@ def main():
     reparsed = parse_verilog(text, lib)
 
     # 3. The SCPG implementation flow, baseline included.
-    result = run_scpg_flow(
+    result = technique("scpg").implement(
         lambda: parse_verilog(dumps_verilog(mac), lib), lib)
     print("\nSCPG flow on mac8:")
     print("  area overhead: {:.1f}%".format(result.area_overhead_pct))

@@ -31,6 +31,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.power``           leakage / dynamic / rails / header sizing
 ``repro.isa``             M0-lite ISA, assembler, ISS, Dhrystone-lite
 ``repro.scpg``            the SCPG technique (transform + power model)
+``repro.techniques``      pluggable gating schemes (scpg/cbtstc/lector) +
+                          cross-technique comparison
 ``repro.flows``           Fig. 5 implementation flows
 ``repro.subvt``           sub-threshold study (§IV)
 ``repro.analysis``        tables, figures, sweeps, ASCII plots
@@ -49,6 +51,7 @@ from .runner import ResultCache, RunJournal, Runner, RunStats, \
 from .scpg import Mode, ScpgPowerModel, apply_scpg
 from .session import DesignHandle, Session
 from .tech import build_scl90
+from .techniques import available_techniques, register_technique, technique
 
 __version__ = "1.1.0"
 
@@ -74,5 +77,8 @@ __all__ = [
     "evaluate_grid",
     "register_design",
     "available_designs",
+    "technique",
+    "register_technique",
+    "available_techniques",
     "__version__",
 ]

@@ -52,6 +52,30 @@ def energy_series(model, freqs):
     return out
 
 
+def comparison_series(comparison, metric="total"):
+    """Cross-technique figure: per-technique power (or savings) vs
+    frequency from a :class:`~repro.techniques.compare.
+    TechniqueComparison` -- one series per column, baseline first.
+
+    ``metric`` is ``"total"`` (average power, W) or ``"saving"``
+    (percent saving vs the shared baseline; the baseline series is
+    omitted since it is identically zero).
+    """
+    if metric not in ("total", "saving"):
+        raise ValueError("metric must be 'total' or 'saving'")
+    out = []
+    entries = [comparison.baseline] + list(comparison.entries) \
+        if metric == "total" else list(comparison.entries)
+    for entry in entries:
+        if metric == "total":
+            y = [None if b is None else b.total for b in entry.points]
+        else:
+            y = list(entry.savings_pct)
+        out.append(FigureSeries(label=entry.technique,
+                                x=list(comparison.freqs), y=y))
+    return out
+
+
 def subvt_series(subvt_model, v_lo=0.15, v_hi=0.9, steps=76):
     """Fig. 9/10: energy per operation vs supply voltage."""
     from ..subvt.energy import energy_sweep

@@ -21,7 +21,6 @@ from ..netlist.stats import module_stats
 from ..power.leakage import leakage_power
 from ..runner import Runner, can_fingerprint, stable_hash
 from ..scpg.power_model import Mode, ScpgPowerModel
-from ..scpg.transform import apply_scpg
 from .sweep import find_convergence
 
 
@@ -62,9 +61,11 @@ def _estimate_e_cycle(module, library):
 
 def evaluate_width(library, width):
     """One :class:`ScalingPoint` for a ``width x width`` multiplier."""
+    from ..techniques import technique
+
     design = Design(build_mult16(library, width=width), library)
     e_cycle = _estimate_e_cycle(design.top, library)
-    scpg = apply_scpg(
+    scpg = technique("scpg").transform(
         Design(build_mult16(library, width=width), library),
         energy_per_cycle=e_cycle)
     model = ScpgPowerModel.from_scpg_design(scpg, e_cycle)

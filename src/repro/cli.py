@@ -11,6 +11,7 @@ writing Python:
 ``sta``          timing report (with the SCPG duty/frequency window)
 ``power``        power report at an operating point
 ``table``        regenerate Table I or Table II
+``compare``      compare power-gating techniques (scpg/cbtstc/lector)
 ``subvt``        sub-threshold sweep and minimum-energy point
 ``report``       replay a run journal/trace into a timing + anomaly report
 ===============  ============================================================
@@ -193,6 +194,31 @@ def cmd_table(args):
     return 0
 
 
+def cmd_compare(args):
+    import json
+
+    from .techniques import available_techniques, format_comparison
+
+    session = _session(args)
+    techniques = [t.strip() for t in args.techniques.split(",")
+                  if t.strip()] if args.techniques else None
+    freqs = [parse_si(f, "Hz") for f in args.freqs.split(",")] \
+        if args.freqs else None
+    comparison = session.compare_techniques(
+        args.design, freqs=freqs, techniques=techniques,
+        vdd=args.vdd if args.vdd else None)
+    text = format_comparison(comparison) + "\n"
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(comparison.as_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+        text += "wrote {}\n".format(args.json)
+    _out(args, text)
+    if args.list_techniques:
+        print("registered: {}".format(", ".join(available_techniques())))
+    return 0
+
+
 def cmd_report(args):
     from .obs.report import render_report
 
@@ -307,6 +333,24 @@ def build_parser():
                    help="trimmed workloads")
     p.add_argument("--out")
     p.set_defaults(func=cmd_table)
+
+    p = sub.add_parser("compare", help="compare power-gating techniques "
+                       "on one design")
+    p.add_argument("design")
+    p.add_argument("--techniques", metavar="A,B,...",
+                   help="comma-separated registry names (default: all "
+                   "registered techniques)")
+    p.add_argument("--freqs", metavar="F1,F2,...",
+                   help="comma-separated frequency grid, SI suffixes "
+                   "allowed (default: 10kHz,100kHz,1MHz,5MHz)")
+    p.add_argument("--vdd", type=float,
+                   help="operating supply (default: library nominal)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the comparison as JSON to PATH")
+    p.add_argument("--list-techniques", action="store_true",
+                   help="print the registered technique names")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("subvt", help="sub-threshold sweep")
     p.add_argument("design")

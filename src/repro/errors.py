@@ -56,6 +56,11 @@ class RegistryError(ReproError):
     """Unknown design name, or a conflicting registration."""
 
 
+class TechniqueError(ReproError):
+    """Power-gating technique misuse: unknown technique name, an
+    ineligible design, or an infeasible operating point."""
+
+
 class RunnerError(ReproError):
     """Batch experiment runner misuse (bad grid, unusable cache...)."""
 

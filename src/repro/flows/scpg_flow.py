@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..netlist.stats import module_stats
-from ..scpg.transform import apply_scpg
+from ..scpg.transform import _apply_scpg
 from .base import FlowResult, StepReport
 from .cts import synthesize_clock_tree
 from .floorplan import plan_design
@@ -47,6 +47,24 @@ class ScpgFlowResult:
 
 def run_scpg_flow(design_builder, library, clock="clk", header_size=None,
                   energy_per_cycle=None, centred=True):
+    """Deprecated spelling of the SCPG implementation flow.
+
+    Use ``repro.techniques.technique("scpg").implement(...)`` -- the
+    registered technique owns the full Fig. 5 flow.
+    """
+    import warnings
+
+    warnings.warn(
+        "run_scpg_flow is deprecated; use "
+        "repro.techniques.technique('scpg').implement(...)",
+        DeprecationWarning, stacklevel=2)
+    return _run_scpg_flow(
+        design_builder, library, clock=clock, header_size=header_size,
+        energy_per_cycle=energy_per_cycle, centred=centred)
+
+
+def _run_scpg_flow(design_builder, library, clock="clk", header_size=None,
+                   energy_per_cycle=None, centred=True):
     """Implement a design with SCPG and a baseline for comparison.
 
     Parameters
@@ -74,7 +92,7 @@ def run_scpg_flow(design_builder, library, clock="clk", header_size=None,
 
     # SCPG steps 1+2.
     step12 = StepReport("scpg-split-and-isolate")
-    scpg = apply_scpg(
+    scpg = _apply_scpg(
         design_builder(), clock_port=clock, header_size=header_size,
         energy_per_cycle=energy_per_cycle,
     )

@@ -185,6 +185,52 @@ def split_combinational(design, comb_name=None, instance_name="u_comb"):
     )
 
 
+def remap_cells(module, cell_map, name=None):
+    """Rebuild a flat ``module`` with every cell swapped per ``cell_map``.
+
+    ``cell_map`` maps original cell *names* to replacement
+    :class:`~repro.tech.library.Cell` objects with the *same pin
+    interface*; unmapped cells are kept as-is.  Ports, nets and
+    connectivity are
+    copied one-to-one, so analyses on the result line up net-for-net
+    with the original.  This is the workhorse of variant-library
+    techniques (e.g. LECTOR leakage-control-transistor insertion, which
+    swaps each combinational cell for its LCT variant).
+    """
+    src = module
+    for inst in src.instances():
+        if not inst.is_cell:
+            raise NetlistError(
+                "remap_cells requires a flat module; flatten first")
+
+    out = Module(name or src.name)
+    net_map = {}
+    for port in src.ports:
+        new = out.add_port(port.name, port.direction)
+        net_map[id(port.net)] = new.net
+    for net in src.nets():
+        if net.is_const or id(net) in net_map:
+            continue
+        net_map[id(net)] = out.add_net(net.name)
+
+    def image(net):
+        if net.is_const:
+            return out.const(net.const_value)
+        return net_map[id(net)]
+
+    for inst in src.cell_instances():
+        cell = cell_map.get(inst.cell.name, inst.cell)
+        conns = {pin: image(net) for pin, net in inst.connections.items()}
+        out.add_instance(inst.name, cell, conns)
+    return out
+
+
+def clone_flat_module(module, name=None):
+    """A structural copy of a flat ``module`` (same cells, fresh
+    nets/instances) -- :func:`remap_cells` with an identity map."""
+    return remap_cells(module, {}, name=name)
+
+
 def insert_buffer(module, net, buf_cell, name=None):
     """Insert ``buf_cell`` after ``net``'s driver; all previous loads move to
     the buffered copy.  Returns the new net.

@@ -25,7 +25,7 @@ from functools import lru_cache
 
 from .circuits.m0lite import build_m0lite
 from .circuits.multiplier import build_mult16
-from .flows.scpg_flow import run_scpg_flow
+from .flows.scpg_flow import _run_scpg_flow
 from .isa.programs import dhrystone_memory, dhrystone_program
 from .isa.trace import GateLevelCpu
 from .netlist.core import Design
@@ -124,7 +124,7 @@ def multiplier_study(fast=False, seed=2011):
     e_sizing, _ = _measure_multiplier_energy(
         build_mult16(library), library, vectors=60, seed=seed)
 
-    flow_result = run_scpg_flow(
+    flow_result = _run_scpg_flow(
         lambda: Design(build_mult16(library), library), library,
         energy_per_cycle=e_sizing)
     base_flow = flow_result.baseline
@@ -161,7 +161,7 @@ def cortex_m0_study(fast=False):
     _, e_sizing = _run_dhrystone(build_m0lite(library), library,
                                  iterations=4)
 
-    flow_result = run_scpg_flow(
+    flow_result = _run_scpg_flow(
         lambda: Design(build_m0lite(library), library), library,
         energy_per_cycle=e_sizing)
     base_flow = flow_result.baseline

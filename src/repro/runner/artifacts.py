@@ -543,13 +543,13 @@ class CircuitArtifacts:
         ``energy_per_cycle`` the Session's default path feeds it, so
         header sizing -- and with it every downstream number -- matches.
         """
-        from ..scpg.transform import apply_scpg
+        from ..scpg.transform import _apply_scpg
 
         library = design.library
         top = design.top
         switching = SwitchedCapTable.compile(top, library)
         e_cycle, _ = switching.evaluate(library)
-        scpg_design = apply_scpg(design, energy_per_cycle=e_cycle)
+        scpg_design = _apply_scpg(design, energy_per_cycle=e_cycle)
         return cls(
             fingerprint=fingerprint,
             design_name=name,

@@ -76,7 +76,17 @@ def timing_from_sta(sta_result, rail, network, controller_delay=0.5e-9,
     """
     vdd = vdd if vdd is not None else sta_result.vdd
     i_on = vdd / network.ron
-    restore = rail.c_rail * vdd / max(i_on, 1e-15)
+    if not i_on > 0.0:
+        # A flat max(i_on, eps) here would silently turn a dead header
+        # into a huge-but-finite restore time and a "feasible" design.
+        raise ScpgError(
+            "header network cannot restore the virtual rail: on-current "
+            "{:.3g} A is not positive ({} header(s), total width {:.3g} um, "
+            "ron {:.3g} ohm)".format(
+                i_on, getattr(network, "count", "?"),
+                getattr(network, "total_width", float("nan")),
+                network.ron))
+    restore = rail.c_rail * vdd / i_on
     return ScpgTimingParams(
         t_eval=sta_result.eval_delay,
         t_setup=sta_result.setup,

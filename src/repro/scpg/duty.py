@@ -21,8 +21,32 @@ DUTY_CYCLE_CAP = 0.98
 DUTY_CYCLE_FLOOR = 0.02
 
 
-def optimise_duty(freq_hz, timing, cap=DUTY_CYCLE_CAP,
-                  floor=DUTY_CYCLE_FLOOR):
+def clamp_duty(duty, cap=None, floor=None):
+    """Clip a raw duty-cycle solution into the practical range.
+
+    This is the single owner of the cap/floor arithmetic: both the
+    optimiser below and the sweep batch path in
+    :mod:`repro.scpg.power_model` route through it, so a recalibrated
+    :data:`DUTY_CYCLE_CAP` / :data:`DUTY_CYCLE_FLOOR` cannot drift
+    between them.  ``cap``/``floor`` default to the module-level
+    constants *at call time* for exactly that reason.
+
+    Floating-point noise just below the floor (the exact ceiling
+    frequency) snaps up to the floor; anything genuinely below it is
+    infeasible and returns ``None``.
+    """
+    if cap is None:
+        cap = DUTY_CYCLE_CAP
+    if floor is None:
+        floor = DUTY_CYCLE_FLOOR
+    if floor - 1e-6 <= duty < floor:
+        duty = floor  # floating-point noise at the exact ceiling frequency
+    if duty < floor:
+        return None
+    return min(duty, cap)
+
+
+def optimise_duty(freq_hz, timing, cap=None, floor=None):
     """Largest feasible duty cycle at ``freq_hz``.
 
     ``(1 - duty) / freq >= T_PGStart + T_eval + T_setup`` rearranged, then
@@ -31,21 +55,20 @@ def optimise_duty(freq_hz, timing, cap=DUTY_CYCLE_CAP,
     """
     if freq_hz <= 0:
         raise ScpgError("frequency must be positive")
-    duty = 1.0 - timing.low_phase_demand * freq_hz
-    if floor - 1e-6 <= duty < floor:
-        duty = floor  # floating-point noise at the exact ceiling frequency
-    if duty < floor:
+    duty = clamp_duty(1.0 - timing.low_phase_demand * freq_hz,
+                      cap=cap, floor=floor)
+    if duty is None:
+        floor_value = DUTY_CYCLE_FLOOR if floor is None else floor
         raise ScpgError(
             "no feasible duty cycle at {:.3g} Hz: evaluation demand "
             "{:.3g} s exceeds {:.3g} s of period".format(
                 freq_hz, timing.low_phase_demand,
-                (1.0 - floor) / freq_hz)
+                (1.0 - floor_value) / freq_hz)
         )
-    return min(duty, cap)
+    return duty
 
 
-def duty_sweep(freq_hz, timing, model, steps=20, cap=DUTY_CYCLE_CAP,
-               floor=DUTY_CYCLE_FLOOR):
+def duty_sweep(freq_hz, timing, model, steps=20, cap=None, floor=None):
     """Evaluate SCPG power across feasible duty cycles (ablation study).
 
     Returns a list of ``(duty, PowerBreakdown)``; useful to show that
@@ -57,6 +80,8 @@ def duty_sweep(freq_hz, timing, model, steps=20, cap=DUTY_CYCLE_CAP,
 
     if steps < 1:
         raise ScpgError("duty_sweep needs at least one step")
+    if floor is None:
+        floor = DUTY_CYCLE_FLOOR
     best = optimise_duty(freq_hz, timing, cap=cap, floor=floor)
     if steps == 1:
         duties = [best]

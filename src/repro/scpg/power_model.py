@@ -29,7 +29,7 @@ from ..power.leakage import leakage_power
 from ..runner.kernel import Kernel, register_kernel
 from ..sta.constraints import ClockSpec
 from .clocking import scpg_feasible
-from .duty import DUTY_CYCLE_CAP, DUTY_CYCLE_FLOOR, optimise_duty
+from .duty import clamp_duty, optimise_duty
 
 
 class Mode(enum.Enum):
@@ -325,13 +325,10 @@ class ScpgPowerModel:
             elif is_scpg:
                 d = 0.5
             else:
-                d = 1.0 - demand * f
-                if DUTY_CYCLE_FLOOR - 1e-6 <= d < DUTY_CYCLE_FLOOR:
-                    d = DUTY_CYCLE_FLOOR
-                if d < DUTY_CYCLE_FLOOR:
+                d = clamp_duty(1.0 - demand * f)
+                if d is None:
                     out.append(None)
                     continue
-                d = min(d, DUTY_CYCLE_CAP)
             period = 1.0 / f
             t_high = period * d
             t_low = period * (1.0 - d)

@@ -45,7 +45,8 @@ from .upf import dumps_upf
 
 @dataclass
 class ScpgDesign:
-    """Everything produced by :func:`apply_scpg`.
+    """Everything produced by the SCPG netlist transform
+    (``repro.techniques.technique("scpg").transform``).
 
     Attributes
     ----------
@@ -109,6 +110,28 @@ def apply_scpg(design, clock_port="clk", header_size=None,
                energy_per_cycle=None, rail_params=None,
                glitch_factor=DEFAULT_GLITCH_FACTOR,
                override_port="override_n"):
+    """Deprecated spelling of the SCPG netlist transform.
+
+    Use ``repro.techniques.technique("scpg").transform(design, ...)`` --
+    the registered technique is the supported entry point and gains the
+    eligibility checks of the plugin protocol.
+    """
+    import warnings
+
+    warnings.warn(
+        "apply_scpg is deprecated; use "
+        "repro.techniques.technique('scpg').transform(design, ...)",
+        DeprecationWarning, stacklevel=2)
+    return _apply_scpg(
+        design, clock_port=clock_port, header_size=header_size,
+        energy_per_cycle=energy_per_cycle, rail_params=rail_params,
+        glitch_factor=glitch_factor, override_port=override_port)
+
+
+def _apply_scpg(design, clock_port="clk", header_size=None,
+                energy_per_cycle=None, rail_params=None,
+                glitch_factor=DEFAULT_GLITCH_FACTOR,
+                override_port="override_n"):
     """Transform ``design`` (flat) into an SCPG implementation.
 
     Parameters

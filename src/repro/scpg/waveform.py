@@ -45,6 +45,11 @@ def render_waveforms(clock, timing, rail=None, width=72):
         raise ScpgError(
             "cannot draw an infeasible configuration ({} at duty {:.2f})"
             .format(clock.freq_hz, clock.duty))
+    # Degenerate widths break the bucket mapping: ``width - 1`` collapses
+    # to 0 (every column lands on index 0, and the time axis divides by
+    # zero) and width 0 indexes an empty ruler.  Two columns is the
+    # narrowest diagram with a distinct first and last bucket.
+    width = max(int(width), 2)
     period = clock.period
 
     def col(t):

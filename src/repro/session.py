@@ -237,6 +237,29 @@ class Session:
         """A :class:`DesignHandle` for a registry name or Verilog path."""
         return DesignHandle(self, name, params)
 
+    def techniques(self):
+        """Names of every registered power-gating technique."""
+        from .techniques import available_techniques
+
+        return available_techniques()
+
+    def compare_techniques(self, design, freqs=None, techniques=None,
+                           vdd=None, **params):
+        """Cross-technique comparison of one design (see
+        :func:`repro.techniques.compare.run_comparison`).
+
+        ``design`` is a registry name, a Verilog path or an existing
+        :class:`DesignHandle`; every technique model evaluates through
+        this session's runner (workers, cache, journal) under
+        ``compare:<design>:<technique>`` labels.
+        """
+        from .techniques import run_comparison
+
+        handle = design if isinstance(design, DesignHandle) \
+            else self.design(design, **params)
+        return run_comparison(handle, freqs=freqs,
+                              techniques=techniques, vdd=vdd)
+
     def __repr__(self):
         return "Session(library={!r}, runner={!r})".format(
             self._library if self._library is not None else "scl90(lazy)",
@@ -290,14 +313,15 @@ class DesignHandle:
 
     def scpg(self, **kwargs):
         """Apply sub-clock power gating (cached for default arguments)."""
-        from .scpg.transform import apply_scpg
+        from .techniques import technique
 
+        scpg = technique("scpg")
         if kwargs:
-            return apply_scpg(self.design, **kwargs)
+            return scpg.transform(self.design, **kwargs)
         if self._scpg is None:
             e_cycle, _ = self.switching()
-            self._scpg = apply_scpg(self.design,
-                                    energy_per_cycle=e_cycle)
+            self._scpg = scpg.transform(self.design,
+                                        energy_per_cycle=e_cycle)
         return self._scpg
 
     def artifacts(self):

@@ -132,6 +132,58 @@ class DeviceModel:
         i = self._ekv_current(0.0, vdd, width_um)
         return i * (1.0 - math.exp(-vdd / vt))
 
+    def biased_leakage(self, vdd, vgs=0.0, width_um=1.0):
+        """Off-state channel leakage (A) with the gate held at ``vgs``.
+
+        ``vgs < 0`` (super-cutoff / reverse gate bias) models a tuned
+        sleep transistor whose gate is driven below its source rail --
+        the knob a CBTSTC-style tunable sleep cell turns.  ``vgs = 0``
+        reduces to :meth:`subthreshold_leakage`.
+        """
+        if vdd <= 0:
+            return 0.0
+        vt = self._vt()
+        i = self._ekv_current(vgs, vdd, width_um)
+        return i * (1.0 - math.exp(-vdd / vt))
+
+    def stack_leakage_factor(self, vdd, iters=48):
+        """Leakage ratio of one off device to a two-high off stack (>= 1).
+
+        The classic stack effect behind LECTOR-style leakage-control
+        transistors: with two series off devices the intermediate node
+        floats up to the voltage ``vx`` where the two channel currents
+        balance, reverse-biasing the outer device's gate and shedding
+        DIBL on both.  Solved by bisection on current continuity:
+
+        * device at the rail: ``vgs = 0``, ``vds = vx``;
+        * device at the output: ``vgs = -vx``, ``vds = vdd - vx``.
+        """
+        single = self.subthreshold_leakage(vdd)
+        if vdd <= 0 or single <= 0:
+            return 1.0
+        vt = self._vt()
+
+        def balance(vx):
+            near = self._ekv_current(0.0, vx, 1.0) * (
+                1.0 - math.exp(-vx / vt))
+            far = self._ekv_current(-vx, vdd - vx, 1.0) * (
+                1.0 - math.exp(-(vdd - vx) / vt))
+            return far - near
+
+        lo, hi = 0.0, vdd
+        for _ in range(iters):
+            mid = 0.5 * (lo + hi)
+            if balance(mid) > 0.0:
+                lo = mid
+            else:
+                hi = mid
+        vx = 0.5 * (lo + hi)
+        stacked = self._ekv_current(0.0, vx, 1.0) * (
+            1.0 - math.exp(-vx / vt))
+        if stacked <= 0:
+            return 1.0
+        return max(1.0, single / stacked)
+
     def gate_leakage(self, vdd, width_um=1.0):
         """Gate tunnelling leakage current (A) at supply ``vdd``."""
         p = self.params

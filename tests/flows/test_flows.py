@@ -74,11 +74,11 @@ class TestScpgFlow:
 
     def test_congestion_metric_prefers_centred(self, lib):
         from repro.circuits.multiplier import build_mult16
-        from repro.flows.scpg_flow import run_scpg_flow
+        from repro.techniques import technique
 
-        centred = run_scpg_flow(
+        centred = technique("scpg").implement(
             lambda: Design(build_mult16(lib), lib), lib, centred=True)
-        corner = run_scpg_flow(
+        corner = technique("scpg").implement(
             lambda: Design(build_mult16(lib), lib), lib, centred=False)
         c_plan = centred.flow.metrics["floorplan"]
         k_plan = corner.flow.metrics["floorplan"]

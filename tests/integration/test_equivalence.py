@@ -12,12 +12,13 @@ from repro.isa.assembler import assemble
 from repro.isa.programs import dhrystone_memory, dhrystone_program
 from repro.isa.trace import GateLevelCpu, cosimulate
 from repro.netlist.core import Design
-from repro.scpg.transform import apply_scpg
+from repro.techniques import technique
 
 
 @pytest.fixture(scope="module")
 def scpg_core(lib, m0_module):
-    scpg = apply_scpg(Design(m0_module, lib), energy_per_cycle=10e-12)
+    scpg = technique("scpg").transform(Design(m0_module, lib),
+                                       energy_per_cycle=10e-12)
     return scpg.flat.top
 
 

@@ -82,3 +82,22 @@ class TestTimingFromSta:
         assert timing.t_eval == sta.eval_delay
         assert timing.t_setup == sta.setup
         assert timing.t_pgstart > 0.4e-9  # restore + controller
+
+    @pytest.mark.parametrize("ron", [float("inf"), -10.0])
+    def test_dead_header_network_raises(self, lib, mult_module, ron):
+        """Regression (ISSUE 7): a zero/negative header on-current used
+        to be floored at 1e-15 A, yielding a huge-but-finite restore
+        time and a silently "feasible" design instead of an error."""
+        from repro.sta.analysis import TimingAnalysis
+
+        sta = TimingAnalysis(mult_module, lib).run()
+        rail = VirtualRailModel(mult_module, lib)
+
+        class DeadNetwork:
+            cell = lib.cell("HEADER_X2")
+            count = 4
+            total_width = 4 * cell.header_width
+
+        DeadNetwork.ron = ron
+        with pytest.raises(ScpgError, match="on-current"):
+            timing_from_sta(sta, rail, DeadNetwork())

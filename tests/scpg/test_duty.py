@@ -4,7 +4,13 @@ import pytest
 
 from repro.errors import ScpgError
 from repro.scpg.clocking import ScpgTimingParams, scpg_feasible
-from repro.scpg.duty import DUTY_CYCLE_CAP, duty_sweep, optimise_duty
+from repro.scpg.duty import (
+    DUTY_CYCLE_CAP,
+    DUTY_CYCLE_FLOOR,
+    clamp_duty,
+    duty_sweep,
+    optimise_duty,
+)
 from repro.scpg.power_model import Mode
 from repro.sta.constraints import ClockSpec
 
@@ -40,6 +46,27 @@ class TestOptimiseDuty:
     def test_invalid_frequency(self):
         with pytest.raises(ScpgError):
             optimise_duty(0, TIMING)
+
+
+class TestClampDuty:
+    """The single owner of the cap/floor arithmetic (ISSUE 7)."""
+
+    def test_cap_applies(self):
+        assert clamp_duty(1.5) == DUTY_CYCLE_CAP
+        assert clamp_duty(0.5) == 0.5
+
+    def test_floor_snap_absorbs_fp_noise(self):
+        assert clamp_duty(DUTY_CYCLE_FLOOR - 1e-7) == DUTY_CYCLE_FLOOR
+        assert clamp_duty(DUTY_CYCLE_FLOOR) == DUTY_CYCLE_FLOOR
+
+    def test_below_floor_is_infeasible(self):
+        assert clamp_duty(DUTY_CYCLE_FLOOR - 1e-3) is None
+        assert clamp_duty(-1.0) is None
+
+    def test_explicit_bounds_override_the_constants(self):
+        assert clamp_duty(0.9, cap=0.6) == 0.6
+        assert clamp_duty(0.05, floor=0.1) is None
+        assert clamp_duty(0.2, cap=0.6, floor=0.1) == 0.2
 
 
 class TestDutySweep:
@@ -79,6 +106,25 @@ class TestDutySweep:
         assert duties[0] == pytest.approx(0.1)
         assert duties[-1] == pytest.approx(0.5)
         assert all(0.1 <= d <= 0.5 for d in duties)
+
+    def test_cap_recalibration_reaches_both_paths(self, monkeypatch,
+                                                  mult_study):
+        """`optimise_duty` and `_power_axis` share one clamp helper.
+
+        Regression (ISSUE 7): the sweep batch path used to re-implement
+        the clamp with its own import-time copy of ``DUTY_CYCLE_CAP``,
+        so recalibrating the constant moved the optimiser but not the
+        sweep and the two silently drifted apart.
+        """
+        from repro.scpg import duty as duty_mod
+
+        monkeypatch.setattr(duty_mod, "DUTY_CYCLE_CAP", 0.5)
+        model = mult_study.model
+        freq = 1e4  # low enough that the uncapped solution is ~1.0
+        (bd,) = model._power_axis([freq], Mode.SCPG_MAX)
+        assert bd.duty == 0.5
+        assert optimise_duty(freq, model.timing) == 0.5
+        assert model.power(freq, Mode.SCPG_MAX).duty == 0.5
 
     def test_scpgmax_equals_best_sweep_point(self, mult_study):
         model = mult_study.model

@@ -8,16 +8,18 @@ from repro.errors import ScpgError
 from repro.netlist.core import Design
 from repro.netlist.stats import module_stats
 from repro.netlist.validate import validate_module
-from repro.scpg.transform import apply_scpg
 from repro.sim.testbench import ClockedTestbench, bus_values, read_bus
 from repro.tech.library import CellKind
+from repro.techniques import technique
+
+_scpg = technique("scpg")
 
 
 @pytest.fixture(scope="module")
 def scpg_mult(lib):
     from repro.circuits.multiplier import build_mult16
 
-    return apply_scpg(Design(build_mult16(lib), lib))
+    return _scpg.transform(Design(build_mult16(lib), lib))
 
 
 class TestStructure:
@@ -68,12 +70,13 @@ class TestStructure:
 
         comb_only = build_mult16(lib, registered=False)
         with pytest.raises(ScpgError, match="clock"):
-            apply_scpg(Design(comb_only, lib))
+            _scpg.transform(Design(comb_only, lib))
 
     def test_forced_header_size(self, lib):
         from repro.circuits.multiplier import build_mult16
 
-        scpg = apply_scpg(Design(build_mult16(lib), lib), header_size=8)
+        scpg = _scpg.transform(Design(build_mult16(lib), lib),
+                               header_size=8)
         assert scpg.headers.cell.drive_strength == 8
 
 

@@ -58,3 +58,40 @@ class TestRenderWaveforms:
         text = render_waveforms(ClockSpec(1e6, 0.5), TIMING)
         eval_lane = [l for l in text.splitlines() if "EVAL" in l][0]
         assert "#" in eval_lane
+
+
+class TestDegenerateWidths:
+    """Regression (ISSUE 7): ``width <= 1`` collapses the ``width - 1``
+    bucket divisor to zero -- width 0 indexed an empty ruler and width 1
+    divided by zero on the rail time axis.  Both now clamp to the
+    2-column minimum diagram."""
+
+    @staticmethod
+    def _lane_bodies(text):
+        lanes = {}
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 2 and parts[0] in (
+                    "CLK", "SLEEP", "VVDD", "ISOLATE", "EVAL"):
+                lanes[parts[0]] = parts[1]
+        return lanes
+
+    @pytest.mark.parametrize("width", [0, 1, 2])
+    def test_degenerate_widths_render(self, width):
+        text = render_waveforms(ClockSpec(1e6, 0.5), TIMING, width=width)
+        lanes = self._lane_bodies(text)
+        assert set(lanes) == {"CLK", "SLEEP", "VVDD", "ISOLATE", "EVAL"}
+        assert all(len(body) == 2 for body in lanes.values())
+
+    @pytest.mark.parametrize("width", [0, 1])
+    def test_clamped_equals_minimum_diagram(self, width):
+        narrow = render_waveforms(ClockSpec(1e6, 0.5), TIMING, width=width)
+        minimum = render_waveforms(ClockSpec(1e6, 0.5), TIMING, width=2)
+        assert narrow == minimum
+
+    def test_degenerate_width_with_rail_model(self, mult_study):
+        # width=1 used to divide by zero sampling the rail decay
+        text = render_waveforms(
+            ClockSpec(1e6, 0.9), mult_study.model.timing,
+            rail=mult_study.scpg.rail, width=1)
+        assert "VVDD" in text

@@ -1,0 +1,146 @@
+"""Deprecation shims for the pre-plugin entry points.
+
+Two generations of shims meet here:
+
+* PR 6 kernel-era shims -- ``ScpgPowerModel.power_axis`` /
+  ``power_points``, ``SubvtModel.points_axis``, the runner's
+  ``batch_fn=`` keyword -- must keep warning (with the caller's frame,
+  ``stacklevel=2``) when reached through models built by the technique
+  registry.
+* This PR's plugin-era shims -- ``apply_scpg`` and ``run_scpg_flow`` --
+  warn and delegate to the registered ``scpg`` technique's internals
+  with identical results.
+"""
+
+import warnings
+
+import pytest
+
+from repro.netlist.core import Design, Module
+from repro.scpg.power_model import Mode
+from repro.techniques import technique
+
+
+def _toy(lib):
+    """clk -> [NAND2 -> DFF -> INV] (cheap enough to transform twice)."""
+    m = Module("toy")
+    clk = m.add_input("clk")
+    a = m.add_input("a")
+    b = m.add_input("b")
+    y = m.add_output("y")
+    n1 = m.add_net("n1")
+    q = m.add_net("q")
+    m.add_instance("g1", lib.cell("NAND2_X1"), {"A": a, "B": b, "Y": n1})
+    m.add_instance("ff", lib.cell("DFF_X1"), {"D": n1, "CK": clk, "Q": q})
+    m.add_instance("g2", lib.cell("INV_X1"), {"A": q, "Y": y})
+    return Design(m, lib)
+
+
+def _deprecations(record):
+    return [w for w in record if w.category is DeprecationWarning]
+
+
+@pytest.fixture(scope="module")
+def scpg_model(mult_handle):
+    """A technique-registry-built SCPG comparison model."""
+    e_cycle, _ = mult_handle.switching()
+    scpg = technique("scpg")
+    transformed = scpg.transform_for_compare(mult_handle.design, e_cycle)
+    return scpg.sweep_model(
+        transformed, library=mult_handle.session.library, e_cycle=e_cycle,
+        base_leakage=mult_handle.leakage(), base_sta=mult_handle.sta())
+
+
+class TestPluginEraShims:
+    def test_apply_scpg_warns_at_the_caller(self, session):
+        from repro.scpg.transform import apply_scpg
+
+        design = _toy(session.library)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            shimmed = apply_scpg(design)
+        (w,) = _deprecations(record)
+        assert "technique('scpg')" in str(w.message)
+        assert w.filename == __file__  # stacklevel=2: caller's frame
+
+        direct = technique("scpg").transform(_toy(session.library))
+        assert shimmed.headers.count == direct.headers.count
+        assert shimmed.upf == direct.upf
+
+    def test_run_scpg_flow_warns_at_the_caller(self, session):
+        from repro.flows import run_scpg_flow
+
+        lib = session.library
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            result = run_scpg_flow(lambda: _toy(lib), lib)
+        (w,) = _deprecations(record)
+        assert "implement" in str(w.message)
+        assert w.filename == __file__
+        assert result.flow.name == "scpg:toy"
+
+
+class TestKernelEraShimsThroughTheRegistry:
+    def test_power_axis_warns_and_matches(self, scpg_model):
+        inner = scpg_model.model  # the wrapped ScpgPowerModel
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            shimmed = inner.power_axis([1e4, 1e6], Mode.SCPG_MAX)
+        (w,) = _deprecations(record)
+        assert "compile_kernel" in str(w.message)
+        assert w.filename == __file__
+        reference = inner._power_axis([1e4, 1e6], Mode.SCPG_MAX)
+        assert [b.total for b in shimmed] == \
+            [b.total for b in reference]
+
+    def test_power_points_warns_and_matches(self, scpg_model):
+        inner = scpg_model.model
+        points = [(1e4, Mode.NO_PG), (1e6, Mode.SCPG_MAX)]
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            shimmed = inner.power_points(points)
+        (w,) = _deprecations(record)
+        assert w.filename == __file__
+        assert [b.total for b in shimmed] == \
+            [b.total for b in inner._power_points(points)]
+
+    def test_points_axis_warns_and_matches(self, mult_handle):
+        model = mult_handle.subvt_model()
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            shimmed = model.points_axis([0.4, 0.9])
+        (w,) = _deprecations(record)
+        assert "compile_kernel" in str(w.message)
+        assert w.filename == __file__
+        assert shimmed == model._points_axis([0.4, 0.9])
+
+    def test_runner_batch_fn_warns_and_matches(self, scpg_model):
+        from repro.runner import Runner
+
+        inner = scpg_model.model
+        freqs = [1e4, 1e5, 1e6]
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            values = Runner().run(
+                lambda m, f: m.power(f, Mode.SCPG_MAX), freqs,
+                context=inner,
+                batch_fn=lambda m, fs: m._power_axis(list(fs),
+                                                     Mode.SCPG_MAX))
+        (w,) = _deprecations(record)
+        assert "kernel=" in str(w.message)
+        assert w.filename == __file__
+        reference = inner._power_axis(freqs, Mode.SCPG_MAX)
+        assert [b.total for b in values] == \
+            [b.total for b in reference]
+
+    def test_registry_model_batch_path_is_warning_free(self, scpg_model):
+        """The technique kernel path must not touch any shim."""
+        from repro.runner import compile_kernel
+
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            kernel = compile_kernel(scpg_model)
+            assert kernel is not None
+            kernel([1e4, 1e6])
+        assert _deprecations(record) == []

@@ -1,0 +1,114 @@
+"""The technique registry and the shared plugin protocol."""
+
+import pytest
+
+from repro.errors import RegistryError, TechniqueError
+from repro.netlist.core import Design, Module
+from repro.techniques import (
+    CbtstcTechnique,
+    LectorTechnique,
+    ScpgTechnique,
+    Technique,
+    available_techniques,
+    register_technique,
+    technique,
+)
+import repro.techniques as techniques_pkg
+
+
+class TestRegistry:
+    def test_builtin_techniques_registered(self):
+        assert available_techniques() == ["cbtstc", "lector", "scpg"]
+
+    def test_lookup_returns_the_registered_instances(self):
+        assert isinstance(technique("scpg"), ScpgTechnique)
+        assert isinstance(technique("cbtstc"), CbtstcTechnique)
+        assert isinstance(technique("lector"), LectorTechnique)
+        # Stateless singletons: every lookup is the same object.
+        assert technique("scpg") is technique("scpg")
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(RegistryError, match="cbtstc, lector, scpg"):
+            technique("mtcmos")
+
+    def test_non_technique_rejected(self):
+        with pytest.raises(RegistryError, match="Technique instance"):
+            register_technique(object())
+
+    def test_duplicate_name_rejected(self):
+        class Dup(Technique):
+            name = "scpg"
+
+        with pytest.raises(RegistryError, match="already registered"):
+            register_technique(Dup())
+
+    def test_registration_roundtrip(self):
+        class Custom(Technique):
+            name = "custom-xyz"
+
+        tech = Custom()
+        assert register_technique(tech) is tech
+        try:
+            assert technique("custom-xyz") is tech
+            assert "custom-xyz" in available_techniques()
+        finally:
+            del techniques_pkg._REGISTRY["custom-xyz"]
+
+    def test_every_builtin_cites_a_paper(self):
+        for name in available_techniques():
+            assert technique(name).paper
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.technique("scpg") is technique("scpg")
+        assert repro.available_techniques() == available_techniques()
+
+
+class TestEligibility:
+    def test_flat_clocked_design_is_eligible_everywhere(self, mult_design):
+        for name in available_techniques():
+            report = technique(name).check(mult_design)
+            assert report.ok, report.issues
+            assert report.raise_if_blocked() is report
+
+    def test_hierarchical_design_blocked(self, session, mult_design):
+        lib = session.library
+        parent = Module("parent")
+        clk = parent.add_input("clk")
+        parent.add_instance("u_core", mult_design.top, {"clk": clk})
+        hier = Design(parent, lib)
+        for name in available_techniques():
+            report = technique(name).check(hier)
+            assert [i.code for i in report.issues] == ["hierarchical"]
+            with pytest.raises(TechniqueError, match="flatten"):
+                report.raise_if_blocked()
+
+    def test_clockless_design_blocks_only_clock_derived_schemes(
+            self, session):
+        lib = session.library
+        m = Module("combonly")
+        a = m.add_input("a")
+        b = m.add_input("b")
+        y = m.add_output("y")
+        m.add_instance("g", lib.cell("NAND2_X1"), {"A": a, "B": b, "Y": y})
+        design = Design(m, lib)
+
+        scpg = technique("scpg").check(design)
+        assert "no-clock" in [i.code for i in scpg.issues]
+        # CBTSTC/LECTOR derive no control from the clock.
+        assert technique("cbtstc").check(design).ok
+        assert technique("lector").check(design).ok
+
+    def test_no_gatable_logic_blocked(self, session):
+        lib = session.library
+        m = Module("seqonly")
+        clk = m.add_input("clk")
+        d = m.add_input("d")
+        q = m.add_output("q")
+        m.add_instance("ff", lib.cell("DFF_X1"),
+                       {"D": d, "CK": clk, "Q": q})
+        design = Design(m, lib)
+        for name in available_techniques():
+            report = technique(name).check(design)
+            assert "no-gatable-logic" in [i.code for i in report.issues]

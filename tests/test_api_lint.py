@@ -2,11 +2,12 @@
 
 The unified Kernel API (``repro.runner.kernel``) replaced
 ``ScpgPowerModel.power_axis`` / ``power_points``,
-``SubvtModel.points_axis`` and the ``batch_fn=`` keyword.  The shims
-stay for external callers, but every caller *inside this repository*
-must be on the new spelling -- otherwise the deprecation period never
-ends.  Only the modules that implement or test the shims may mention
-the old names.
+``SubvtModel.points_axis`` and the ``batch_fn=`` keyword; the technique
+plugin framework (``repro.techniques``) replaced ``apply_scpg`` and
+``run_scpg_flow``.  The shims stay for external callers, but every
+caller *inside this repository* must be on the new spelling --
+otherwise the deprecation period never ends.  Only the modules that
+implement, re-export or test the shims may mention the old names.
 """
 
 import re
@@ -24,6 +25,12 @@ DEPRECATED = {
     "ScpgPowerModel.power_points": re.compile(r"\.power_points\("),
     "SubvtModel.points_axis": re.compile(r"\.points_axis\("),
     "batch_fn= keyword": re.compile(r"\bbatch_fn\s*="),
+    # The un-prefixed SCPG entry points: both a call and any import
+    # (``from x import apply_scpg`` has no ``(`` to anchor on).
+    "apply_scpg entry point": re.compile(
+        r"(\bimport\s+[^\n]*\bapply_scpg\b|(?<!_)\bapply_scpg\s*\()"),
+    "run_scpg_flow entry point": re.compile(
+        r"(\bimport\s+[^\n]*\brun_scpg_flow\b|(?<!_)\brun_scpg_flow\s*\()"),
 }
 
 #: The only files allowed to spell the old names: the shim
@@ -33,7 +40,13 @@ ALLOWED = {
     "src/repro/subvt/energy.py",
     "src/repro/runner/core.py",
     "src/repro/runner/kernel.py",
+    "src/repro/scpg/transform.py",     # apply_scpg shim lives here
+    "src/repro/scpg/__init__.py",      # re-exports the shim
+    "src/repro/flows/scpg_flow.py",    # run_scpg_flow shim lives here
+    "src/repro/flows/__init__.py",     # re-exports the shim
+    "src/repro/__init__.py",           # top-level re-export
     "tests/runner/test_deprecations.py",
+    "tests/techniques/test_deprecations.py",
     "tests/test_api_lint.py",
 }
 
