@@ -89,10 +89,10 @@ def _best_of(fn, reps=REPS):
 
 
 def test_gate_sim_speedup(lib):
-    from repro.circuits.multiplier import build_mult16
+    from repro.circuits import registry
     from repro.sim.compiled import compile_schedule
 
-    module = build_mult16(lib)
+    module = registry.build("mult16", lib)
     vectors = _vectors()
 
     event_s, (event_toggles, event_trace) = _best_of(

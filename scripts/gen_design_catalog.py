@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Render ``docs/designs.md`` from the live design database.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_design_catalog.py            # rewrite
+    PYTHONPATH=src python scripts/gen_design_catalog.py --check    # CI gate
+
+The catalog is generated, committed, and gated: CI runs ``--check``,
+which re-renders the page in memory and fails (exit 1, with a diff
+summary) when the committed file no longer matches the registered
+families -- so adding a family, a parameter or a catalog entry without
+regenerating the page breaks the build instead of silently shipping a
+stale catalog.
+
+For every registered family the page carries the declared parameter
+space (name / type / range / default), size statistics for the
+representative instantiations declared at registration, and which
+power-gating techniques pass ``check()`` on the family's default
+instantiation.
+"""
+
+import argparse
+import difflib
+import io
+import os
+import sys
+
+HEADER = """\
+# Design catalog
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with: PYTHONPATH=src python scripts/gen_design_catalog.py
+     CI gates on staleness via --check. -->
+
+Every design the database can elaborate, generated from the registered
+:mod:`repro.circuits.generators` families.  Address an instantiation
+with a spec string (``repro designs elaborate "multiplier(n=8)"``) or a
+``DesignKey`` (``session.design(DesignKey("multiplier", n=8))``); legacy
+names (``mult16``, ``m0lite``, ``counter16``, ``lfsr16``) are aliases
+onto these families.
+"""
+
+
+def render():
+    """The full markdown text of the catalog page."""
+    from repro.circuits import generators
+    from repro.netlist.core import Design
+    from repro.netlist.stats import module_stats
+    from repro.techniques import available_techniques, technique
+    from repro.tech import build_scl90
+
+    library = build_scl90()
+    out = io.StringIO()
+    out.write(HEADER)
+
+    for name in generators.available_families():
+        fam = generators.family(name)
+        out.write("\n## `{}`\n\n".format(name))
+        if fam.doc:
+            out.write("{}\n".format(fam.doc))
+        if fam.paper:
+            out.write("*{}*\n".format(fam.paper))
+
+        if fam.params:
+            out.write("\n| parameter | type | range | default |\n")
+            out.write("|---|---|---|---|\n")
+            for p in fam.params:
+                out.write("| `{}` | {} | {} | {} |\n".format(
+                    p.name, p.type.__name__, p.range_text(),
+                    "required" if p.default is None
+                    else "`{!r}`".format(p.default)))
+        else:
+            out.write("\nNo parameters.\n")
+
+        out.write("\n| instantiation | cells | comb | flops | nets |\n")
+        out.write("|---|---|---|---|---|\n")
+        for key in fam.catalog_keys():
+            stats = module_stats(generators.elaborate(key, library))
+            out.write("| `{}` | {} | {} | {} | {} |\n".format(
+                key, stats.cells, stats.comb_gates, stats.seq_cells,
+                stats.nets))
+
+        default_design = Design(
+            generators.elaborate(fam.key(), library, fresh=True), library)
+        passing = [t for t in available_techniques()
+                   if technique(t).check(default_design).ok]
+        out.write("\nTechniques passing `check()` on `{}`: {}\n".format(
+            fam.key(), ", ".join("`{}`".format(t) for t in passing)
+            if passing else "none"))
+
+    return out.getvalue()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when docs/designs.md is stale "
+                        "instead of rewriting it")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: docs/designs.md "
+                        "next to this script's repo root)")
+    args = parser.parse_args(argv)
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    sys.path.insert(0, os.path.join(root, "src"))
+    path = args.out or os.path.join(root, "docs", "designs.md")
+
+    text = render()
+    if args.check:
+        committed = open(path).read() if os.path.exists(path) else ""
+        if committed == text:
+            print("docs/designs.md is up to date")
+            return 0
+        diff = difflib.unified_diff(
+            committed.splitlines(), text.splitlines(),
+            "docs/designs.md (committed)", "docs/designs.md (generated)",
+            lineterm="")
+        sys.stdout.write("\n".join(list(diff)[:60]) + "\n")
+        print("docs/designs.md is stale: regenerate with "
+              "PYTHONPATH=src python scripts/gen_design_catalog.py")
+        return 1
+
+    with open(path, "w") as f:
+        f.write(text)
+    print("wrote {}".format(path))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ Package map (see DESIGN.md for the full inventory):
 ========================  ====================================================
 ``repro.tech``            synthetic 90nm library, device models, Liberty-lite
 ``repro.netlist``         netlist model, Verilog subset I/O, transforms
-``repro.circuits``        multiplier / M0-lite / block generators + registry
+``repro.circuits``        generator families + keyed design database + registry
 ``repro.sim``             event-driven simulator, VCD, activity capture
 ``repro.sta``             static timing analysis
 ``repro.power``           leakage / dynamic / rails / header sizing
@@ -42,6 +42,8 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from .analysis.tables import build_table, format_table
+from .circuits.generators import DesignKey, available_families, \
+    expand_family, register_family
 from .circuits.registry import available_designs, register_design
 from .errors import ReproError
 from .netlist.core import Design, Module
@@ -77,6 +79,10 @@ __all__ = [
     "evaluate_grid",
     "register_design",
     "available_designs",
+    "DesignKey",
+    "register_family",
+    "available_families",
+    "expand_family",
     "technique",
     "register_technique",
     "available_techniques",

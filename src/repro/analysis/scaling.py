@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..circuits.multiplier import build_mult16
+from ..circuits.generators import DesignKey, elaborate
 from ..errors import ScpgError
 from ..netlist.core import Design
 from ..netlist.stats import module_stats
@@ -63,10 +63,11 @@ def evaluate_width(library, width):
     """One :class:`ScalingPoint` for a ``width x width`` multiplier."""
     from ..techniques import technique
 
-    design = Design(build_mult16(library, width=width), library)
+    key = DesignKey("multiplier", n=width)
+    design = Design(elaborate(key, library, fresh=True), library)
     e_cycle = _estimate_e_cycle(design.top, library)
     scpg = technique("scpg").transform(
-        Design(build_mult16(library, width=width), library),
+        Design(elaborate(key, library, fresh=True), library),
         energy_per_cycle=e_cycle)
     model = ScpgPowerModel.from_scpg_design(scpg, e_cycle)
     base = leakage_power(design.top, library)

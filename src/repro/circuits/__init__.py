@@ -1,10 +1,17 @@
-"""Programmatic gate-level circuit generators.
+"""Programmatic gate-level circuit generators and the design database.
 
 These replace the netlists the paper obtained from RTL synthesis: a 16-bit
 parallel (array) multiplier matching the paper's case study 1, the blocks of
 the M0-lite processor (case study 2), and small circuits used by tests and
 examples.  Every generator returns a flat :class:`~repro.netlist.core.Module`
 built from scl90 cells (or any library with the same cell names).
+
+:mod:`repro.circuits.generators` organises the generators into a keyed
+design database: parameterized families with declared parameter spaces,
+addressed by hashable :class:`~repro.circuits.generators.DesignKey`,
+lazily elaborated and memoised.  :mod:`repro.circuits.registry` resolves
+legacy names (``mult16`` is ``multiplier(n=16)``), ad-hoc registrations
+and Verilog paths on top of it.
 """
 
 from .builder import CircuitBuilder
@@ -15,6 +22,17 @@ from .shifter import build_barrel_shifter
 from .regfile import build_register_file
 from .m0lite import build_m0lite, M0LITE_PORTS
 from .counters import build_counter, build_lfsr
+from .generators import (
+    DesignKey,
+    GeneratorFamily,
+    Param,
+    available_families,
+    canonical_key,
+    elaborate,
+    expand_family,
+    family,
+    register_family,
+)
 
 __all__ = [
     "CircuitBuilder",
@@ -30,4 +48,13 @@ __all__ = [
     "M0LITE_PORTS",
     "build_counter",
     "build_lfsr",
+    "DesignKey",
+    "GeneratorFamily",
+    "Param",
+    "available_families",
+    "canonical_key",
+    "elaborate",
+    "expand_family",
+    "family",
+    "register_family",
 ]

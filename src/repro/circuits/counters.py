@@ -5,7 +5,6 @@ from __future__ import annotations
 from ..netlist.core import Module
 from .adders import ripple_incrementer
 from .builder import CircuitBuilder
-from .registry import register_design
 
 #: Taps (1-indexed from LSB=1, Fibonacci form) giving maximal-length LFSRs.
 _LFSR_TAPS = {
@@ -17,7 +16,6 @@ _LFSR_TAPS = {
 }
 
 
-@register_design("counter16", width=16)
 def build_counter(library, width=8, name=None):
     """Free-running binary up-counter with count output bus ``q``."""
     module = Module(name or "counter{}".format(width))
@@ -29,7 +27,6 @@ def build_counter(library, width=8, name=None):
     return module
 
 
-@register_design("lfsr16", width=16)
 def build_lfsr(library, width=16, name=None):
     """Fibonacci LFSR (pseudo-random stimulus generator).
 

@@ -27,7 +27,6 @@ from ..netlist.core import Module
 from .adders import ripple_adder, ripple_incrementer
 from .alu import add_alu
 from .builder import CircuitBuilder
-from .registry import register_design
 
 #: Port name -> width of the generated module (scalars have width 0).
 M0LITE_PORTS = {
@@ -62,7 +61,6 @@ def _zext(b, bits, width):
     return list(bits) + [b.const(0)] * (width - len(bits))
 
 
-@register_design("m0lite")
 def build_m0lite(library, name="m0lite"):
     """Generate the M0-lite core as a flat module."""
     module = Module(name)

@@ -16,10 +16,8 @@ from __future__ import annotations
 
 from ..netlist.core import Module
 from .builder import CircuitBuilder
-from .registry import register_design
 
 
-@register_design("mult16", width=16)
 def build_mult16(library, width=16, registered=True, name=None):
     """Build the multiplier module.
 

@@ -12,13 +12,15 @@ writing Python:
 ``power``        power report at an operating point
 ``table``        regenerate Table I or Table II
 ``compare``      compare power-gating techniques (scpg/cbtstc/lector)
+``designs``      browse the design database; elaborate or sweep a family
 ``subvt``        sub-threshold sweep and minimum-energy point
 ``report``       replay a run journal/trace into a timing + anomaly report
 ===============  ============================================================
 
-Designs are referenced either by a registered name (see
-``repro.circuits.registry``; built-ins are ``mult16``, ``m0lite``,
-``counter16``, ``lfsr16``) or by the path of a structural-Verilog file
+Designs are referenced by a registered name (``mult16``, ``m0lite``,
+``counter16``, ``lfsr16``), a design-database spec such as
+``"multiplier(n=8)"`` (see ``repro designs list`` and
+``repro.circuits.generators``), or the path of a structural-Verilog file
 produced by this tool (or any tool emitting the supported subset).
 
 Every command runs through one :class:`repro.Session`, so the global
@@ -219,6 +221,130 @@ def cmd_compare(args):
     return 0
 
 
+def _axis_values(spec, text):
+    """Parse a ``--param name=v1,v2`` value list using the declared type."""
+    values = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if spec.type is bool:
+            values.append(chunk.lower() in ("1", "true", "yes"))
+        elif spec.type is float:
+            values.append(float(chunk))
+        elif spec.type is int:
+            values.append(int(chunk))
+        else:
+            values.append(chunk)
+    return values
+
+
+def cmd_designs(args):
+    import json
+
+    from .circuits import generators
+    from .netlist.stats import module_stats
+
+    session = _session(args)
+
+    if args.action != "list" and not args.target:
+        raise ReproError(
+            "designs {} needs a target (family or design)".format(
+                args.action))
+
+    if args.action == "list":
+        print("generator families:")
+        for name in session.families():
+            fam = generators.family(name)
+            params = ", ".join(
+                "{}={!r}".format(p.name, p.default) if p.default is not None
+                else p.name for p in fam.params)
+            print("  {:<12} {}".format(name, params or "(no parameters)"))
+        print("registered designs: {}".format(
+            ", ".join(session.designs())))
+        return 0
+
+    if args.action == "show":
+        fam = generators.family(args.target)
+        print("family {} (defined at {})".format(fam.name, fam.site))
+        if fam.doc:
+            print("  {}".format(fam.doc.splitlines()[0]))
+        if fam.paper:
+            print("  paper: {}".format(fam.paper))
+        if fam.params:
+            print("  {:<12} {:<7} {:<18} {}".format(
+                "param", "type", "range", "default"))
+            for p in fam.params:
+                print("  {:<12} {:<7} {:<18} {}".format(
+                    p.name, p.type.__name__, p.range_text(),
+                    "-" if p.default is None else repr(p.default)))
+        for key in fam.catalog_keys():
+            stats = module_stats(generators.elaborate(key,
+                                                      session.library))
+            print("  {:<36} {} cells ({} comb, {} seq), {} nets".format(
+                str(key), stats.cells, stats.comb_gates, stats.seq_cells,
+                stats.nets))
+        return 0
+
+    if args.action == "elaborate":
+        handle = session.design(args.target)
+        stats = module_stats(handle.design.top)
+        print("design    {}".format(handle.name))
+        print("module    {}".format(handle.design.top.name))
+        print("cells     {} ({} combinational, {} sequential)".format(
+            stats.cells, stats.comb_gates, stats.seq_cells))
+        print("nets      {}".format(stats.nets))
+        print("area      {:.1f} um^2".format(stats.area))
+        print("leakage   {}".format(fmt_power(stats.leakage_nominal)))
+        if args.out:
+            with open(args.out, "w") as f:
+                f.write(handle.netlist())
+            print("wrote {}".format(args.out))
+        return 0
+
+    # sweep: expand the family over --param axes, Table-style per design.
+    fam = generators.family(args.target)
+    axes = {}
+    for spec_text in args.param or []:
+        name, sep, values = spec_text.partition("=")
+        if not sep:
+            raise ReproError(
+                "--param expects NAME=V1,V2,... (got {!r})".format(
+                    spec_text))
+        axes[name.strip()] = _axis_values(fam.spec(name.strip()), values)
+    freqs = [parse_si(f, "Hz") for f in args.freqs.split(",")] \
+        if args.freqs else [1e4, 1e5, 1e6, 5e6]
+    handles = session.expand_family(args.target, **axes)
+    results = []
+    lines = ["{:<40} {:>10} {:>10} {:>10} {:>8}".format(
+        "design", "freq", "no-pg", "scpg", "saving")]
+    for handle in handles:
+        rows = handle.table(freqs)
+        for row in rows:
+            lines.append(
+                "{:<40} {:>10} {:>10} {:>10} {:>7.1f}%".format(
+                    handle.name, fmt_freq(row.freq_hz),
+                    fmt_power(row.power_nopg),
+                    fmt_power(row.power_scpg) if row.power_scpg is not None
+                    else "-",
+                    row.saving_scpg_pct
+                    if row.saving_scpg_pct is not None else float("nan")))
+        results.append({
+            "design": handle.name,
+            "rows": [
+                {"freq_hz": r.freq_hz, "power_nopg": r.power_nopg,
+                 "power_scpg": r.power_scpg,
+                 "saving_scpg_pct": r.saving_scpg_pct}
+                for r in rows
+            ],
+        })
+    _out(args, "\n".join(lines) + "\n")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(results, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("wrote {}".format(args.json))
+    return 0
+
+
 def cmd_report(args):
     from .obs.report import render_report
 
@@ -351,6 +477,28 @@ def build_parser():
                    help="print the registered technique names")
     p.add_argument("--out")
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("designs", help="browse the design database; "
+                       "elaborate or sweep a generator family")
+    p.add_argument("action", choices=("list", "show", "elaborate",
+                                      "sweep"),
+                   help="'list' families and registered designs, 'show' "
+                   "one family's parameter space and catalog, "
+                   "'elaborate' one design (stats, optional Verilog), "
+                   "'sweep' a family's parameter grid")
+    p.add_argument("target", nargs="?",
+                   help="family name (show/sweep) or design name / "
+                   "spec such as \"multiplier(n=8)\" (elaborate)")
+    p.add_argument("--param", action="append", metavar="NAME=V1,V2,...",
+                   help="sweep axis (repeatable); e.g. --param "
+                   "n=4,8,16,32")
+    p.add_argument("--freqs", metavar="F1,F2,...",
+                   help="frequency grid for 'sweep', SI suffixes "
+                   "allowed (default: 10kHz,100kHz,1MHz,5MHz)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the sweep results as JSON to PATH")
+    p.add_argument("--out")
+    p.set_defaults(func=cmd_designs)
 
     p = sub.add_parser("subvt", help="sub-threshold sweep")
     p.add_argument("design")

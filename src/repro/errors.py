@@ -56,6 +56,11 @@ class RegistryError(ReproError):
     """Unknown design name, or a conflicting registration."""
 
 
+class GeneratorError(RegistryError):
+    """Design-database misuse: unknown generator family, a malformed
+    design key, or a parameter outside its declared space."""
+
+
 class TechniqueError(ReproError):
     """Power-gating technique misuse: unknown technique name, an
     ineligible design, or an infeasible operating point."""

@@ -23,8 +23,7 @@ import random
 from dataclasses import dataclass
 from functools import lru_cache
 
-from .circuits.m0lite import build_m0lite
-from .circuits.multiplier import build_mult16
+from .circuits import registry
 from .flows.scpg_flow import _run_scpg_flow
 from .isa.programs import dhrystone_memory, dhrystone_program
 from .isa.trace import GateLevelCpu
@@ -122,11 +121,11 @@ def multiplier_study(fast=False, seed=2011):
     # realistic switched-energy figure (the paper sizes sleep transistors
     # "from synthesis and simulation").
     e_sizing, _ = _measure_multiplier_energy(
-        build_mult16(library), library, vectors=60, seed=seed)
+        registry.build("mult16", library), library, vectors=60, seed=seed)
 
     flow_result = _run_scpg_flow(
-        lambda: Design(build_mult16(library), library), library,
-        energy_per_cycle=e_sizing)
+        lambda: Design(registry.build("mult16", library), library),
+        library, energy_per_cycle=e_sizing)
     base_flow = flow_result.baseline
 
     # Final measurement on the implemented baseline (clock tree included).
@@ -158,12 +157,12 @@ def cortex_m0_study(fast=False):
     library = build_scl90()
 
     # Sizing pre-pass (short workload on the raw core).
-    _, e_sizing = _run_dhrystone(build_m0lite(library), library,
-                                 iterations=4)
+    _, e_sizing = _run_dhrystone(registry.build("m0lite", library),
+                                 library, iterations=4)
 
     flow_result = _run_scpg_flow(
-        lambda: Design(build_m0lite(library), library), library,
-        energy_per_cycle=e_sizing)
+        lambda: Design(registry.build("m0lite", library), library),
+        library, energy_per_cycle=e_sizing)
     base_flow = flow_result.baseline
 
     iterations = 4 if fast else None  # None -> paper-matched ~3700 cycles

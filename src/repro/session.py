@@ -233,9 +233,30 @@ class Session:
 
         return registry.available_designs()
 
+    def families(self):
+        """Names of every generator family in the design database."""
+        from .circuits.generators import available_families
+
+        return available_families()
+
     def design(self, name, **params):
-        """A :class:`DesignHandle` for a registry name or Verilog path."""
+        """A :class:`DesignHandle` for a registry name, a
+        :class:`~repro.circuits.generators.DesignKey`, a spec string like
+        ``"multiplier(n=8)"`` or a Verilog path."""
         return DesignHandle(self, name, params)
+
+    def expand_family(self, family, **axes):
+        """Handles over a family's parameter grid.
+
+        Each axis is a parameter name mapped to a value or an iterable of
+        values; the cartesian product (declaration order, e.g.
+        ``expand_family("multiplier", n=[4, 8, 16, 32])``) becomes one
+        :class:`DesignHandle` per design key, ready for sweeps through
+        this session's runner and artifact cache.
+        """
+        from .circuits.generators import expand_family
+
+        return [self.design(key) for key in expand_family(family, **axes)]
 
     def techniques(self):
         """Names of every registered power-gating technique."""
@@ -276,7 +297,11 @@ class DesignHandle:
 
     def __init__(self, session, name, params):
         self.session = session
-        self.name = name
+        # ``name`` may be a str (registry name, spec string, Verilog
+        # path) or a DesignKey; the original spec is kept for resolution
+        # while ``self.name`` stays a plain string for run labels.
+        self._spec = name
+        self.name = name if isinstance(name, str) else str(name)
         self.params = dict(params)
         self._design = None
         self._scpg = None
@@ -295,7 +320,7 @@ class DesignHandle:
             from .circuits import registry
 
             self._design = registry.resolve(
-                self.name, self.session.library, **self.params)
+                self._spec, self.session.library, **self.params)
         return self._design
 
     @property

@@ -1,7 +1,9 @@
 """Cross-technique comparison: one design, every registered scheme.
 
 ``Session.compare_techniques("mult16")`` (and ``repro compare`` on the
-command line) applies each requested technique to the same design,
+command line) applies each requested technique to the same design --
+named by a registry alias, a database :class:`~repro.circuits.
+generators.DesignKey` or a spec string like ``"multiplier(n=8)"`` --
 builds its uniform :class:`~repro.techniques.base.TechniqueModel`, and
 evaluates all of them -- plus an ungated baseline -- over one frequency
 grid through the session's runner.  Every technique model carries a

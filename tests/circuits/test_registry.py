@@ -28,8 +28,25 @@ class TestRegistry:
     def test_entry_metadata(self):
         e = registry.entry("mult16")
         assert e.name == "mult16"
-        assert e.defaults == {"width": 16}
+        # Legacy names are database aliases: defaults carry the family
+        # spelling (``n``), and the entry knows its canonical key.
+        assert e.defaults == {"n": 16}
+        assert str(e.key) == "multiplier(n=16, registered=True)"
         assert e.doc
+
+    def test_alias_matches_family_key(self, lib):
+        from repro.circuits.generators import DesignKey
+        from repro.runner.fingerprint import module_fingerprint
+
+        via_alias = registry.resolve("mult16", lib)
+        via_key = registry.resolve(DesignKey("multiplier", n=16), lib)
+        assert module_fingerprint(via_alias.top) \
+            == module_fingerprint(via_key.top)
+
+    def test_alias_legacy_keyword_still_works(self, lib):
+        # Historical API: registry.build("mult16", lib, width=8).
+        top = registry.build("mult16", lib, width=8)
+        assert top.name == "mult8"
 
     def test_unknown_name_lists_available(self, lib):
         with pytest.raises(RegistryError) as err:
@@ -67,6 +84,36 @@ class TestRegistry:
     def test_duplicate_registration_rejected(self):
         with pytest.raises(RegistryError):
             registry.register_design("mult16")(lambda library: None)
+
+    def test_duplicate_registration_names_both_sites(self):
+        def first(library):
+            raise AssertionError("never built")
+
+        def second(library):
+            raise AssertionError("never built")
+
+        registry.register_design("dup_probe")(first)
+        try:
+            with pytest.raises(RegistryError) as err:
+                registry.register_design("dup_probe")(second)
+            message = str(err.value)
+            assert "dup_probe" in message
+            # Both the original and the clashing registration sites are
+            # named so the developer can find the offender.
+            assert message.count("test_registry.py:") == 2
+        finally:
+            registry.unregister_design("dup_probe")
+
+    def test_identical_reregistration_is_noop(self):
+        def probe(library):
+            raise AssertionError("never built")
+
+        registry.register_design("noop_probe")(probe)
+        try:
+            registry.register_design("noop_probe")(probe)
+            assert registry.is_registered("noop_probe")
+        finally:
+            registry.unregister_design("noop_probe")
 
     def test_cli_shim_still_resolves(self, lib):
         from repro.cli import _resolve_design

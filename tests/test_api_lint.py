@@ -87,3 +87,89 @@ class TestNoDeprecatedCallers:
         """A deleted shim file must leave the allowlist too."""
         for rel in ALLOWED:
             assert (REPO / rel).is_file(), rel
+
+
+#: The pre-database circuit constructors.  Product code goes through the
+#: design database (``repro.circuits.registry`` / ``generators``) so
+#: elaborations stay keyed, validated and memoised; only the circuits
+#: package itself (the implementations and the family adapters) may call
+#: the builders directly.  Tests are exempt -- unit-testing a builder is
+#: legitimate.
+LEGACY_BUILDERS = ("build_mult16", "build_m0lite", "build_counter",
+                   "build_lfsr")
+LEGACY_PATTERN = re.compile(
+    r"(\bimport\s+[^\n]*\b(?:{0})\b|\b(?:{0})\s*\()".format(
+        "|".join(LEGACY_BUILDERS)))
+LEGACY_SCAN_DIRS = ("src", "benchmarks", "scripts")
+LEGACY_ALLOWED_PREFIX = "src/repro/circuits/"
+
+
+class TestBuildersOnlyInsideDatabase:
+    def test_no_direct_builder_use(self):
+        offenders = []
+        for top in LEGACY_SCAN_DIRS:
+            root = REPO / top
+            if not root.is_dir():
+                continue
+            for path in sorted(root.rglob("*.py")):
+                rel = path.relative_to(REPO).as_posix()
+                if rel.startswith(LEGACY_ALLOWED_PREFIX):
+                    continue
+                for lineno, line in enumerate(
+                        path.read_text().splitlines(), 1):
+                    if LEGACY_PATTERN.search(line):
+                        offenders.append("{}:{}: {}".format(
+                            rel, lineno, line.strip()))
+        assert not offenders, (
+            "legacy circuit builders must be reached through the design "
+            "database (registry.build / generators.elaborate):\n"
+            + "\n".join(offenders))
+
+
+class TestGeneratorsDocstrings:
+    """Every public symbol of the database module documents itself."""
+
+    def _public_symbols(self):
+        import inspect
+
+        import repro.circuits.generators as mod
+
+        for name, obj in sorted(vars(mod).items()):
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != mod.__name__:
+                continue
+            yield name, obj
+            if inspect.isclass(obj):
+                for attr, member in sorted(vars(obj).items()):
+                    if attr.startswith("_"):
+                        continue
+                    # Docstrings attach to callables and properties;
+                    # plain class-level data attributes carry theirs in
+                    # the class docstring.
+                    if not (callable(member)
+                            or isinstance(member, (property, classmethod,
+                                                   staticmethod))):
+                        continue
+                    yield "{}.{}".format(name, attr), member
+
+    def test_the_scan_sees_the_api(self):
+        names = [name for name, _ in self._public_symbols()]
+        for expected in ("DesignKey", "GeneratorFamily", "Param",
+                         "register_family", "elaborate",
+                         "expand_family"):
+            assert expected in names
+
+    def test_every_public_symbol_has_a_docstring(self):
+        undocumented = []
+        for name, obj in self._public_symbols():
+            doc = getattr(obj, "__doc__", None)
+            if isinstance(obj, property):
+                doc = obj.fget.__doc__
+            elif isinstance(obj, (classmethod, staticmethod)):
+                doc = obj.__func__.__doc__
+            if not (doc or "").strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            "public symbols of repro.circuits.generators without "
+            "docstrings: {}".format(", ".join(undocumented)))

@@ -39,6 +39,56 @@ class TestNetlist:
         assert "error" in capsys.readouterr().err
 
 
+class TestDesigns:
+    def test_list(self, capsys):
+        assert main(["designs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "multiplier" in out
+        assert "mult16" in out
+
+    def test_show_family(self, capsys):
+        assert main(["designs", "show", "multiplier"]) == 0
+        out = capsys.readouterr().out
+        assert "param" in out
+        assert "1 .. 128" in out
+        assert "multiplier(n=16, registered=True)" in out
+
+    def test_elaborate_spec(self, tmp_path, capsys):
+        path = tmp_path / "m.v"
+        assert main(["designs", "elaborate", "multiplier(n=4)",
+                     "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mult4" in out
+        assert "module mult4" in path.read_text()
+
+    def test_sweep_family(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        assert main(["designs", "sweep", "multiplier",
+                     "--param", "n=4,8", "--freqs", "100kHz,1MHz",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "multiplier(n=4, registered=True)" in out
+        assert "saving" in out
+        import json
+
+        results = json.loads(json_path.read_text())
+        assert len(results) == 2
+        assert len(results[0]["rows"]) == 2
+
+    def test_target_required(self, capsys):
+        assert main(["designs", "show"]) == 1
+        assert "needs a target" in capsys.readouterr().err
+
+    def test_unknown_family(self, capsys):
+        assert main(["designs", "show", "nonesuch"]) == 1
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_bad_param_value(self, capsys):
+        assert main(["designs", "sweep", "multiplier",
+                     "--param", "n=0"]) == 1
+        assert "multiplier.n" in capsys.readouterr().err
+
+
 class TestScpg:
     def test_transform_outputs(self, tmp_path, capsys):
         upf = tmp_path / "out.upf"

@@ -35,6 +35,41 @@ class TestSession:
         handle = session.design("counter16")
         assert handle.design is handle.design
 
+    def test_families_match_database(self, session):
+        from repro.circuits.generators import available_families
+
+        assert session.families() == available_families()
+
+    def test_design_accepts_design_key(self, session):
+        from repro.circuits.generators import DesignKey
+
+        handle = session.design(DesignKey("multiplier", n=8))
+        assert handle.name == "multiplier(n=8)"
+        assert handle.design.top.name == "mult8"
+
+    def test_design_accepts_spec_string(self, session):
+        handle = session.design("pipeline(depth=2, width=4)")
+        assert handle.design.top.name == "pipe2x4"
+
+    def test_alias_and_key_fingerprints_identical(self, session):
+        from repro.circuits.generators import DesignKey
+
+        assert session.design("mult16").fingerprint \
+            == session.design(DesignKey("multiplier", n=16)).fingerprint
+
+    def test_expand_family_yields_handles(self, session):
+        handles = session.expand_family("multiplier", n=[4, 8])
+        assert [h.name for h in handles] \
+            == ["multiplier(n=4, registered=True)",
+                "multiplier(n=8, registered=True)"]
+        assert handles[0].design.top.name == "mult4"
+
+    def test_expand_family_validates_axis(self, session):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError):
+            session.expand_family("multiplier", n=[0])
+
     def test_param_round_trip(self, session):
         handle = session.design("counter16", width=8)
         assert handle.params == {"width": 8}
