@@ -12,18 +12,23 @@ Usage::
 
 The current schema is ``repro-bench-sweep-v2``: one file carries named
 measurement sections under ``"measurements"`` (``artifact_cache``,
-``parallel_batch``, ...), each with its own ``speedup``.  A candidate
-may carry a *subset* of the baseline's sections -- each CI benchmark
-step checks only the section it measured -- but a section the baseline
-does not know, a missing ``speedup``, or any schema string other than
-v2 (or the retired v1, still accepted when *both* sides are v1) fails
-loudly: silent schema drift is how a gate stops gating.
+``parallel_batch``, ``serve``, ...), each gated on one figure of merit
+-- ``speedup`` for the timing benchmarks, ``dedupe_ratio`` for the
+serve load benchmark (cross-client cache fan-in; wall-clock would be
+meaningless on shared CI cores, the hit rate is deterministic).  The
+baseline decides which key gates a section; the candidate must carry
+the same key.  A candidate may carry a *subset* of the baseline's
+sections -- each CI benchmark step checks only the section it measured
+-- but a section the baseline does not know, a missing gate figure, or
+any schema string other than v2 (or the retired v1, still accepted when
+*both* sides are v1) fails loudly: silent schema drift is how a gate
+stops gating.
 
 The gate itself is deliberately generous -- CI runners are noisy and
 share cores -- so only a change that costs more than **2x** of the
-baseline speedup fails:
+baseline figure fails:
 
-    candidate.speedup >= baseline.speedup / 2        (per section)
+    candidate.<gate> >= baseline.<gate> / 2          (per section)
 
 Absolute wall-clocks are reported but never gated on; they are not
 comparable across machines.  Exit status: 0 pass, 1 regression or
@@ -37,6 +42,17 @@ import sys
 TOLERANCE = 2.0
 SCHEMA_V1 = "repro-bench-sweep-v1"
 SCHEMA_V2 = "repro-bench-sweep-v2"
+#: Figures of merit a section may gate on, in precedence order; the
+#: first one the *baseline* carries is the gate for that section.
+GATE_KEYS = ("speedup", "dedupe_ratio")
+
+
+def gate_key(section):
+    """The figure-of-merit key gating ``section``, or ``None``."""
+    for key in GATE_KEYS:
+        if isinstance(section.get(key), (int, float)):
+            return key
+    return None
 
 
 def load(path):
@@ -65,10 +81,11 @@ def sections(data, side):
             return None
         for name, section in measurements.items():
             if not isinstance(section, dict) \
-                    or not isinstance(section.get("speedup"),
-                                      (int, float)):
+                    or gate_key(section) is None:
                 print("error: {} measurement {!r} has no numeric "
-                      "speedup".format(side, name), file=sys.stderr)
+                      "gate figure (one of {})".format(
+                          side, name, ", ".join(GATE_KEYS)),
+                      file=sys.stderr)
                 return None
         return dict(measurements)
     if schema == SCHEMA_V1:
@@ -82,13 +99,15 @@ def sections(data, side):
     return None
 
 
-def describe(name, section):
+def describe(name, section, key):
     times = ", ".join(
-        "{} {:.3f}s".format(key, section[key])
-        for key in sorted(section)
-        if key.endswith("_s") and isinstance(section[key], (int, float)))
-    return "{}: {:.2f}x{}".format(
-        name, section["speedup"], " ({})".format(times) if times else "")
+        "{} {:.3f}s".format(k, section[k])
+        for k in sorted(section)
+        if k.endswith("_s") and isinstance(section[k], (int, float)))
+    figure = "{:.2f}x".format(section[key]) if key == "speedup" \
+        else "{} {:.3f}".format(key, section[key])
+    return "{}: {}{}".format(
+        name, figure, " ({})".format(times) if times else "")
 
 
 def main(argv):
@@ -125,14 +144,21 @@ def main(argv):
 
     status = 0
     for name in sorted(measured):
-        floor = reference[name]["speedup"] / TOLERANCE
-        print("baseline  {}".format(describe(name, reference[name])))
-        print("candidate {}".format(describe(name, measured[name])))
-        print("floor     {}: {:.2f}x (baseline / {})".format(
-            name, floor, TOLERANCE))
-        if measured[name]["speedup"] < floor:
-            print("REGRESSION: {} speedup {:.2f}x is below {:.2f}x"
-                  .format(name, measured[name]["speedup"], floor),
+        key = gate_key(reference[name])
+        if not isinstance(measured[name].get(key), (int, float)):
+            return fail(
+                "candidate section {!r} lacks the baseline's gate "
+                "figure {!r}".format(name, key))
+        floor = reference[name][key] / TOLERANCE
+        print("baseline  {}".format(describe(name, reference[name],
+                                             key)))
+        print("candidate {}".format(describe(name, measured[name],
+                                             key)))
+        print("floor     {}: {:.3f} {} (baseline / {})".format(
+            name, floor, key, TOLERANCE))
+        if measured[name][key] < floor:
+            print("REGRESSION: {} {} {:.3f} is below {:.3f}"
+                  .format(name, key, measured[name][key], floor),
                   file=sys.stderr)
             status = 1
     skipped = sorted(set(reference) - set(measured))

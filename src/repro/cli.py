@@ -13,6 +13,7 @@ writing Python:
 ``table``        regenerate Table I or Table II
 ``compare``      compare power-gating techniques (scpg/cbtstc/lector)
 ``designs``      browse the design database; elaborate or sweep a family
+``serve``        HTTP job API: sweeps as a service over a shared store
 ``subvt``        sub-threshold sweep and minimum-energy point
 ``report``       replay a run journal/trace into a timing + anomaly report
 ===============  ============================================================
@@ -353,6 +354,33 @@ def cmd_report(args):
     return 0
 
 
+def cmd_serve(args):
+    from .serve import SweepService, serve_forever
+    from .session import Session
+
+    if getattr(args, "no_cache", False) and not args.store:
+        cache, store = None, None
+    elif args.store:
+        cache, store = "auto", args.store
+    elif getattr(args, "cache", None):
+        cache, store = args.cache, None
+    else:
+        cache, store = "auto", None
+    session = Session(
+        liberty=getattr(args, "liberty", None) or None,
+        workers=args.workers, cache=cache, store=store,
+        artifacts=not getattr(args, "no_artifact_cache", False),
+        metrics=True, pool=getattr(args, "pool", "shared") or "shared",
+        chunk_size=getattr(args, "chunk_size", None))
+    args._session_obj = session
+    service = SweepService(session=session, spool=args.spool)
+    try:
+        serve_forever(service, host=args.host, port=args.port)
+    finally:
+        service.close()
+    return 0
+
+
 def cmd_subvt(args):
     from .subvt.energy import energy_sweep, minimum_energy_point
 
@@ -499,6 +527,22 @@ def build_parser():
                    help="also write the sweep results as JSON to PATH")
     p.add_argument("--out")
     p.set_defaults(func=cmd_designs)
+
+    p = sub.add_parser("serve", help="run the sweep job service: an "
+                       "HTTP API accepting sweep/compare/family-sweep "
+                       "jobs over one warm session")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="listen address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080,
+                   help="listen port (default 8080; 0 picks a free one)")
+    p.add_argument("--store", metavar="PATH",
+                   help="SQLite result store shared by every job (and "
+                   "any other process pointed at the same file); "
+                   "default: the --cache directory store")
+    p.add_argument("--spool", metavar="DIR",
+                   help="directory for per-job JSONL journals "
+                   "(default: a temp directory)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("subvt", help="sub-threshold sweep")
     p.add_argument("design")

@@ -80,6 +80,11 @@ class PointTimeoutError(RunnerError):
     """
 
 
+class ServeError(ReproError):
+    """Sweep-service misuse: a malformed job spec, an unknown job id,
+    or an operation a job's state does not allow."""
+
+
 class FlowError(ReproError):
     """Implementation-flow step failed."""
 

@@ -12,6 +12,9 @@ through this package.  The public surface:
   surviving across grids, serving the chunked parallel batch path;
 * :class:`ResultCache` -- the on-disk store, keyed by stable fingerprints
   of (design netlist, library parameters, operating point, mode);
+* :class:`SqliteStore` -- the same interface over one WAL-mode SQLite
+  file: many processes share it safely, which is what the
+  :mod:`repro.serve` job service (and any ``Session(store=...)``) rides;
 * :class:`CachedEvaluator` -- point-at-a-time caching for search loops;
 * :class:`RunStats` -- per-run counters and stage wall-clocks;
 * :class:`RunJournal` / :func:`read_journal` -- append-only JSONL event
@@ -50,6 +53,7 @@ from .kernel import (
     register_kernel,
 )
 from .pool import WorkerPool
+from .sqlite_store import SQLITE_SCHEMA, SqliteStore, open_store
 
 __all__ = [
     "ARTIFACT_SCHEMA",
@@ -66,6 +70,8 @@ __all__ = [
     "NULL_JOURNAL",
     "ResultCache",
     "RunJournal",
+    "SQLITE_SCHEMA",
+    "SqliteStore",
     "RunStats",
     "Runner",
     "WorkerPool",
@@ -76,6 +82,7 @@ __all__ = [
     "fingerprint",
     "kernel_for",
     "module_fingerprint",
+    "open_store",
     "read_journal",
     "register_kernel",
     "resolve_workers",

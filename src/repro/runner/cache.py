@@ -11,6 +11,18 @@ Values are pickled; a corrupt or unreadable entry degrades to a miss (and
 is deleted best-effort) rather than failing the run.  Writes go through a
 temporary file and ``os.replace`` so concurrent workers never observe a
 half-written entry.
+
+Misses are accounted in two columns shared by every store implementing
+this interface (:class:`ResultCache` here, :class:`~repro.runner.
+sqlite_store.SqliteStore` for the concurrency-safe serve path):
+``absent`` -- the entry simply was not there -- and ``corrupt`` -- bytes
+existed but would not unpickle, e.g. a torn write from a crashed process
+on a non-atomic filesystem.  ``misses`` is always their sum, so hit-rate
+arithmetic is unchanged; the split exists so the two backends can be
+held to *identical* ledgers by the differential tests.  Cleanup of a
+corrupt entry is compare-before-delete: the reader only removes the
+exact bytes it failed to read, never a concurrent writer's repair that
+landed in between.
 """
 
 from __future__ import annotations
@@ -48,6 +60,8 @@ class ResultCache:
         self.salt = salt
         self.hits = 0
         self.misses = 0
+        self.absent = 0
+        self.corrupt = 0
         self.puts = 0
 
     def key_for(self, *parts):
@@ -61,20 +75,27 @@ class ResultCache:
         """``(hit, value)`` for ``key``; counts the hit or miss."""
         try:
             with open(self._path(key), "rb") as f:
-                value = pickle.load(f)
+                data = f.read()
         except FileNotFoundError:
             # The common cold-cache case: the entry simply isn't there.
             # No unlink -- there is nothing to delete.
             self.misses += 1
+            self.absent += 1
             return False, None
+        try:
+            value = pickle.loads(data)
         except Exception:
             # Unpickling corrupt bytes can raise nearly anything
             # (UnpicklingError, ValueError, KeyError, EOFError, ...);
             # an unreadable entry degrades to a miss and is deleted so
             # the *next* writer repairs it and the next reader takes the
-            # cheap absent path.
-            self._drop(key)
+            # cheap absent path.  Deletion is compare-before-delete: a
+            # writer may have replaced the torn bytes with a complete
+            # entry between our read and our cleanup, and unlinking that
+            # repair would throw away a paid result.
+            self._drop_if_unchanged(key, data)
             self.misses += 1
+            self.corrupt += 1
             return False, None
         self.hits += 1
         return True, value
@@ -124,7 +145,11 @@ class ResultCache:
         """
         try:
             self.put(key, value)
-        except OSError:
+        except (OSError, pickle.PicklingError, TypeError, AttributeError):
+            # TypeError/PicklingError/AttributeError: an unpicklable
+            # value (a lambda smuggled into a result -- pickle raises
+            # AttributeError for local objects) must not kill the sweep
+            # either.
             return False
         return True
 
@@ -145,6 +170,26 @@ class ResultCache:
         except OSError:
             return False
         return True
+
+    def _drop_if_unchanged(self, key, observed):
+        """Drop ``key`` only while it still holds ``observed`` bytes.
+
+        Cleanup path for a corrupt read.  ``put`` is atomic
+        (``os.replace``), so torn bytes can only come from *outside* the
+        normal write path -- a crashed writer on a non-atomic
+        filesystem, a truncated copy -- and by the time this reader gets
+        to deleting them, a healthy writer may already have replaced
+        them with a complete entry.  Re-reading and comparing before the
+        unlink keeps that repair alive; the stale-corrupt case still
+        gets cleaned so the next reader pays the cheap absent path.
+        """
+        try:
+            with open(self._path(key), "rb") as f:
+                if f.read() != observed:
+                    return False
+        except OSError:
+            return False
+        return self._drop(key)
 
     def _keys(self):
         if not os.path.isdir(self.root):

@@ -1,0 +1,228 @@
+"""Concurrency-safe persistent result/artifact store on SQLite.
+
+:class:`SqliteStore` implements the exact interface of
+:class:`~repro.runner.cache.ResultCache` -- ``key_for`` / ``lookup`` /
+``get`` / ``put`` / ``writeback`` / ``invalidate`` / ``clear`` plus the
+``hits`` / ``misses`` / ``absent`` / ``corrupt`` / ``puts`` ledgers --
+over a single SQLite database file instead of a directory of pickles.
+Anything that accepts a ``ResultCache`` (``Runner(cache=)``,
+``ArtifactStore(cache=)``, ``Session(store=)``) accepts one of these,
+and :mod:`repro.serve` backs its multi-tenant job service with one.
+
+Why SQLite and not the directory store for serving:
+
+* **one file, many writers** -- the database runs in WAL mode, so many
+  processes (the serve front-end, its worker pool, an offline CLI run
+  pointed at the same store) read concurrently while writers serialise
+  through SQLite's own locking, with a ``busy_timeout`` instead of
+  "database is locked" errors under load;
+* **crash recovery is SQLite's** -- a process killed mid-``put`` leaves
+  a WAL journal that the next opener replays or rolls back; committed
+  entries survive, torn ones vanish, which the crash-recovery tests
+  exercise by copying the live db+WAL mid-stream;
+* **content-addressed, multi-tenant dedupe** -- keys are the same
+  :func:`~repro.runner.fingerprint.stable_hash` digests the directory
+  store uses, so two tenants sweeping overlapping grids share entries
+  byte-for-byte, and per-job hit/miss deltas measure exactly how much
+  work one tenant saved another.
+
+The two backends are held to *identical* miss accounting: an absent row
+counts in ``absent``, a row whose blob will not unpickle counts in
+``corrupt`` (and is deleted compare-before-delete, preserving a
+concurrent repair), and ``misses`` is always their sum --
+``tests/runner/test_sqlite_store.py`` runs the same scripted sequence
+against both stores and asserts ledger equality.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sqlite3
+import threading
+import time
+
+from .cache import CACHE_SCHEMA, ResultCache
+
+#: Bump when the table layout changes; a mismatched file fails loudly at
+#: open instead of being misread.
+SQLITE_SCHEMA = "repro-sqlite-store-v1"
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    name  TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS entries (
+    key     TEXT PRIMARY KEY,
+    value   BLOB NOT NULL,
+    created REAL NOT NULL
+);
+"""
+
+
+class SqliteStore(ResultCache):
+    """A content-addressed pickle store inside one SQLite database.
+
+    Parameters
+    ----------
+    path:
+        Database file (created on first open; parent directory must
+        exist or be creatable).
+    salt:
+        Extra key component; defaults to :data:`~repro.runner.cache.
+        CACHE_SCHEMA` so a directory store and an SQLite store pointed
+        at the same logical namespace derive the same keys.
+    timeout:
+        Seconds a writer waits on SQLite's lock before giving up
+        (forwarded as ``busy_timeout``); generous by default because
+        serve-path writers genuinely contend.
+
+    Connections are per-thread (SQLite objects must not cross threads);
+    separate processes open their own stores on the same file and
+    coordinate through SQLite's locking -- that is the supported
+    multi-process mode, exercised by the parallel-writer tests.
+    """
+
+    def __init__(self, path, salt=CACHE_SCHEMA, timeout=30.0):
+        super().__init__(path, salt=salt)
+        self.path = str(path)
+        self.timeout = float(timeout)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        # Fail at construction, not first lookup: create the file, the
+        # schema and the WAL journal now, and reject a foreign layout.
+        self._conn()
+
+    # -- connection management ------------------------------------------------
+
+    def _conn(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(self.path, timeout=self.timeout)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(
+                "PRAGMA busy_timeout={}".format(int(self.timeout * 1000)))
+            conn.executescript(_DDL)
+            row = conn.execute(
+                "SELECT value FROM meta WHERE name='schema'").fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT OR IGNORE INTO meta(name, value) "
+                    "VALUES('schema', ?)", (SQLITE_SCHEMA,))
+                conn.commit()
+            elif row[0] != SQLITE_SCHEMA:
+                conn.close()
+                from ..errors import RunnerError
+
+                raise RunnerError(
+                    "{} holds schema {!r}, this build reads {!r}".format(
+                        self.path, row[0], SQLITE_SCHEMA))
+            self._local.conn = conn
+        return conn
+
+    def close(self):
+        """Close this thread's connection (others close on their own
+        thread or at interpreter exit; the file stays valid either way)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+
+    # -- the ResultCache interface -------------------------------------------
+
+    def lookup(self, key):
+        """``(hit, value)`` for ``key``; counts the hit or miss with the
+        same absent/corrupt split as :class:`ResultCache`."""
+        row = self._conn().execute(
+            "SELECT value FROM entries WHERE key=?", (key,)).fetchone()
+        if row is None:
+            self.misses += 1
+            self.absent += 1
+            return False, None
+        data = row[0]
+        try:
+            value = pickle.loads(data)
+        except Exception:
+            # Same contract as the directory store: corrupt bytes
+            # degrade to a miss and are cleaned compare-before-delete
+            # (the WHERE clause only matches the bytes we failed to
+            # read, never a concurrent writer's repair).
+            self._execute("DELETE FROM entries WHERE key=? AND value=?",
+                          (key, data))
+            self.misses += 1
+            self.corrupt += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key, value):
+        """Store ``value`` under ``key`` (transactional, last writer
+        wins)."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._execute(
+            "INSERT INTO entries(key, value, created) VALUES(?, ?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value=excluded.value, "
+            "created=excluded.created",
+            (key, sqlite3.Binary(blob), time.time()))
+        self.puts += 1
+
+    def writeback(self, key, value):
+        """Best-effort :meth:`put` -- never fails the run (see
+        :meth:`ResultCache.writeback`)."""
+        try:
+            self.put(key, value)
+        except (OSError, sqlite3.Error, pickle.PicklingError, TypeError,
+                AttributeError):
+            return False
+        return True
+
+    def invalidate(self, key):
+        """Drop one entry; returns True when it existed."""
+        return self._execute(
+            "DELETE FROM entries WHERE key=?", (key,)) > 0
+
+    def clear(self):
+        """Drop every entry; returns the number removed."""
+        return self._execute("DELETE FROM entries")
+
+    def _execute(self, sql, params=()):
+        conn = self._conn()
+        with self._lock:
+            cursor = conn.execute(sql, params)
+            conn.commit()
+            return cursor.rowcount
+
+    def _keys(self):
+        for (key,) in self._conn().execute(
+                "SELECT key FROM entries ORDER BY key"):
+            yield key
+
+    def __len__(self):
+        return self._conn().execute(
+            "SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    def __contains__(self, key):
+        return self._conn().execute(
+            "SELECT 1 FROM entries WHERE key=?", (key,)).fetchone() \
+            is not None
+
+    def __repr__(self):
+        return "SqliteStore({!r}, hits={}, misses={})".format(
+            self.path, self.hits, self.misses)
+
+
+def open_store(spec, salt=CACHE_SCHEMA):
+    """A store from a user-facing spec.
+
+    ``Session(store=...)`` and ``repro serve --store`` accept either an
+    existing store object (returned as-is) or a filesystem path, which
+    opens an :class:`SqliteStore` on that file (conventionally
+    ``*.sqlite`` / ``*.db``, but any path works).
+    """
+    if isinstance(spec, ResultCache):
+        return spec
+    return SqliteStore(os.path.expanduser(str(spec)), salt=salt)

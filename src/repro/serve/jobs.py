@@ -1,0 +1,260 @@
+"""Job specifications and result serialisation for the sweep service.
+
+A :class:`JobSpec` is the wire form of one unit of work a client may
+submit: a frequency sweep of one design, a cross-technique comparison,
+or a family sweep over a generator parameter grid.  Specs travel as
+JSON; :meth:`JobSpec.to_dict` / :meth:`JobSpec.from_dict` are exact
+inverses through ``json.dumps``/``json.loads`` (floats round-trip
+bit-for-bit through ``repr``, which the hypothesis property test in
+``tests/serve/test_jobs.py`` pins), so a job re-submitted from its own
+status payload is the *same* job, point for point.
+
+Result payloads are serialised the same way: every
+:class:`~repro.scpg.power_model.PowerBreakdown` field is emitted as its
+raw float, so a JSON round-trip of a serve-path result compares
+float-*exact* against the offline ``Session.sweep()`` objects -- the
+contract ``tests/integration/test_equivalence_matrix.py`` enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ServeError
+from ..scpg.power_model import Mode
+
+#: Job kinds the service schedules.
+KINDS = ("sweep", "compare", "family_sweep")
+
+#: Job lifecycle states (terminal: done / failed / cancelled).
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Mode names accepted on the wire (the enum's values).
+MODE_NAMES = tuple(m.value for m in Mode)
+
+_SCALAR = (int, float, str, bool)
+
+
+def _freqs(values, *, required):
+    if values is None:
+        values = ()
+    try:
+        out = tuple(float(v) for v in values)
+    except (TypeError, ValueError):
+        raise ServeError("freqs must be a list of numbers (got {!r})"
+                         .format(values))
+    for f in out:
+        if not (f == f and 0.0 < f < float("inf")):
+            raise ServeError(
+                "freqs must be finite and positive (got {!r})".format(f))
+    if required and not out:
+        raise ServeError("a sweep job needs a non-empty freqs list")
+    return out
+
+
+def _names(values, what):
+    if values is None:
+        return None
+    out = tuple(str(v) for v in values)
+    if not out:
+        return None
+    return out
+
+
+@dataclass
+class JobSpec:
+    """One submittable unit of work.
+
+    Parameters
+    ----------
+    kind:
+        ``"sweep"`` (frequency sweep of one design's SCPG power model),
+        ``"compare"`` (cross-technique comparison of one design) or
+        ``"family_sweep"`` (Table-style sweep over a generator family's
+        parameter grid).
+    design:
+        Registry name or design-database spec (sweep / compare).
+    family / axes:
+        Generator family name and ``{param: [values, ...]}`` expansion
+        axes (family_sweep).
+    freqs:
+        Frequency grid in Hz.  Required for ``sweep``; optional for the
+        other kinds (their library defaults apply).
+    modes:
+        Mode names for ``sweep`` (default: the paper's No-PG / SCPG /
+        SCPG-Max trio).
+    techniques / vdd:
+        Technique registry names and operating supply (``compare``).
+    params:
+        Extra design parameters forwarded to ``session.design``.
+    tenant:
+        Free-form client identity; only used for accounting and
+        filtering, never for keys -- tenants *share* the
+        content-addressed store, that is the dedupe story.
+    """
+
+    kind: str
+    design: str = None
+    family: str = None
+    freqs: tuple = ()
+    modes: tuple = None
+    techniques: tuple = None
+    vdd: float = None
+    params: dict = field(default_factory=dict)
+    axes: dict = field(default_factory=dict)
+    tenant: str = "anon"
+
+    def __post_init__(self):
+        self.kind = str(self.kind)
+        if self.kind not in KINDS:
+            raise ServeError("unknown job kind {!r} (expected one of {})"
+                             .format(self.kind, ", ".join(KINDS)))
+        self.freqs = _freqs(self.freqs, required=self.kind == "sweep")
+        self.modes = _names(self.modes, "modes")
+        if self.modes is not None:
+            for name in self.modes:
+                if name not in MODE_NAMES:
+                    raise ServeError(
+                        "unknown mode {!r} (expected one of {})".format(
+                            name, ", ".join(MODE_NAMES)))
+        self.techniques = _names(self.techniques, "techniques")
+        if self.vdd is not None:
+            self.vdd = float(self.vdd)
+            if not (self.vdd == self.vdd and self.vdd > 0.0):
+                raise ServeError("vdd must be finite and positive")
+        if self.kind in ("sweep", "compare"):
+            if not self.design:
+                raise ServeError(
+                    "a {} job needs a design".format(self.kind))
+            self.design = str(self.design)
+        else:
+            if not self.family:
+                raise ServeError("a family_sweep job needs a family")
+            self.family = str(self.family)
+        self.params = self._scalar_map(self.params, "params")
+        self.axes = {
+            str(name): tuple(values) if isinstance(values, (list, tuple))
+            else (values,)
+            for name, values in dict(self.axes or {}).items()
+        }
+        for name, values in self.axes.items():
+            for v in values:
+                if not isinstance(v, _SCALAR):
+                    raise ServeError(
+                        "axes[{!r}] values must be scalars (got {!r})"
+                        .format(name, v))
+        self.tenant = str(self.tenant)
+
+    @staticmethod
+    def _scalar_map(mapping, what):
+        out = {}
+        for name, value in dict(mapping or {}).items():
+            if not isinstance(value, _SCALAR):
+                raise ServeError(
+                    "{}[{!r}] must be a scalar (got {!r})".format(
+                        what, name, value))
+            out[str(name)] = value
+        return out
+
+    def mode_objects(self):
+        """The :class:`~repro.scpg.power_model.Mode` objects requested
+        (``None`` means the sweep default trio)."""
+        if self.modes is None:
+            return None
+        return tuple(Mode(name) for name in self.modes)
+
+    def to_dict(self):
+        """JSON-ready form; :meth:`from_dict` is its exact inverse."""
+        return {
+            "kind": self.kind,
+            "design": self.design,
+            "family": self.family,
+            "freqs": list(self.freqs),
+            "modes": None if self.modes is None else list(self.modes),
+            "techniques": None if self.techniques is None
+            else list(self.techniques),
+            "vdd": self.vdd,
+            "params": dict(self.params),
+            "axes": {name: list(values)
+                     for name, values in self.axes.items()},
+            "tenant": self.tenant,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Parse a client payload; raises :class:`~repro.errors.
+        ServeError` on anything malformed (unknown keys included --
+        a typo'd field silently ignored is a wrong sweep)."""
+        if not isinstance(data, dict):
+            raise ServeError("job spec must be a JSON object")
+        known = {"kind", "design", "family", "freqs", "modes",
+                 "techniques", "vdd", "params", "axes", "tenant"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ServeError("unknown job spec fields: {}".format(
+                ", ".join(unknown)))
+        if "kind" not in data:
+            raise ServeError("job spec needs a kind")
+        kwargs = {k: v for k, v in data.items() if v is not None}
+        if "params" not in kwargs:
+            kwargs["params"] = {}
+        if "axes" not in kwargs:
+            kwargs["axes"] = {}
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise ServeError("malformed job spec: {}".format(exc))
+
+    def __eq__(self, other):
+        if not isinstance(other, JobSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+
+# -- result serialisation ------------------------------------------------------
+
+def breakdown_to_dict(breakdown):
+    """One :class:`~repro.scpg.power_model.PowerBreakdown` as JSON.
+
+    Raw floats only -- JSON round-trips them exactly, so the serve path
+    stays float-identical to the offline objects.  ``None`` (infeasible
+    point) passes through.
+    """
+    if breakdown is None:
+        return None
+    return {
+        "mode": breakdown.mode.value,
+        "freq_hz": breakdown.freq_hz,
+        "duty": breakdown.duty,
+        "p_dynamic": breakdown.p_dynamic,
+        "p_overhead": breakdown.p_overhead,
+        "p_leak_alwayson": breakdown.p_leak_alwayson,
+        "p_leak_comb": breakdown.p_leak_comb,
+        "p_leak_header": breakdown.p_leak_header,
+        "total": breakdown.total,
+        "energy_per_op": breakdown.energy_per_op,
+    }
+
+
+def sweep_to_dict(data):
+    """A :class:`~repro.analysis.sweep.FrequencySweep` as JSON."""
+    modes = list(data.results)
+    return {
+        "freqs": list(data.freqs),
+        "modes": [mode.value for mode in modes],
+        "series": {
+            mode.value: [breakdown_to_dict(b) for b in data.results[mode]]
+            for mode in modes
+        },
+    }
+
+
+def table_rows_to_dicts(rows):
+    """``list[TableRowResult]`` as JSON (all fields, raw floats)."""
+    from dataclasses import fields as dc_fields
+
+    out = []
+    for row in rows:
+        out.append({f.name: getattr(row, f.name)
+                    for f in dc_fields(row)})
+    return out

@@ -22,8 +22,8 @@ facade; the lower-level modules (``repro.analysis``, ``repro.subvt``,
 from __future__ import annotations
 
 from .runner import DEFAULT_BACKOFF, DEFAULT_RETRIES, ResultCache, Runner, \
-    WorkerPool, default_cache, module_fingerprint, resolve_workers, \
-    stable_hash
+    WorkerPool, default_cache, module_fingerprint, open_store, \
+    resolve_workers, stable_hash
 
 
 class Session:
@@ -44,6 +44,16 @@ class Session:
         Result cache: a :class:`~repro.runner.ResultCache`, a directory
         path, ``None``/``False`` for no caching, or ``"auto"`` (default)
         to honour the ``REPRO_CACHE_DIR`` environment variable.
+    store:
+        Concurrency-safe persistent store used *instead of* ``cache``: a
+        :class:`~repro.runner.SqliteStore` (or any ``ResultCache``-
+        shaped object), or the path of an SQLite database file.  One
+        WAL-mode file safely shared by many processes and sessions --
+        the backend :mod:`repro.serve` runs on, and the way several
+        tenants sweeping overlapping grids dedupe each other's work.
+        Because ``artifacts=True`` (the default) stores artifact bundles
+        through the session's result cache, the store serves both roles.
+        Mutually exclusive with an explicit ``cache`` argument.
     journal:
         A :class:`~repro.runner.RunJournal` or a path; every grid the
         session runs appends its JSONL events there (default: none).
@@ -90,7 +100,7 @@ class Session:
     """
 
     def __init__(self, library=None, liberty=None, workers=None,
-                 cache="auto", journal=None, retry_on=(),
+                 cache="auto", store=None, journal=None, retry_on=(),
                  retries=DEFAULT_RETRIES, backoff=DEFAULT_BACKOFF,
                  timeout=None, artifacts=True, trace=None, metrics=None,
                  pool="shared", chunk_size=None):
@@ -98,7 +108,12 @@ class Session:
             raise ValueError("pass either library or liberty, not both")
         self._library = library
         self._liberty = liberty
-        if cache == "auto":
+        if store is not None:
+            if cache != "auto":
+                raise ValueError(
+                    "pass either store or cache, not both")
+            cache = open_store(store)
+        elif cache == "auto":
             cache = default_cache()
         elif cache is False:
             cache = None

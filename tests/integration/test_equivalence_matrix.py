@@ -197,3 +197,79 @@ class TestParallelBatchMatrix:
             assert pool.alive and pool.generation == 1
         _assert_identical(_flatten(data), reference)
         _assert_identical(_flatten(again), reference)
+
+
+#: design name -> paper frequency axis, for the serve strategy below.
+SERVE_CASES = {
+    "mult16": TABLE_I_FREQS,
+    "m0lite": TABLE_II_FREQS,
+}
+
+
+@pytest.fixture(scope="module")
+def serve_server(tmp_path_factory):
+    """One HTTP server over a *cold* SQLite store: every point is
+    computed fresh by the serve path, nothing borrowed from the offline
+    reference sessions."""
+    from repro.serve import serve_in_thread
+
+    tmp = tmp_path_factory.mktemp("serve-equiv")
+    handle = serve_in_thread(store=str(tmp / "store.sqlite"),
+                             spool=str(tmp / "spool"))
+    yield handle
+    handle.close()
+
+
+@pytest.fixture(scope="module")
+def serve_client(serve_server):
+    from repro.serve import ServeClient
+
+    return ServeClient(serve_server.host, serve_server.port,
+                       tenant="equiv")
+
+
+class TestServeStrategy:
+    """The serve path as one more execution strategy: a sweep submitted
+    over HTTP, executed by the service's own session against a cold
+    SQLite store, and shipped back as JSON must be float-*exact* equal
+    to the offline ``Session.sweep()`` -- JSON serialises floats via
+    ``repr`` (shortest round-trip), so equality here really is
+    bit-for-bit, and any drift in the serve pipeline (store, job
+    scheduling, serialisation) fails the diff."""
+
+    @pytest.fixture(scope="class", params=sorted(SERVE_CASES),
+                    ids=sorted(SERVE_CASES))
+    def offline(self, request):
+        """``(design, freqs, offline Session sweep as wire dict)``."""
+        import json
+
+        from repro.serve import sweep_to_dict
+        from repro.session import Session
+
+        design = request.param
+        freqs = SERVE_CASES[design]
+        session = Session(cache=False)
+        data = session.design(design).sweep(freqs)
+        session.close()
+        return design, freqs, json.loads(json.dumps(sweep_to_dict(data)))
+
+    def test_sweep_float_exact_vs_offline(self, offline, serve_client):
+        design, freqs, expected = offline
+        result = serve_client.run({"kind": "sweep", "design": design,
+                                   "freqs": list(freqs)}, timeout=600.0)
+        assert result == expected
+
+    def test_compare_float_exact_vs_offline(self, offline, serve_client):
+        import json
+
+        from repro.session import Session
+
+        design, freqs, _ = offline
+        session = Session(cache=False)
+        expected = json.loads(json.dumps(
+            session.compare_techniques(design,
+                                       freqs=list(freqs)).as_dict()))
+        session.close()
+        result = serve_client.run({"kind": "compare", "design": design,
+                                   "freqs": list(freqs)}, timeout=600.0)
+        assert result == expected

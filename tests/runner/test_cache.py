@@ -1,5 +1,6 @@
 """The on-disk result cache: storage, invalidation, env plumbing."""
 
+import pickle
 import threading
 
 import pytest
@@ -90,6 +91,75 @@ class TestResultCache:
         assert cache.lookup(key) == (False, None)   # absent -> cheap miss
         assert drops == [key]
         assert cache.misses == 2
+
+    def test_misses_split_into_absent_and_corrupt(self, cache):
+        key = cache.key_for("k")
+        cache.lookup(key)                       # absent
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as f:
+            f.write(b"garbage")
+        cache.lookup(key)                       # corrupt
+        cache.lookup(key)                       # absent again (cleaned)
+        assert cache.absent == 2
+        assert cache.corrupt == 1
+        assert cache.misses == cache.absent + cache.corrupt
+
+    def test_hits_do_not_touch_the_miss_split(self, cache):
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        cache.lookup(key)
+        assert (cache.absent, cache.corrupt, cache.misses) == (0, 0, 0)
+
+    def test_torn_write_cleanup_preserves_concurrent_repair(
+            self, cache, monkeypatch):
+        # Regression: a reader that finds torn bytes used to unlink the
+        # entry unconditionally.  If a healthy writer replaced the torn
+        # bytes between the reader's open() and its cleanup, that unlink
+        # threw away the repair -- a paid result vanished and the next
+        # reader recomputed it.  Cleanup must compare before deleting.
+        key = cache.key_for("k")
+        cache.put(key, {"power": 1.0})
+        with open(cache._path(key), "rb") as f:
+            good = f.read()
+        torn = good[: len(good) // 2]
+        with open(cache._path(key), "wb") as f:
+            f.write(torn)
+        real_loads = pickle.loads
+
+        def racing_loads(data, **kw):
+            if data == torn:
+                # The writer's complete entry lands between this
+                # reader's read and its cleanup.
+                with open(cache._path(key), "wb") as f:
+                    f.write(good)
+                raise pickle.UnpicklingError("truncated")
+            return real_loads(data, **kw)
+
+        monkeypatch.setattr("repro.runner.cache.pickle.loads",
+                            racing_loads)
+        assert cache.lookup(key) == (False, None)
+        assert (cache.corrupt, cache.absent) == (1, 0)
+        monkeypatch.undo()
+        # Pre-fix this was a miss: the unconditional unlink had deleted
+        # the writer's repair.
+        assert cache.lookup(key) == (True, {"power": 1.0})
+
+    def test_stale_corrupt_bytes_still_get_cleaned(self, cache):
+        # The compare-before-delete must not regress the cleanup itself:
+        # with no concurrent writer, the torn entry is removed and the
+        # next miss takes the cheap absent path.
+        key = cache.key_for("k")
+        cache.put(key, 1)
+        with open(cache._path(key), "wb") as f:
+            f.write(b"torn")
+        cache.lookup(key)
+        assert key not in cache
+
+    def test_writeback_swallows_unpicklable_values(self, cache):
+        # pickle raises AttributeError for local objects; "best effort,
+        # never fails the run" covers that too.
+        assert cache.writeback(cache.key_for("k"), lambda: 1) is False
+        assert cache.key_for("k") not in cache
 
     def test_reclassify_hit_as_miss(self, cache):
         key = cache.key_for("k")

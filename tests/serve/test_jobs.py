@@ -1,0 +1,199 @@
+"""JobSpec validation and exact JSON round-trip.
+
+The round-trip property is the serve API's foundation: a spec that
+survives ``to_dict -> json.dumps -> json.loads -> from_dict`` unchanged
+(floats included, bit for bit) means a job resubmitted from its own
+status payload reruns the *same* grid and hits the same cache keys.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ServeError
+from repro.scpg.power_model import Mode
+from repro.serve import JobSpec, breakdown_to_dict, sweep_to_dict
+
+
+class TestValidation:
+    def test_minimal_sweep(self):
+        spec = JobSpec(kind="sweep", design="mult16", freqs=[1e4, 1e5])
+        assert spec.freqs == (1e4, 1e5)
+        assert spec.modes is None
+        assert spec.tenant == "anon"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ServeError, match="unknown job kind"):
+            JobSpec(kind="dance", design="mult16", freqs=[1e4])
+
+    def test_sweep_needs_freqs(self):
+        with pytest.raises(ServeError, match="non-empty freqs"):
+            JobSpec(kind="sweep", design="mult16")
+
+    def test_sweep_needs_design(self):
+        with pytest.raises(ServeError, match="needs a design"):
+            JobSpec(kind="sweep", freqs=[1e4])
+
+    def test_family_sweep_needs_family(self):
+        with pytest.raises(ServeError, match="needs a family"):
+            JobSpec(kind="family_sweep")
+
+    @pytest.mark.parametrize("bad", [
+        [0.0], [-1e5], [float("nan")], [float("inf")], ["bogus"],
+    ])
+    def test_bad_freqs_rejected(self, bad):
+        with pytest.raises(ServeError):
+            JobSpec(kind="sweep", design="mult16", freqs=bad)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ServeError, match="unknown mode"):
+            JobSpec(kind="sweep", design="mult16", freqs=[1e4],
+                    modes=["warp"])
+
+    def test_mode_objects(self):
+        spec = JobSpec(kind="sweep", design="mult16", freqs=[1e4],
+                       modes=["no-pg", "scpg"])
+        assert spec.mode_objects() == (Mode.NO_PG, Mode.SCPG)
+        assert JobSpec(kind="sweep", design="mult16",
+                       freqs=[1e4]).mode_objects() is None
+
+    def test_non_scalar_params_rejected(self):
+        with pytest.raises(ServeError, match="scalar"):
+            JobSpec(kind="sweep", design="mult16", freqs=[1e4],
+                    params={"n": [1, 2]})
+
+    def test_non_scalar_axis_values_rejected(self):
+        with pytest.raises(ServeError, match="scalars"):
+            JobSpec(kind="family_sweep", family="multiplier",
+                    axes={"n": [{"nested": 1}]})
+
+    def test_scalar_axis_becomes_singleton(self):
+        spec = JobSpec(kind="family_sweep", family="multiplier",
+                       axes={"n": 8})
+        assert spec.axes == {"n": (8,)}
+
+    def test_bad_vdd_rejected(self):
+        with pytest.raises(ServeError, match="vdd"):
+            JobSpec(kind="compare", design="mult16", vdd=-0.2)
+
+
+class TestFromDict:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ServeError, match="unknown job spec fields"):
+            JobSpec.from_dict({"kind": "sweep", "design": "mult16",
+                               "freqs": [1e4], "frqs": [1e5]})
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ServeError, match="needs a kind"):
+            JobSpec.from_dict({"design": "mult16", "freqs": [1e4]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServeError, match="JSON object"):
+            JobSpec.from_dict([1, 2, 3])
+
+    def test_null_fields_mean_defaults(self):
+        spec = JobSpec.from_dict({"kind": "sweep", "design": "c",
+                                  "freqs": [1e4], "modes": None,
+                                  "vdd": None})
+        assert spec.modes is None and spec.vdd is None
+
+
+# -- the round-trip property ---------------------------------------------------
+
+_designs = st.sampled_from(["mult16", "m0lite", "counter16", "lfsr16"])
+_freq = st.floats(min_value=1.0, max_value=1e12, allow_nan=False,
+                  allow_infinity=False)
+_scalars = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=12), st.booleans())
+_tenants = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12)
+
+_sweep_specs = st.fixed_dictionaries({
+    "kind": st.just("sweep"),
+    "design": _designs,
+    "freqs": st.lists(_freq, min_size=1, max_size=8),
+    "modes": st.one_of(
+        st.none(),
+        st.lists(st.sampled_from([m.value for m in Mode]),
+                 min_size=1, max_size=4, unique=True)),
+    "params": st.dictionaries(st.text(min_size=1, max_size=8),
+                              _scalars, max_size=3),
+    "tenant": _tenants,
+})
+
+_compare_specs = st.fixed_dictionaries({
+    "kind": st.just("compare"),
+    "design": _designs,
+    "freqs": st.lists(_freq, max_size=6),
+    "techniques": st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(["scpg", "cbtstc", "lector"]),
+                 min_size=1, max_size=3, unique=True)),
+    "vdd": st.one_of(st.none(),
+                     st.floats(min_value=0.1, max_value=2.0,
+                               allow_nan=False)),
+    "tenant": _tenants,
+})
+
+_family_specs = st.fixed_dictionaries({
+    "kind": st.just("family_sweep"),
+    "family": st.sampled_from(["multiplier", "counter", "adder"]),
+    "freqs": st.lists(_freq, max_size=4),
+    "axes": st.dictionaries(
+        st.sampled_from(["n", "width", "taps"]),
+        st.lists(st.integers(min_value=2, max_value=64),
+                 min_size=1, max_size=4),
+        max_size=2),
+    "tenant": _tenants,
+})
+
+
+class TestRoundTrip:
+    @given(st.one_of(_sweep_specs, _compare_specs, _family_specs))
+    def test_spec_survives_json_exactly(self, payload):
+        spec = JobSpec.from_dict(payload)
+        wire = json.loads(json.dumps(spec.to_dict()))
+        again = JobSpec.from_dict(wire)
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+        # Floats specifically: bit-for-bit, not approximately.
+        for a, b in zip(again.freqs, spec.freqs):
+            assert math.copysign(1.0, a) == math.copysign(1.0, b)
+            assert a.hex() == b.hex()
+
+    @given(_sweep_specs)
+    def test_resubmission_is_idempotent(self, payload):
+        spec = JobSpec.from_dict(payload)
+        assert JobSpec.from_dict(spec.to_dict()).to_dict() \
+            == spec.to_dict()
+
+
+class TestResultSerialisation:
+    def test_breakdown_floats_survive_json(self, mult_study):
+        b = mult_study.model.power(1e5, Mode.SCPG)
+        d = json.loads(json.dumps(breakdown_to_dict(b)))
+        assert d["mode"] == "scpg"
+        for name in ("freq_hz", "duty", "p_dynamic", "p_overhead",
+                     "p_leak_alwayson", "p_leak_comb", "p_leak_header"):
+            assert d[name] == getattr(b, name)
+        assert d["total"] == b.total
+        assert d["energy_per_op"] == b.energy_per_op
+
+    def test_none_breakdown_passes_through(self):
+        assert breakdown_to_dict(None) is None
+
+    def test_sweep_dict_shape(self, mult_study):
+        from repro.analysis.sweep import sweep
+
+        data = sweep(mult_study.model, [1e4, 1e5])
+        d = json.loads(json.dumps(sweep_to_dict(data)))
+        assert d["freqs"] == [1e4, 1e5]
+        assert d["modes"] == [m.value for m in data.results]
+        for mode, series in d["series"].items():
+            assert len(series) == 2
