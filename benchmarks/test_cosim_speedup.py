@@ -1,0 +1,136 @@
+"""Compiled closed-loop co-simulation vs the event-driven engine.
+
+The workload is the paper's M0-lite processor running the CRC-32
+workload to HALT under the full closed-loop memory protocol -- per-cycle
+instruction fetch, load/store traffic and Fig. 7 activity grouping --
+i.e. exactly what :func:`repro.isa.trace.cosimulate` does to validate
+the workload vehicle and to harvest toggle traces for the power study:
+
+* **event** -- :class:`~repro.isa.trace.GateLevelCpu` over the
+  per-event Python dispatch :class:`~repro.sim.event.Simulator` with
+  per-bit ``read_bus`` / ``set_inputs`` dict traffic (the pre-PR 10
+  strategy);
+* **compiled** -- the same protocol over the
+  :class:`~repro.sim.compiled.ClosedLoopStepper`: settled single-row
+  phases over the struct-of-arrays netlist with packed-integer
+  :class:`~repro.sim.compiled.BusView` memory feeds.
+
+Wall-clocks are best-of-``REPS``; the compiled side is also timed cold
+(schedule lowering included).  The engines must agree *bit-for-bit* --
+cycle count, the architectural register file, data memory, per-net
+toggle counts and every activity group are asserted equal, so the
+speedup is never bought with drift.
+
+Acceptance (ISSUE 10): compiled closed-loop co-sim is >= 5x faster
+than the event engine.  The measurement is emitted as a
+``repro-bench-sweep-v2`` JSON section (``REPRO_BENCH_COSIM_JSON=path``)
+for ``scripts/check_bench_regression.py``.
+"""
+
+import json
+import os
+import platform
+import sys
+import time
+
+import pytest
+
+from .conftest import emit
+
+BENCH_SCHEMA = "repro-bench-sweep-v2"
+DESIGN = "m0lite"
+CRC_ROUNDS = 2
+GROUP_SIZE = 10
+REPS = 3
+MIN_SPEEDUP = 5.0
+
+_ENV_OUT = "REPRO_BENCH_COSIM_JSON"
+
+
+@pytest.fixture(scope="module")
+def lib():
+    from repro.tech.scl90 import build_scl90
+
+    return build_scl90()
+
+
+def _best_of(fn, reps=REPS):
+    best, result = float("inf"), None
+    for _ in range(reps):
+        start = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, out
+    return best, result
+
+
+def test_cosim_speedup(lib):
+    from repro.circuits import registry
+    from repro.isa.programs import crc32_program, dhrystone_memory
+    from repro.isa.trace import GateLevelCpu
+
+    module = registry.build("m0lite", lib)
+    program = crc32_program(CRC_ROUNDS)
+    memory = dhrystone_memory()
+
+    def run(engine):
+        cpu = GateLevelCpu(module, program, dict(memory),
+                           group_size=GROUP_SIZE, engine=engine)
+        cpu.run()
+        return cpu
+
+    # Cold: schedule lowering + stepper construction included.
+    cold_start = time.perf_counter()
+    cold_cpu = run("compiled")
+    cold_s = time.perf_counter() - cold_start
+
+    event_s, event_cpu = _best_of(lambda: run("event"), 2)
+    warm_s, cpu = _best_of(lambda: run("compiled"))
+    assert cpu.engine == "compiled" and event_cpu.engine == "event"
+
+    # Exactness first: the speedup only counts if nothing drifted.
+    assert cpu.cycles == event_cpu.cycles == cold_cpu.cycles
+    assert cpu.registers() == event_cpu.registers()
+    assert cpu.memory == event_cpu.memory
+    assert cpu.toggle_snapshot() == event_cpu.toggle_snapshot()
+    fast_trace, slow_trace = cpu.activity_trace(), \
+        event_cpu.activity_trace()
+    assert len(fast_trace.groups) == len(slow_trace.groups)
+    for fast, slow in zip(fast_trace.groups, slow_trace.groups):
+        assert fast.toggles == slow.toggles
+        assert (fast.cycles, fast.total_toggles, fast.nets) \
+            == (slow.cycles, slow.total_toggles, slow.nets)
+
+    speedup = event_s / warm_s
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "design": DESIGN,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "measurements": {
+            "cosim": {
+                "workload": "crc32({})".format(CRC_ROUNDS),
+                "cycles": cpu.cycles,
+                "group_size": GROUP_SIZE,
+                "reps": REPS,
+                "event_s": round(event_s, 6),
+                "compiled_cold_s": round(cold_s, 6),
+                "compiled_s": round(warm_s, 6),
+                "cold_speedup": round(event_s / cold_s, 3),
+                "speedup": round(speedup, 3),
+            },
+        },
+    }
+    emit("Closed-loop co-sim speedup ({}, {} cycles)".format(
+        DESIGN, cpu.cycles), json.dumps(payload, indent=2, sort_keys=True))
+    out_path = os.environ.get(_ENV_OUT, "").strip()
+    if out_path:
+        with open(out_path, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        "compiled co-sim speedup {:.2f}x below the {}x acceptance floor "
+        "(event {:.3f}s, compiled {:.3f}s warm / {:.3f}s cold)".format(
+            speedup, MIN_SPEEDUP, event_s, warm_s, cold_s))

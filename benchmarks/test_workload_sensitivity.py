@@ -34,7 +34,7 @@ def _measure(study, program, memory):
     gate = GateLevelCpu(core, program, memory, record_toggles=True)
     gate.run(max_cycles=20_000)
     dyn = dynamic_power(
-        core, study.library, gate.sim.toggle_snapshot(), gate.cycles,
+        core, study.library, gate.toggle_snapshot(), gate.cycles,
         glitch_factor=M0LITE_GLITCH_FACTOR)
     return gate.cycles, dyn.energy_per_cycle
 

@@ -7,12 +7,16 @@ Usage::
 
 ``CANDIDATE`` is the JSON a benchmark wrote
 (``REPRO_BENCH_SWEEP_JSON=path`` for the artifact-cache benchmark,
-``REPRO_BENCH_PARBATCH_JSON=path`` for the parallel-batch one);
-``BASELINE`` defaults to the committed ``BENCH_sweep.json``.
+``REPRO_BENCH_PARBATCH_JSON=path`` for the parallel-batch one,
+``REPRO_BENCH_COSIM_JSON=path`` for the compiled closed-loop co-sim
+benchmark, ``REPRO_BENCH_LEAKAGE_JSON=path`` for the vectorized
+state-leakage trace one); ``BASELINE`` defaults to the committed
+``BENCH_sweep.json``.
 
 The current schema is ``repro-bench-sweep-v2``: one file carries named
 measurement sections under ``"measurements"`` (``artifact_cache``,
-``parallel_batch``, ``serve``, ...), each gated on one figure of merit
+``parallel_batch``, ``serve``, ``cosim``, ``leakage``, ...), each
+gated on one figure of merit
 -- ``speedup`` for the timing benchmarks, ``dedupe_ratio`` for the
 serve load benchmark (cross-client cache fan-in; wall-clock would be
 meaningless on shared CI cores, the hit rate is deterministic).  The

@@ -7,14 +7,30 @@ switching-activity grouping.  :func:`cosimulate` runs a program on both the
 ISS and the netlist and verifies architectural equivalence, which is the
 evidence that the substituted processor is a faithful workload vehicle for
 the power study.
+
+Two engines sit behind the same protocol.  The default ``engine="auto"``
+steps the netlist through a
+:class:`~repro.sim.compiled.ClosedLoopStepper` -- settled single-row
+phases over the SoA arrays, with precomputed integer-indexed
+:class:`~repro.sim.compiled.BusView` accessors replacing the per-bit
+``read_bus`` / ``set_inputs`` dict traffic -- whenever the module is
+:meth:`~repro.sim.compiled.CompiledSchedule.vector_ready` and carries
+the full M0-lite memory interface (the SCPG-transformed core included).
+Otherwise it transparently falls back to the event-driven
+:class:`~repro.sim.event.Simulator`.  Cycle
+counts, architectural state, and the grouped toggle trace are
+bit-identical across both engines (asserted by the differential tests in
+``tests/integration/test_cosim_random.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import IsaError, SimulationError
-from ..sim.activity import GroupRecorder
+from ..sim.activity import ActivityTrace, GroupActivity, GroupRecorder
 from ..sim.testbench import read_bus
 from ..sim.event import Simulator
 from ..sim.logic import X
@@ -36,22 +52,133 @@ class GateLevelCpu:
         Initial data memory dict (byte address -> 32-bit word).
     group_size:
         Activity vector-group size (10 in the paper).
+    engine:
+        ``"auto"`` (compiled stepping when eligible, event otherwise),
+        ``"compiled"`` (raise when ineligible) or ``"event"``.  The
+        chosen engine is exposed as :attr:`engine`.
+    record_states:
+        Keep a per-cycle snapshot of every settled net value; see
+        :meth:`state_trace` (feeds
+        :func:`repro.power.leakage.state_leakage_trace`).
     """
 
     def __init__(self, module, program, memory=None, group_size=10,
-                 record_toggles=True):
+                 record_toggles=True, engine="auto", record_states=False):
+        if engine not in ("auto", "event", "compiled"):
+            raise ValueError(
+                "engine must be 'auto', 'event' or 'compiled', "
+                "got {!r}".format(engine))
         self.module = module
         self.program = list(program)
         self.memory = dict(memory or {})
-        self.sim = Simulator(module, record_toggles=record_toggles)
-        self.recorder = GroupRecorder(self.sim, group_size)
         self.cycles = 0
+        self.group_size = group_size
+        self._record_states = record_states
+        self._states = []
+        self._state_names = None
+
+        stepper = None
+        if engine != "event":
+            from ..sim.compiled import schedule_for
+
+            schedule = schedule_for(module)
+            ok, why = self._compiled_ready(schedule)
+            if ok:
+                stepper = schedule.stepper(
+                    "clk", record_toggles=record_toggles)
+            elif engine == "compiled":
+                raise SimulationError(
+                    "compiled co-sim unavailable for {}: {}".format(
+                        module.name, why))
+
+        if stepper is not None:
+            self.engine = "compiled"
+            self._stepper = stepper
+            soa = stepper.soa
+            self._iaddr = stepper.output_bus("iaddr", 32)
+            self._daddr = stepper.output_bus("daddr", 32)
+            self._dwdata = stepper.output_bus("dwdata", 32)
+            self._idata = stepper.input_bus("idata", 16)
+            self._drdata = stepper.input_bus("drdata", 32)
+            self._dwrite_idx = soa.net_index["dwrite"]
+            self._halted_idx = soa.net_index["halted"]
+            rf = np.empty((16, 32), dtype=np.int64)
+            for r in range(16):
+                for b in range(32):
+                    row = stepper._seq_rows["rf{}_{}".format(r, b)]
+                    rf[r, b] = soa.seq_q[row]
+            self._rf_q = rf
+            self._rf_pow2 = np.int64(1) << np.arange(32, dtype=np.int64)
+            self._trace = ActivityTrace()
+            self._group_base = np.zeros(soa.n_nets, dtype=np.int64)
+            self._cycles_in_group = 0
+            self._names_arr = np.asarray(soa.net_names, dtype=object)
+        else:
+            self.engine = "event"
+            self.sim = Simulator(module, record_toggles=record_toggles)
+            self.recorder = GroupRecorder(self.sim, group_size)
+            # Key tuples built once: the per-cycle feed path must not
+            # re-format 48 net-name strings every cycle.
+            self._idata_keys = tuple(
+                "idata_{}".format(i) for i in range(16))
+            self._drdata_keys = tuple(
+                "drdata_{}".format(i) for i in range(32))
         self._reset()
 
+    @staticmethod
+    def _compiled_ready(schedule):
+        """``(ok, reason)``: can the compiled stepper host the M0-lite
+        memory protocol?  Beyond ``vector_ready`` this needs the full
+        interface -- address/store nets readable, memory-data input
+        ports drivable, and the architectural register flops present."""
+        ok, why = schedule.vector_ready("clk")
+        if not ok:
+            return False, why
+        soa = schedule.soa
+        if "rstn" not in soa.input_ports:
+            return False, "no input port rstn"
+        for name, width in (("idata", 16), ("drdata", 32)):
+            for i in range(width):
+                if "{}_{}".format(name, i) not in soa.input_ports:
+                    return False, "no input port {}_{}".format(name, i)
+        for name, width in (("iaddr", 32), ("daddr", 32), ("dwdata", 32)):
+            for i in range(width):
+                if "{}_{}".format(name, i) not in soa.net_index:
+                    return False, "no net {}_{}".format(name, i)
+        for name in ("dwrite", "halted"):
+            if name not in soa.net_index:
+                return False, "no net {}".format(name)
+        seq = {n: r for r, n in enumerate(soa.seq_names)}
+        for r in range(16):
+            for b in range(32):
+                row = seq.get("rf{}_{}".format(r, b))
+                if row is None or soa.seq_q[row] < 0:
+                    return False, "no register flop rf{}_{}".format(r, b)
+        return True, ""
+
+    #: Extra input pins held at fixed values from reset on (e.g. an
+    #: SCPG ``override_n``); subclasses override.  Applied identically
+    #: on both engines.
+    _extra_reset_inputs = {}
+
     def _reset(self):
+        extra = self._extra_reset_inputs
+        if self.engine == "compiled":
+            st = self._stepper
+            st.force_flops(0)
+            st.apply({"clk": 0, "rstn": 0, **extra})
+            self._feed_memories()
+            # One reset cycle.
+            st.posedge()
+            st.negedge()
+            st.apply({"rstn": 1})
+            self._feed_memories()
+            st.reset_toggles()
+            self._group_base[:] = 0
+            return
         sim = self.sim
         sim.force_flop_state(0)
-        sim.set_inputs({"clk": 0, "rstn": 0})
+        sim.set_inputs({"clk": 0, "rstn": 0, **extra})
         self._feed_memories()
         # One reset cycle.
         sim.set_input("clk", 1)
@@ -61,20 +188,34 @@ class GateLevelCpu:
         sim.reset_toggles()
 
     def _feed_memories(self):
+        if self.engine == "compiled":
+            iaddr = self._iaddr.read()
+            word = 0x7000  # NOP on X/out-of-range address
+            if iaddr is not None and iaddr < len(self.program):
+                word = self.program[iaddr]
+            self._idata.drive(word)
+            daddr = self._daddr.read()
+            data = 0
+            if daddr is not None:
+                data = self.memory.get(daddr & ~3 & MASK32, 0)
+            self._drdata.drive(data)
+            return
         sim = self.sim
         iaddr = read_bus(sim, "iaddr", 32)
         word = 0x7000  # NOP on X/out-of-range address
         if iaddr is not None and iaddr < len(self.program):
             word = self.program[iaddr]
         sim.set_inputs(
-            {"idata_{}".format(i): (word >> i) & 1 for i in range(16)}
+            {key: (word >> i) & 1
+             for i, key in enumerate(self._idata_keys)}
         )
         daddr = read_bus(sim, "daddr", 32)
         data = 0
         if daddr is not None:
             data = self.memory.get(daddr & ~3 & MASK32, 0)
         sim.set_inputs(
-            {"drdata_{}".format(i): (data >> i) & 1 for i in range(32)}
+            {key: (data >> i) & 1
+             for i, key in enumerate(self._drdata_keys)}
         )
 
     def step(self):
@@ -90,40 +231,103 @@ class GateLevelCpu:
         sampling points are identical, since no combinational path depends
         on the clock level).
         """
-        sim = self.sim
-        if sim.value("dwrite") == 1:
-            addr = read_bus(sim, "daddr", 32)
-            data = read_bus(sim, "dwdata", 32)
-            if addr is None or data is None:
-                raise SimulationError("store with X address or data")
-            if addr % 4:
-                raise IsaError(
-                    "unaligned gate-level store at {:#x}".format(addr))
-            self.memory[addr] = data
-        sim.set_input("clk", 1)
-        sim.set_input("clk", 0)
-        self._feed_memories()
-        self.cycles += 1
-        self.recorder.after_cycle()
+        if self.engine == "compiled":
+            st = self._stepper
+            if int(st._state[self._dwrite_idx]) == 1:
+                addr = self._daddr.read()
+                data = self._dwdata.read()
+                if addr is None or data is None:
+                    raise SimulationError("store with X address or data")
+                if addr % 4:
+                    raise IsaError(
+                        "unaligned gate-level store at {:#x}".format(addr))
+                self.memory[addr] = data
+            st.posedge()
+            st.negedge()
+            self._feed_memories()
+            self.cycles += 1
+            self._cycles_in_group += 1
+            if self._cycles_in_group >= self.group_size:
+                self._flush_group()
+        else:
+            sim = self.sim
+            if sim.value("dwrite") == 1:
+                addr = read_bus(sim, "daddr", 32)
+                data = read_bus(sim, "dwdata", 32)
+                if addr is None or data is None:
+                    raise SimulationError("store with X address or data")
+                if addr % 4:
+                    raise IsaError(
+                        "unaligned gate-level store at {:#x}".format(addr))
+                self.memory[addr] = data
+            sim.set_input("clk", 1)
+            sim.set_input("clk", 0)
+            self._feed_memories()
+            self.cycles += 1
+            self.recorder.after_cycle()
+        if self._record_states:
+            self._states.append(self._state_row())
+
+    def _flush_group(self):
+        """Close the current toggle group (compiled engine; no-op when
+        empty -- :class:`~repro.sim.activity.GroupRecorder` parity)."""
+        if self._cycles_in_group == 0:
+            return
+        soa = self._stepper.soa
+        counts = self._stepper.toggle_counts
+        delta = counts - self._group_base
+        nz = np.nonzero(delta)[0]
+        self._trace.groups.append(GroupActivity(
+            index=len(self._trace.groups),
+            cycles=self._cycles_in_group,
+            total_toggles=int(delta.sum()),
+            nets=soa.non_const_nets,
+            toggles=dict(zip(self._names_arr[nz].tolist(),
+                             delta[nz].tolist())),
+        ))
+        self._group_base = counts.copy()
+        self._cycles_in_group = 0
+
+    def _state_row(self):
+        """The settled value row, ``module.nets()`` order, ``int8``."""
+        if self.engine == "compiled":
+            return self._stepper.state_row()
+        if self._state_names is None:
+            self._state_names = [n.name for n in self.module.nets()]
+        snap = self.sim.state_snapshot()
+        return np.asarray(
+            [v if v in (0, 1) else X
+             for v in (snap.get(name) for name in self._state_names)],
+            dtype=np.int8)
 
     def run(self, max_cycles=100_000):
         """Step until ``halted`` rises; returns cycles taken."""
         start = self.cycles
-        while self.sim.value("halted") != 1:
+        while not self.halted:
             if self.cycles - start >= max_cycles:
                 raise SimulationError(
                     "core did not halt in {} cycles".format(max_cycles))
             self.step()
-        self.recorder.flush()
+        if self.engine == "compiled":
+            self._flush_group()
+        else:
+            self.recorder.flush()
         return self.cycles - start
 
     @property
     def halted(self):
         """True when the core has executed HALT."""
+        if self.engine == "compiled":
+            return int(self._stepper._state[self._halted_idx]) == 1
         return self.sim.value("halted") == 1
 
     def register(self, index):
         """Architectural register value from the netlist flip-flops."""
+        if self.engine == "compiled":
+            row = self._stepper._state[self._rf_q[index]]
+            if (row == X).any():
+                return None
+            return int(row.astype(np.int64) @ self._rf_pow2)
         value = 0
         for bit in range(32):
             v = self.sim.flop_q("rf{}_{}".format(index, bit))
@@ -138,8 +342,50 @@ class GateLevelCpu:
 
     def activity_trace(self):
         """Grouped switching activity recorded so far."""
+        if self.engine == "compiled":
+            self._flush_group()
+            return self._trace
         self.recorder.flush()
         return self.recorder.trace
+
+    def toggle_snapshot(self):
+        """Per-net toggle counts as dict name -> count (both engines
+        return the same dict for the same program)."""
+        if self.engine == "compiled":
+            return self._stepper.toggle_snapshot()
+        return self.sim.toggle_snapshot()
+
+    def value(self, net_name):
+        """Current settled 0/1/X value of one net."""
+        if self.engine == "compiled":
+            return self._stepper.value(net_name)
+        return self.sim.value(net_name)
+
+    @property
+    def state_net_names(self):
+        """Net-name order of :meth:`state_trace` columns."""
+        if self.engine == "compiled":
+            return list(self._stepper.soa.net_names)
+        if self._state_names is None:
+            self._state_names = [n.name for n in self.module.nets()]
+        return list(self._state_names)
+
+    def state_trace(self):
+        """Per-cycle settled net values, ``(cycles, n_nets)`` ``int8``.
+
+        Rows are captured at the end of each :meth:`step` (clock low,
+        memories fed) -- the operating points
+        :func:`repro.power.leakage.state_leakage_trace` consumes.
+        Requires ``record_states=True``.
+        """
+        if not self._record_states:
+            raise SimulationError(
+                "construct GateLevelCpu(record_states=True) to record "
+                "a state trace")
+        if not self._states:
+            n = len(self.state_net_names)
+            return np.zeros((0, n), dtype=np.int8)
+        return np.asarray(self._states, dtype=np.int8)
 
 
 @dataclass
@@ -161,13 +407,18 @@ class CosimResult:
 
 
 def cosimulate(module, program, memory=None, max_cycles=200_000,
-               group_size=10):
+               group_size=10, engine="auto"):
     """Run ``program`` to HALT on both the ISS and the gate-level core and
-    compare final architectural state.  Returns :class:`CosimResult`."""
+    compare final architectural state.  Returns :class:`CosimResult`.
+
+    ``engine`` selects the gate-level engine (see :class:`GateLevelCpu`);
+    the result is identical either way.
+    """
     iss = M0LiteCpu(program, memory)
     instructions = iss.run(max_steps=max_cycles)
 
-    gate = GateLevelCpu(module, program, memory, group_size=group_size)
+    gate = GateLevelCpu(module, program, memory, group_size=group_size,
+                        engine=engine)
     cycles = gate.run(max_cycles=max_cycles)
 
     mismatches = []

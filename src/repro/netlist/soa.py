@@ -16,6 +16,22 @@ per-net load capacitance are lowered into aligned ``numpy`` arrays when a
 library is supplied, so power accounting over a toggle matrix is a single
 vector expression instead of a netlist walk.
 
+Two further lowered forms serve the closed-loop paths:
+
+* :meth:`SoaNetlist.pack_levels` merges a level list into
+  :class:`RowOp` *row programs* -- every level collapses into one
+  padded-arity gather (operand columns weighted ``3**k``, padding
+  weighted ``0``), which is what makes settling a **single** value row
+  cheap enough for cycle-at-a-time reactive stepping
+  (:class:`repro.sim.compiled.ClosedLoopStepper`);
+* :func:`lower_leakage` walks the cell instances once into a
+  :class:`LeakageSoa` -- per-instance base-leakage arrays plus, for
+  every cell with Liberty-style ``leakage_states``, a dense state table
+  indexed by the packed ternary code of its input-pin values -- so
+  state-dependent leakage over a whole co-sim trace is one gather per
+  cell group instead of a per-cycle netlist walk
+  (:func:`repro.power.leakage.state_leakage_trace`).
+
 The lowered form holds only names, indices and arrays -- no ``Net`` /
 ``Instance`` / ``Cell`` references -- so it pickles into the artifact
 cache and ships to worker processes unchanged.  Combinational feedback
@@ -27,6 +43,7 @@ simulator, see :mod:`repro.sim.compiled`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
@@ -53,6 +70,32 @@ class CombGroup:
     gate_ids: np.ndarray
     #: Per-operand contiguous column views of ``in_idx`` (gather order).
     in_cols: list = field(default_factory=list)
+
+
+@dataclass
+class RowOp:
+    """One merged level of a packed *row program*.
+
+    Every gate of the level -- whatever its arity -- is padded to the
+    level's maximum arity ``A``: ``cols`` is ``(A, gates)`` operand net
+    indices (pads point at net 0), ``weights`` is ``(A, gates)`` ternary
+    weights (``3**k`` for real operands, ``0`` for pads, so pads
+    contribute nothing to the table key), ``base`` the per-gate table
+    offsets and ``out`` the output net indices.  A whole level then
+    settles as ``row[out] = tables[base + sum_k row[cols[k]]*weights[k]]``
+    -- one fused gather per level instead of one per (level, arity)
+    group, which is what a single-row reactive step needs.
+    """
+
+    cols: np.ndarray
+    weights: np.ndarray
+    base: np.ndarray
+    out: np.ndarray
+
+    def __post_init__(self):
+        # Flattened operand indices: one ndarray.take per level beats
+        # ``A`` separate gathers (fewer trips through numpy dispatch).
+        self.flat_cols = np.ascontiguousarray(self.cols.reshape(-1))
 
 
 @dataclass
@@ -175,6 +218,75 @@ class SoaNetlist:
                     keys += values[:, cols[j]] * grp.pow3[j]
                 values[:, grp.out_idx] = tables[keys]
 
+    def pack_levels(self, levels=None):
+        """Merge a level list into a :class:`RowOp` row program.
+
+        ``levels`` defaults to the full schedule and also accepts a
+        :meth:`subschedule` result.  Constant (arity-0) gates fold in
+        with an all-pad column set, so their key degenerates to
+        ``base`` -- the init pass already settles them, re-evaluating is
+        idempotent.
+        """
+        ops = []
+        for level in (self.levels if levels is None else levels):
+            if not level:
+                continue
+            total = sum(len(grp.out_idx) for grp in level)
+            if not total:
+                continue
+            max_arity = max(grp.arity for grp in level)
+            cols = np.zeros((max_arity, total), dtype=np.int64)
+            weights = np.zeros((max_arity, total), dtype=np.int64)
+            base = np.empty(total, dtype=np.int64)
+            out = np.empty(total, dtype=np.int64)
+            at = 0
+            for grp in level:
+                n = len(grp.out_idx)
+                for k in range(grp.arity):
+                    cols[k, at:at + n] = grp.in_idx[:, k]
+                    weights[k, at:at + n] = grp.pow3[k]
+                base[at:at + n] = grp.table_base
+                out[at:at + n] = grp.out_idx
+                at += n
+            ops.append(RowOp(cols=cols, weights=weights, base=base, out=out))
+        return ops
+
+    def row_program(self):
+        """The full-schedule row program, packed once and memoised."""
+        ops = getattr(self, "_row_full", None)
+        if ops is None:
+            ops = self.pack_levels()
+            self._row_full = ops
+        return ops
+
+    def eval_row(self, row, ops=None):
+        """Settle a single ``(n_nets,)`` value row in place.
+
+        The single-row counterpart of :meth:`eval_comb`: one fused
+        gather per merged level (``ops`` defaults to the memoised
+        :meth:`row_program`; pass a :meth:`pack_levels` of a
+        :meth:`subschedule` to settle only an affected cone).  Computes
+        the identical functional fixed point.
+        """
+        tables = self.tables
+        if ops is None:
+            ops = self.row_program()
+        for op in ops:
+            arity = op.cols.shape[0]
+            if arity == 0:
+                row[op.out] = tables[op.base]
+                continue
+            keys = (row.take(op.flat_cols).reshape(arity, -1)
+                    * op.weights).sum(axis=0)
+            keys += op.base
+            row.put(op.out, tables.take(keys))
+
+    def __getstate__(self):
+        """Drop lazily-packed row programs (rebuilt on demand)."""
+        state = dict(self.__dict__)
+        state.pop("_row_full", None)
+        return state
+
     def switched_energy(self, toggle_counts, cycles, vdd, glitch_factor=1.0):
         """Vectorized switched energy per cycle from a toggle vector.
 
@@ -191,6 +303,213 @@ class SoaNetlist:
         nonzero = np.nonzero(energy)[0]
         by_net = {self.net_names[i]: float(energy[i]) for i in nonzero}
         return float(energy.sum()), by_net
+
+
+@dataclass
+class StateLeakGroup:
+    """All instances of one cell type with Liberty ``leakage_states``.
+
+    ``table`` holds the cell's state-dependent leakage for every packed
+    ternary input code (pin ``j`` weighted ``3**j``, digits ``0/1`` for
+    driven values and ``X`` for unknown); ``pin_idx`` maps each
+    instance's input pins to net indices (``-1`` when unconnected --
+    those pins' ``X`` contribution is folded into ``static_code``).
+    """
+
+    cell_name: str
+    rows: np.ndarray
+    pin_idx: np.ndarray
+    static_code: np.ndarray
+    pow3: np.ndarray
+    table: np.ndarray
+
+
+@dataclass
+class LeakageSoa:
+    """Per-instance leakage data lowered out of the netlist walk.
+
+    ``base`` is each instance's state-independent cell leakage (at
+    nominal conditions, pre scaling); :meth:`per_instance` overlays the
+    state-dependent tables for any number of net-value rows at once.
+    ``kind_rows`` / ``cell_rows`` keep first-occurrence-ordered index
+    groups so report accumulation reproduces the walk's dict order
+    bit-for-bit (see :func:`repro.power.leakage.leakage_power`).
+    """
+
+    module_name: str = ""
+    inst_names: list = field(default_factory=list)
+    cell_names: list = field(default_factory=list)
+    kinds: list = field(default_factory=list)
+    base: np.ndarray = None
+    is_header: np.ndarray = None
+    groups: list = field(default_factory=list)
+    net_names: list = field(default_factory=list)
+    net_index: dict = field(default_factory=dict)
+    const_idx: np.ndarray = None
+    const_val: np.ndarray = None
+    #: ``[(CellKind, instance index array)]`` in first-occurrence order.
+    kind_rows: list = field(default_factory=list)
+    #: ``[(cell name, instance index array)]`` in first-occurrence order.
+    cell_rows: list = field(default_factory=list)
+
+    @property
+    def n_inst(self):
+        return len(self.inst_names)
+
+    def state_values(self, state):
+        """Pack a ``{net name: value}`` snapshot into a ternary row.
+
+        Unknown / missing / non-binary values become ``X``; constant
+        nets always carry their constant (matching the walk's
+        ``_cell_state``).  Accepts an already-packed ``(n_nets,)`` array
+        unchanged.
+        """
+        if isinstance(state, np.ndarray):
+            return state
+        values = np.full(len(self.net_names), X, dtype=np.int8)
+        for name, v in state.items():
+            idx = self.net_index.get(name)
+            if idx is not None:
+                values[idx] = v if v in (0, 1) else X
+        if len(self.const_idx):
+            values[self.const_idx] = self.const_val
+        return values
+
+    def per_instance(self, states=None):
+        """Per-instance leakage (nominal, unscaled) for value rows.
+
+        ``states`` is ``None`` (state-independent: every instance at its
+        base leakage), one packed ``(n_nets,)`` row, or a whole trace
+        ``(cycles, n_nets)``; the result matches the leading shape.
+        State-dependent cells gather their packed input code per row --
+        the exact float :meth:`Cell.leakage_for_state` returns for that
+        assignment, since the tables are enumerated through it.
+        """
+        if states is None:
+            return self.base.copy()
+        states = np.asarray(states, dtype=np.int8)
+        squeeze = states.ndim == 1
+        if squeeze:
+            states = states[None, :]
+        per = np.broadcast_to(
+            self.base, (states.shape[0], self.n_inst)).copy()
+        for grp in self.groups:
+            codes = np.broadcast_to(
+                grp.static_code, (states.shape[0], len(grp.rows))).copy()
+            for j in range(grp.pin_idx.shape[1]):
+                idx = grp.pin_idx[:, j]
+                mask = idx >= 0
+                if not mask.any():
+                    continue
+                tern = states[:, np.where(mask, idx, 0)]
+                codes += np.where(mask, tern, 0) * grp.pow3[j]
+            per[:, grp.rows] = grp.table[codes]
+        return per[0] if squeeze else per
+
+
+#: Dense 3**k leakage tables memoised per cell object (like the
+#: truth-table cache in :mod:`repro.sim.logic`).
+_LEAK_TABLES = {}
+
+
+def _leak_table(cell):
+    cached = _LEAK_TABLES.get(id(cell))
+    if cached is not None:
+        return cached
+    pins = [p.name for p in cell.inputs]
+    k = len(pins)
+    table = np.empty(3 ** k, dtype=np.float64)
+    for code in range(3 ** k):
+        assignment = {}
+        rem = code
+        for name in pins:
+            digit = rem % 3
+            rem //= 3
+            assignment[name] = None if digit == X else digit
+        table[code] = cell.leakage_for_state(assignment)
+    _LEAK_TABLES[id(cell)] = (k, table)
+    return k, table
+
+
+def lower_leakage(module):
+    """Lower ``module``'s cell instances into a :class:`LeakageSoa`.
+
+    Works for any module (no levelization involved); instance order is
+    ``module.cell_instances()`` order, the same walk
+    :func:`repro.power.leakage.leakage_power` used to take.
+    """
+    lk = LeakageSoa(module_name=module.name)
+    nets = module.nets()
+    index = {}
+    const_idx, const_val = [], []
+    for i, net in enumerate(nets):
+        lk.net_names.append(net.name)
+        lk.net_index[net.name] = i
+        index[id(net)] = i
+        if net.is_const:
+            const_idx.append(i)
+            const_val.append(net.const_value)
+    lk.const_idx = np.asarray(const_idx, dtype=np.int64)
+    lk.const_val = np.asarray(const_val, dtype=np.int8)
+
+    base, is_header = [], []
+    kind_rows, cell_rows = {}, {}
+    kind_order, cell_order = [], []
+    by_cell = {}
+    for row, inst in enumerate(module.cell_instances()):
+        cell = inst.cell
+        lk.inst_names.append(inst.name)
+        lk.cell_names.append(cell.name)
+        lk.kinds.append(cell.kind)
+        base.append(cell.leakage)
+        is_header.append(cell.kind is CellKind.HEADER)
+        if cell.kind not in kind_rows:
+            kind_rows[cell.kind] = []
+            kind_order.append(cell.kind)
+        kind_rows[cell.kind].append(row)
+        if cell.name not in cell_rows:
+            cell_rows[cell.name] = []
+            cell_order.append(cell.name)
+        cell_rows[cell.name].append(row)
+        if cell.leakage_states:
+            by_cell.setdefault(id(cell), (cell, []))[1].append((row, inst))
+    lk.base = np.asarray(base, dtype=np.float64)
+    lk.is_header = np.asarray(is_header, dtype=bool)
+    lk.kind_rows = [(kind, np.asarray(kind_rows[kind], dtype=np.int64))
+                    for kind in kind_order]
+    lk.cell_rows = [(name, np.asarray(cell_rows[name], dtype=np.int64))
+                    for name in cell_order]
+
+    for cell, members in by_cell.values():
+        k, table = _leak_table(cell)
+        pins = [p.name for p in cell.inputs]
+        rows = np.asarray([row for row, _ in members], dtype=np.int64)
+        pin_idx = np.full((len(members), k), -1, dtype=np.int64)
+        static_code = np.zeros(len(members), dtype=np.int64)
+        pow3 = np.asarray([3 ** j for j in range(k)], dtype=np.int64)
+        for m, (_, inst) in enumerate(members):
+            for j, name in enumerate(pins):
+                net = inst.connections.get(name)
+                if net is None:
+                    static_code[m] += X * pow3[j]
+                else:
+                    pin_idx[m, j] = index[id(net)]
+        lk.groups.append(StateLeakGroup(
+            cell_name=cell.name, rows=rows, pin_idx=pin_idx,
+            static_code=static_code, pow3=pow3, table=table))
+    return lk
+
+
+_LEAKAGE_SOA = WeakKeyDictionary()
+
+
+def leakage_soa_for(module):
+    """The memoised :class:`LeakageSoa` of ``module`` (lowered once)."""
+    lk = _LEAKAGE_SOA.get(module)
+    if lk is None:
+        lk = lower_leakage(module)
+        _LEAKAGE_SOA[module] = lk
+    return lk
 
 
 def lower_soa(module, library=None):

@@ -146,7 +146,7 @@ def _run_dhrystone(module, library, iterations=None):
     gate = GateLevelCpu(module, program, dhrystone_memory())
     gate.run()
     dyn = dynamic_power(
-        module, library, gate.sim.toggle_snapshot(), gate.cycles,
+        module, library, gate.toggle_snapshot(), gate.cycles,
         glitch_factor=M0LITE_GLITCH_FACTOR)
     return gate, dyn.energy_per_cycle
 

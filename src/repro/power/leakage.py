@@ -9,12 +9,25 @@ values are used per cell; otherwise the average.
 The report splits totals by cell kind because that split is exactly what
 SCPG exploits: combinational leakage is gatable, sequential/clock/isolation
 leakage is always-on, header leakage is the gated-mode residual.
+
+:func:`leakage_power` runs over the memoised
+:class:`~repro.netlist.soa.LeakageSoa` lowering -- one state gather plus
+one scaled accumulate instead of a per-instance netlist walk -- and is
+bit-identical to the reference walk (kept as
+:func:`_leakage_power_walk`): the state tables are enumerated *through*
+``Cell.leakage_for_state`` and every accumulation replays the walk's
+addition order.  :func:`state_leakage_trace` extends the same gather
+across a whole co-simulation state trace (one row per cycle, e.g. from
+:meth:`repro.isa.trace.GateLevelCpu.state_trace`) as array ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..netlist.soa import leakage_soa_for
 from ..tech.library import CellKind
 
 #: Kinds whose leakage the SCPG header can gate away.
@@ -87,6 +100,30 @@ def leakage_power(module, library, vdd=None, state=None, temp_c=None):
     vdd = library.vdd_nom if vdd is None else vdd
     svt_scale = library.leakage_scale(vdd, "svt", temp_c)
     hvt_scale = library.leakage_scale(vdd, "hvt", temp_c)
+    lk = leakage_soa_for(module)
+    per = lk.per_instance(None if state is None else lk.state_values(state))
+    vals = per * np.where(lk.is_header, hvt_scale, svt_scale)
+    report = LeakageReport(vdd=vdd)
+    if len(vals):
+        # np.add.accumulate is a strictly sequential left fold, so every
+        # total repeats the walk's float additions in instance order.
+        report.total = float(np.add.accumulate(vals)[-1])
+        for kind, rows in lk.kind_rows:
+            report.by_kind[kind] = float(np.add.accumulate(vals[rows])[-1])
+        for name, rows in lk.cell_rows:
+            report.by_cell[name] = float(np.add.accumulate(vals[rows])[-1])
+    return report
+
+
+def _leakage_power_walk(module, library, vdd=None, state=None, temp_c=None):
+    """Reference per-instance netlist walk (pre-lowering implementation).
+
+    Kept verbatim as the differential oracle for :func:`leakage_power`
+    and the slow side of the leakage-trace benchmark.
+    """
+    vdd = library.vdd_nom if vdd is None else vdd
+    svt_scale = library.leakage_scale(vdd, "svt", temp_c)
+    hvt_scale = library.leakage_scale(vdd, "hvt", temp_c)
     report = LeakageReport(vdd=vdd)
     for inst in module.cell_instances():
         cell = inst.cell
@@ -100,3 +137,72 @@ def leakage_power(module, library, vdd=None, state=None, temp_c=None):
         report.by_kind[cell.kind] = report.by_kind.get(cell.kind, 0.0) + value
         report.by_cell[cell.name] = report.by_cell.get(cell.name, 0.0) + value
     return report
+
+
+@dataclass
+class LeakageTrace:
+    """Per-cycle state-dependent leakage across a co-sim trace (W).
+
+    Arrays are indexed by cycle; every element equals the corresponding
+    field of ``leakage_power(module, library, vdd, state=cycle_state)``
+    bit-for-bit.
+    """
+
+    vdd: float
+    total: np.ndarray = None
+    #: CellKind -> per-cycle totals, first-occurrence order.
+    by_kind: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self):
+        return 0 if self.total is None else len(self.total)
+
+    @property
+    def combinational(self):
+        """Gatable (combinational-domain) leakage per cycle."""
+        return sum(self.by_kind.get(k, 0.0) for k in GATABLE_KINDS)
+
+    @property
+    def always_on(self):
+        """Always-on (non-header, non-gatable) leakage per cycle."""
+        return self.total - self.combinational - self.headers
+
+    @property
+    def headers(self):
+        """Sleep-header residual leakage per cycle."""
+        return self.by_kind.get(CellKind.HEADER, 0.0)
+
+
+def state_leakage_trace(module, library, states, vdd=None, temp_c=None):
+    """State-dependent leakage for every cycle of a state trace.
+
+    ``states`` is a ``(cycles, n_nets)`` packed value matrix in
+    ``module.nets()`` order (what
+    :meth:`repro.isa.trace.GateLevelCpu.state_trace` records) or an
+    iterable of ``{net name: value}`` snapshots.  One gather + scaled
+    accumulate over the whole trace replaces ``cycles`` netlist walks;
+    returns a :class:`LeakageTrace`.
+    """
+    vdd = library.vdd_nom if vdd is None else vdd
+    svt_scale = library.leakage_scale(vdd, "svt", temp_c)
+    hvt_scale = library.leakage_scale(vdd, "hvt", temp_c)
+    lk = leakage_soa_for(module)
+    if isinstance(states, np.ndarray):
+        mat = np.asarray(states, dtype=np.int8)
+        if mat.ndim == 1:
+            mat = mat[np.newaxis, :]
+    else:
+        rows = [lk.state_values(s) for s in states]
+        mat = np.asarray(rows, dtype=np.int8) if rows \
+            else np.zeros((0, len(lk.net_names)), dtype=np.int8)
+    per = lk.per_instance(mat)
+    vals = per * np.where(lk.is_header, hvt_scale, svt_scale)
+    trace = LeakageTrace(vdd=vdd)
+    if vals.shape[1]:
+        trace.total = np.add.accumulate(vals, axis=1)[:, -1]
+        for kind, rows in lk.kind_rows:
+            trace.by_kind[kind] = \
+                np.add.accumulate(vals[:, rows], axis=1)[:, -1]
+    else:
+        trace.total = np.zeros(len(mat), dtype=np.float64)
+    return trace

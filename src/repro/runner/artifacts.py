@@ -34,11 +34,17 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from ..errors import RunnerError
 from ..obs.trace import NULL_TRACER
 from .journal import NULL_JOURNAL
+from .kernel import Kernel, register_kernel
 
 #: Cache-key namespace (bump when any table's compiled layout changes).
-ARTIFACT_SCHEMA = "circuit-artifacts-v2"
+#: v3: LeakageTable switched from per-instance tuple rows to aligned
+#: arrays with grouped accumulation indices (vdd-axis vectorization).
+ARTIFACT_SCHEMA = "circuit-artifacts-v3"
 
 
 # ---------------------------------------------------------------------------
@@ -49,22 +55,88 @@ ARTIFACT_SCHEMA = "circuit-artifacts-v2"
 class LeakageTable:
     """Per-cell nominal leakage, compiled from one flat module.
 
-    ``rows`` holds ``(base_leakage_w, CellKind, cell_name)`` in
+    ``base`` / ``is_header`` are aligned per-instance arrays in
     ``module.cell_instances()`` order -- the exact iteration order of
-    :func:`repro.power.leakage.leakage_power`, so the accumulated totals
-    are float-identical.
+    :func:`repro.power.leakage.leakage_power` -- and ``kind_rows`` /
+    ``cell_rows`` keep first-occurrence-ordered index groups, so the
+    strictly-sequential ``np.add.accumulate`` totals replay the walk's
+    float additions bit-for-bit.  :meth:`evaluate_axis` broadcasts the
+    same arithmetic across a whole supply axis at once (the
+    :class:`LeakageAxisKernel` batch path).
     """
 
-    rows: list = field(default_factory=list)
+    base: np.ndarray = None
+    is_header: np.ndarray = None
+    #: ``[(CellKind, instance index array)]`` in first-occurrence order.
+    kind_rows: list = field(default_factory=list)
+    #: ``[(cell name, instance index array)]`` in first-occurrence order.
+    cell_rows: list = field(default_factory=list)
 
     @classmethod
     def compile(cls, module):
         """Snapshot the voltage-independent leakage inputs of ``module``."""
-        rows = []
-        for inst in module.cell_instances():
+        from ..tech.library import CellKind
+
+        base, is_header = [], []
+        kind_rows, cell_rows = {}, {}
+        kind_order, cell_order = [], []
+        for row, inst in enumerate(module.cell_instances()):
             cell = inst.cell
-            rows.append((cell.leakage, cell.kind, cell.name))
-        return cls(rows=rows)
+            base.append(cell.leakage)
+            is_header.append(cell.kind is CellKind.HEADER)
+            if cell.kind not in kind_rows:
+                kind_rows[cell.kind] = []
+                kind_order.append(cell.kind)
+            kind_rows[cell.kind].append(row)
+            if cell.name not in cell_rows:
+                cell_rows[cell.name] = []
+                cell_order.append(cell.name)
+            cell_rows[cell.name].append(row)
+        return cls(
+            base=np.asarray(base, dtype=np.float64),
+            is_header=np.asarray(is_header, dtype=bool),
+            kind_rows=[(k, np.asarray(kind_rows[k], dtype=np.int64))
+                       for k in kind_order],
+            cell_rows=[(n, np.asarray(cell_rows[n], dtype=np.int64))
+                       for n in cell_order],
+        )
+
+    def evaluate_axis(self, library, vdds, temp_c=None):
+        """One :class:`~repro.power.leakage.LeakageReport` per supply.
+
+        ``vdds`` entries of ``None`` mean nominal.  The ``(n_vdd,
+        n_inst)`` value matrix is accumulated row-wise, so every report
+        equals a scalar :meth:`evaluate` at that supply exactly.
+        """
+        from ..power.leakage import LeakageReport
+
+        vdds = [library.vdd_nom if v is None else v for v in vdds]
+        if not vdds:
+            return []
+        n = 0 if self.base is None else len(self.base)
+        if n == 0:
+            return [LeakageReport(vdd=v) for v in vdds]
+        svt = np.asarray(
+            [library.leakage_scale(v, "svt", temp_c) for v in vdds])
+        hvt = np.asarray(
+            [library.leakage_scale(v, "hvt", temp_c) for v in vdds])
+        scale = np.where(self.is_header[np.newaxis, :],
+                         hvt[:, np.newaxis], svt[:, np.newaxis])
+        vals = self.base[np.newaxis, :] * scale
+        totals = np.add.accumulate(vals, axis=1)[:, -1]
+        kind_tot = [(kind, np.add.accumulate(vals[:, rows], axis=1)[:, -1])
+                    for kind, rows in self.kind_rows]
+        cell_tot = [(name, np.add.accumulate(vals[:, rows], axis=1)[:, -1])
+                    for name, rows in self.cell_rows]
+        reports = []
+        for i, v in enumerate(vdds):
+            report = LeakageReport(vdd=v, total=float(totals[i]))
+            for kind, tot in kind_tot:
+                report.by_kind[kind] = float(tot[i])
+            for name, tot in cell_tot:
+                report.by_cell[name] = float(tot[i])
+            reports.append(report)
+        return reports
 
     def evaluate(self, library, *, vdd=None, temp_c=None):
         """:class:`~repro.power.leakage.LeakageReport` at ``vdd``.
@@ -73,23 +145,33 @@ class LeakageTable:
         stateless path; state-dependent leakage needs the netlist).
         Every table shares this keyword-only operating-point signature.
         """
-        from ..power.leakage import LeakageReport
-        from ..tech.library import CellKind
+        return self.evaluate_axis(library, [vdd], temp_c=temp_c)[0]
 
-        vdd = library.vdd_nom if vdd is None else vdd
-        svt_scale = library.leakage_scale(vdd, "svt", temp_c)
-        hvt_scale = library.leakage_scale(vdd, "hvt", temp_c)
-        report = LeakageReport(vdd=vdd)
-        header = CellKind.HEADER
-        by_kind = report.by_kind
-        by_cell = report.by_cell
-        for base, kind, name in self.rows:
-            scale = hvt_scale if kind is header else svt_scale
-            value = base * scale
-            report.total += value
-            by_kind[kind] = by_kind.get(kind, 0.0) + value
-            by_cell[name] = by_cell.get(name, 0.0) + value
-        return report
+
+class LeakageAxisKernel(Kernel):
+    """Supply-axis batch evaluation of a :class:`LeakageTable`.
+
+    Points are VDD floats (``None`` for nominal); results are
+    :class:`~repro.power.leakage.LeakageReport` objects identical to
+    point-at-a-time ``table.evaluate`` calls.  Registered for exactly
+    :class:`LeakageTable` like every kernel in
+    :mod:`repro.runner.kernel`.
+    """
+
+    name = "leakage-axis"
+
+    def applies(self, table):
+        return type(table) is LeakageTable
+
+    def evaluate(self, table, points, library=None):
+        if library is None:
+            raise RunnerError(
+                "leakage-axis kernel needs a library "
+                "(compile_kernel(table, library))")
+        return table.evaluate_axis(library, list(points))
+
+
+register_kernel(LeakageTable, LeakageAxisKernel())
 
 
 # ---------------------------------------------------------------------------

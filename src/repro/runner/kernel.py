@@ -24,6 +24,12 @@ This module replaces all of them with one protocol:
 ``evaluate_grid(..., kernel=...)`` and ``Runner.run(..., kernel=...)``
 accept a compiled kernel directly; the legacy ``batch_fn=`` keyword and
 the per-model axis methods survive as :class:`DeprecationWarning` shims.
+
+Registered kernels: each model module self-registers at import time --
+e.g. :class:`repro.runner.artifacts.LeakageAxisKernel` binds to
+:class:`~repro.runner.artifacts.LeakageTable` and batches a whole VDD
+axis through ``evaluate_axis`` (one value matrix instead of per-supply
+walks, reports identical to scalar ``evaluate`` calls).
 """
 
 from __future__ import annotations

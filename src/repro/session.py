@@ -441,6 +441,52 @@ class DesignHandle:
         return leakage_power(self.design.top, self.session.library,
                              vdd=vdd if vdd else None)
 
+    def leakage_axis(self, vdds, temp_c=None):
+        """Leakage reports across a whole supply axis at once.
+
+        ``vdds`` entries of ``None`` mean nominal.  Rides the artifact
+        bundle's vectorized :meth:`~repro.runner.artifacts.LeakageTable.
+        evaluate_axis` (one value matrix for the entire axis) when the
+        session caches artifacts; the fallback evaluates point by point
+        with identical results.
+        """
+        art = self.artifacts()
+        if art is not None:
+            return art.leakage.evaluate_axis(self.session.library, vdds,
+                                             temp_c=temp_c)
+        from .power.leakage import leakage_power
+
+        return [leakage_power(self.design.top, self.session.library,
+                              vdd=v, temp_c=temp_c) for v in vdds]
+
+    def state_leakage_trace(self, states, vdd=None, temp_c=None):
+        """Per-cycle state-dependent leakage across a co-sim trace
+        (see :func:`repro.power.leakage.state_leakage_trace`).
+
+        ``states`` is the ``(cycles, n_nets)`` matrix recorded by
+        :meth:`cosim` / :class:`~repro.isa.trace.GateLevelCpu` with
+        ``record_states=True``, or an iterable of net-value snapshots.
+        """
+        from .power.leakage import state_leakage_trace
+
+        return state_leakage_trace(self.design.top, self.session.library,
+                                   states, vdd=vdd, temp_c=temp_c)
+
+    def cosim(self, program, memory=None, max_cycles=200_000,
+              group_size=10, engine="auto"):
+        """Closed-loop ISS-vs-netlist co-simulation of ``program`` (see
+        :func:`repro.isa.trace.cosimulate`; the design must expose the
+        M0-lite port interface).  ``engine`` picks the gate-level
+        engine: the compiled :class:`~repro.sim.compiled.
+        ClosedLoopStepper` when eligible under ``"auto"``, the event
+        simulator otherwise -- bit-identical results either way.
+        """
+        from .isa.trace import cosimulate
+
+        return cosimulate(self.design.top, program, memory,
+                          max_cycles=max_cycles, group_size=group_size,
+                          engine=engine)
+
     def power_model(self):
         """An :class:`~repro.scpg.power_model.ScpgPowerModel` with the
         vectorless energy estimate and measured base leakage."""

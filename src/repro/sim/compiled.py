@@ -25,6 +25,17 @@ replayed per-phase.  :meth:`CompiledSchedule.vector_ready` reports this,
 and :meth:`CompiledSchedule.run_vectors` transparently falls back to the
 event-driven :class:`~repro.sim.event.Simulator` (float-exact by
 construction) for those designs.
+
+Closed-loop workloads (a testbench that must *read* outputs each cycle
+to decide the next inputs -- the ISA co-simulator's memory protocol)
+cannot batch cycles at all, so :meth:`CompiledSchedule.stepper` exposes
+the same settled-phase machinery one cycle at a time: a
+:class:`ClosedLoopStepper` settles single value rows through merged
+packed row programs (:meth:`repro.netlist.soa.SoaNetlist.pack_levels`),
+skips applies whose values did not change, samples flops only on phases
+whose affected cone reaches a CK/RN pin, and accrues the identical
+consecutive-snapshot toggle diffs -- bit-identical state and toggle
+counts versus driving the event simulator through the same protocol.
 """
 
 from __future__ import annotations
@@ -97,6 +108,9 @@ class CompiledSchedule:
         state["_module"] = None
         state.pop("_fo_state", None)
         state.pop("_fo_clock", None)
+        state.pop("_seq_cols", None)
+        state.pop("_row_state", None)
+        state.pop("_row_inputs", None)
         return state
 
     @property
@@ -192,22 +206,15 @@ class CompiledSchedule:
         samples the *pre-settle* D/EN; a non-rising change to X drives
         Q to X; EN==0 holds, EN==X corrupts the sample.
         """
-        soa = self.soa
-        rows = np.nonzero(soa.seq_q >= 0)[0]
-        if not len(rows):
+        qcol, ck, dcol, has_en, en_safe, has_rn, rn_safe = \
+            self._seq_columns()
+        if not len(qcol):
             return False
-        qcol = soa.seq_q[rows]
-        ck = soa.seq_ck[rows]
-        dcol = soa.seq_d[rows]
         ck_old = pre[:, ck]
         ck_new = now[:, ck]
         d_pre = pre[:, dcol]
-        en = soa.seq_en[rows]
-        has_en = en >= 0
-        en_pre = np.where(has_en, pre[:, np.where(has_en, en, 0)], 1)
-        rn = soa.seq_rn[rows]
-        has_rn = rn >= 0
-        rn_now = np.where(has_rn, now[:, np.where(has_rn, rn, 0)], 1)
+        en_pre = np.where(has_en, pre[:, en_safe], 1)
+        rn_now = np.where(has_rn, now[:, rn_safe], 1)
 
         held = now[:, qcol]
         changed = ck_new != ck_old
@@ -222,6 +229,22 @@ class CompiledSchedule:
             return False
         now[:, qcol] = q_next
         return True
+
+    def _seq_columns(self):
+        """Memoised per-flop column arrays for :meth:`_sample_flops`."""
+        cols = getattr(self, "_seq_cols", None)
+        if cols is None:
+            soa = self.soa
+            rows = np.nonzero(soa.seq_q >= 0)[0]
+            en = soa.seq_en[rows]
+            has_en = en >= 0
+            rn = soa.seq_rn[rows]
+            has_rn = rn >= 0
+            cols = self._seq_cols = (
+                soa.seq_q[rows], soa.seq_ck[rows], soa.seq_d[rows],
+                has_en, np.where(has_en, en, 0),
+                has_rn, np.where(has_rn, rn, 0))
+        return cols
 
     def _phase(self, start, mutate, levels):
         """One settled phase: copy ``start``, apply ``mutate``, settle
@@ -256,6 +279,49 @@ class CompiledSchedule:
         if levels is None:
             levels = cache[clk_idx] = self.soa.subschedule([clk_idx])
         return levels
+
+    def _row_state_prog(self):
+        """Packed row program for the flop-output fanout (memoised)."""
+        prog = getattr(self, "_row_state", None)
+        if prog is None:
+            prog = self._row_state = \
+                self.soa.pack_levels(self._state_levels())
+        return prog
+
+    def _row_apply_prog(self, idxs):
+        """``(packed cone program, needs-flop-sampling)`` for applying
+        the given net indices, memoised per index set.
+
+        Sampling is needed exactly when the apply can move a CK or RN
+        pin net -- the only nets through which a settled clock-low apply
+        can change flop state (the event simulator's per-flop event
+        triggers reduce to the same condition).
+        """
+        cache = getattr(self, "_row_inputs", None)
+        if cache is None:
+            cache = self._row_inputs = {}
+        key = tuple(idxs)
+        entry = cache.get(key)
+        if entry is None:
+            soa = self.soa
+            prog = soa.pack_levels(soa.subschedule(list(key)))
+            affected = set(key)
+            for op in prog:
+                affected.update(op.out.tolist())
+            sens = set(soa.seq_ck[soa.seq_ck >= 0].tolist())
+            sens |= set(soa.seq_rn[soa.seq_rn >= 0].tolist())
+            entry = cache[key] = (prog, bool(affected & sens))
+        return entry
+
+    def stepper(self, clock="clk", record_toggles=True):
+        """A :class:`ClosedLoopStepper` over this schedule.
+
+        Raises :class:`~repro.errors.SimulationError` unless
+        :meth:`vector_ready` -- callers that need a fallback should
+        check eligibility first (see :class:`repro.isa.trace.GateLevelCpu`).
+        """
+        return ClosedLoopStepper(self, clock=clock,
+                                 record_toggles=record_toggles)
 
     def _run_levelized(self, vectors, clock, reset, group_size,
                        max_batch=1024):
@@ -462,6 +528,223 @@ class CompiledSchedule:
         soa.eval_comb(values)
         out_idx = np.asarray(list(soa.output_ports.values()), dtype=np.int64)
         return values[:, out_idx]
+
+
+class BusView:
+    """Packed integer view over ``name_0 .. name_{width-1}`` bit nets.
+
+    Output views gather the current settled values in one take;
+    input views drive a whole integer through the stepper's memoised
+    apply program -- no per-bit name formatting or dict traffic on the
+    per-cycle path (compare :func:`repro.sim.testbench.read_bus`).
+    """
+
+    __slots__ = ("_stepper", "name", "width", "_idx", "_shifts", "_pow2",
+                 "_prog", "_sample")
+
+    def __init__(self, stepper, name, width, writable):
+        soa = stepper.soa
+        self._stepper = stepper
+        self.name = name
+        self.width = width
+        space = soa.input_ports if writable else soa.net_index
+        idx = []
+        for i in range(width):
+            bit = "{}_{}".format(name, i)
+            at = space.get(bit)
+            if at is None:
+                raise SimulationError(
+                    "module {} has no {} {}".format(
+                        soa.module_name,
+                        "input port" if writable else "net", bit))
+            idx.append(at)
+        self._idx = np.asarray(idx, dtype=np.int64)
+        self._shifts = np.arange(width, dtype=np.int64)
+        self._pow2 = np.int64(1) << self._shifts
+        if writable:
+            self._prog, self._sample = \
+                stepper.schedule._row_apply_prog(tuple(idx))
+        else:
+            self._prog = self._sample = None
+
+    def read(self):
+        """The bus as an int, or ``None`` when any bit is X
+        (:func:`~repro.sim.testbench.read_bus` parity)."""
+        row = self._stepper._state[self._idx]
+        if (row == X).any():
+            return None
+        return int(row.astype(np.int64) @ self._pow2)
+
+    def drive(self, value):
+        """Apply ``value``'s bits as one settled input phase."""
+        if self._prog is None:
+            raise SimulationError("bus {} is read-only".format(self.name))
+        vals = ((np.int64(value) >> self._shifts) & 1).astype(np.int8)
+        self._stepper._apply_indexed(self._idx, vals, self._prog,
+                                     self._sample)
+
+
+class ClosedLoopStepper:
+    """Cycle-at-a-time reactive stepping over a compiled schedule.
+
+    Mirrors driving an event :class:`~repro.sim.event.Simulator` through
+    the standard protocol (settled apply phases with the clock low, then
+    :meth:`posedge` / :meth:`negedge`), but every phase is a handful of
+    fused gathers over a single ``(n_nets,)`` value row: the perturbed
+    cone settles through a memoised packed row program, flop sampling
+    runs only when the cone can reach a CK/RN pin, unchanged applies
+    skip entirely, and toggle accounting accrues the same
+    consecutive-snapshot diffs as the batched engine -- so state,
+    toggles and flop values stay bit-identical to the event path.
+
+    This is the engine under :class:`repro.isa.trace.GateLevelCpu`'s
+    compiled mode; anything per-cycle-interactive can drive it directly
+    via :meth:`apply` / :meth:`cycle` and the :class:`BusView` accessors.
+    """
+
+    def __init__(self, schedule, clock="clk", record_toggles=True):
+        ok, why = schedule.vector_ready(clock)
+        if not ok:
+            raise SimulationError(
+                "cannot step {}: {}".format(
+                    schedule.soa.module_name if schedule.soa else "?", why))
+        self.schedule = schedule
+        self.soa = schedule.soa
+        self.clock = clock
+        self.record_toggles = record_toggles
+        soa = self.soa
+        self._state = schedule._init.copy()
+        self.toggle_counts = np.zeros(soa.n_nets, dtype=np.int64)
+        self.cycles = 0
+        self._state_prog = schedule._row_state_prog()
+        self._programs = {}
+        self._seq_rows = {name: row
+                          for row, name in enumerate(soa.seq_names)}
+        clk_idx = soa.input_ports[clock]
+        self._clk_idx = np.asarray([clk_idx], dtype=np.int64)
+        self._clk_prog, _ = schedule._row_apply_prog((clk_idx,))
+        self._clk_vals = (np.asarray([0], dtype=np.int8),
+                          np.asarray([1], dtype=np.int8))
+
+    # -- phase engine --------------------------------------------------------
+
+    def _apply_indexed(self, idx, vals, prog, sample):
+        """One settled phase: set ``vals`` at ``idx``, settle the cone,
+        sample flops when the cone warrants it.  No-op when every value
+        is unchanged (the event simulator drops such events too)."""
+        start = self._state
+        if np.array_equal(start[idx], vals):
+            return
+        soa = self.soa
+        pre = start.copy()
+        pre[idx] = vals
+        soa.eval_row(pre, prog)
+        post = pre
+        if sample:
+            post = pre.copy()
+            if self.schedule._sample_flops(start[None, :], post[None, :]):
+                soa.eval_row(post, self._state_prog)
+            else:
+                post = pre
+        if self.record_toggles:
+            self.toggle_counts += _diff(start, pre)
+            if post is not pre:
+                self.toggle_counts += _diff(pre, post)
+        self._state = post
+
+    def apply(self, values):
+        """Settle a ``{port name: value}`` change (clock stays put)."""
+        names = tuple(sorted(values))
+        entry = self._programs.get(names)
+        if entry is None:
+            soa = self.soa
+            idx = []
+            for name in names:
+                at = soa.input_ports.get(name)
+                if at is None:
+                    raise SimulationError(
+                        "module {} has no input port {}".format(
+                            soa.module_name, name))
+                idx.append(at)
+            prog, sample = self.schedule._row_apply_prog(tuple(idx))
+            entry = self._programs[names] = (
+                np.asarray(idx, dtype=np.int64), prog, sample)
+        idx, prog, sample = entry
+        vals = np.asarray([to_ternary(values[name]) for name in names],
+                          dtype=np.int8)
+        self._apply_indexed(idx, vals, prog, sample)
+
+    def posedge(self):
+        """Drive the clock high (flops sample against the pre-edge
+        state, exactly like the event simulator's edge)."""
+        self._apply_indexed(self._clk_idx, self._clk_vals[1],
+                            self._clk_prog, True)
+
+    def negedge(self):
+        """Drive the clock low."""
+        self._apply_indexed(self._clk_idx, self._clk_vals[0],
+                            self._clk_prog, True)
+
+    def cycle(self, inputs=None):
+        """One full protocol cycle: apply ``inputs``, posedge, negedge."""
+        if inputs:
+            if self.clock in inputs:
+                raise SimulationError(
+                    "drive the clock via posedge/negedge, not apply")
+            self.apply(inputs)
+        self.posedge()
+        self.negedge()
+        self.cycles += 1
+
+    def force_flops(self, value=0):
+        """Force every flop output and re-settle the state cone
+        (:meth:`~repro.sim.event.Simulator.force_flop_state` parity)."""
+        soa = self.soa
+        qcols = soa.seq_q[soa.seq_q >= 0]
+        if not len(qcols):
+            return
+        start = self._state
+        pre = start.copy()
+        pre[qcols] = to_ternary(value)
+        soa.eval_row(pre, self._state_prog)
+        if self.record_toggles:
+            self.toggle_counts += _diff(start, pre)
+        self._state = pre
+
+    # -- accessors -----------------------------------------------------------
+
+    def input_bus(self, name, width):
+        """A writable :class:`BusView` over input ports ``name_*``."""
+        return BusView(self, name, width, writable=True)
+
+    def output_bus(self, name, width):
+        """A read-only :class:`BusView` over nets ``name_*``."""
+        return BusView(self, name, width, writable=False)
+
+    def value(self, net_name):
+        """Current settled value of one net (0/1/X)."""
+        return int(self._state[self.soa.net_index[net_name]])
+
+    def flop_q(self, inst_name):
+        """Current Q of a flop by instance name (X when output-less)."""
+        row = self._seq_rows.get(inst_name)
+        if row is None:
+            raise SimulationError("unknown flop {}".format(inst_name))
+        q = self.soa.seq_q[row]
+        return X if q < 0 else int(self._state[q])
+
+    def state_row(self):
+        """A copy of the settled ``(n_nets,)`` value row (net order =
+        ``soa.net_names`` = ``module.nets()`` order)."""
+        return self._state.copy()
+
+    def toggle_snapshot(self):
+        """Dict net name -> toggle count (``Simulator`` parity)."""
+        return {name: int(self.toggle_counts[i])
+                for i, name in enumerate(self.soa.net_names)}
+
+    def reset_toggles(self):
+        self.toggle_counts[:] = 0
 
 
 def compile_schedule(module, library=None):

@@ -122,6 +122,9 @@ class Cell:
             raise LibraryError(
                 "cell {} has duplicate pin names".format(self.name)
             )
+        self._state_memo = {}
+        self._state_pins = tuple(
+            p.name for p in self.pins if p.direction is PinDirection.INPUT)
 
     # -- pin queries ---------------------------------------------------------
 
@@ -183,12 +186,24 @@ class Cell:
         """Leakage power (W at vdd_nom) for input pin ``values`` (a dict).
 
         The first matching :class:`LeakageState` wins; with no match (or no
-        states at all) the average ``leakage`` is returned.
+        states at all) the average ``leakage`` is returned.  Matches are
+        memoised per input-pin value tuple -- there are at most ``3**k``
+        distinct assignments, while a state-dependent analysis asks about
+        the same handful millions of times.  (``values.get`` reproduces
+        the expression evaluator's own missing-pin handling, so the key
+        is exact.)
         """
+        key = tuple(values.get(name) for name in self._state_pins)
+        power = self._state_memo.get(key, self)
+        if power is not self:
+            return power
+        power = self.leakage
         for state in self.leakage_states:
             if state.when is not None and state.matches(values):
-                return state.power
-        return self.leakage
+                power = state.power
+                break
+        self._state_memo[key] = power
+        return power
 
     def input_capacitance(self, pin_name):
         """Capacitance (F) presented by input pin ``pin_name``."""

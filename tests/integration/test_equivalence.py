@@ -40,17 +40,9 @@ loop:
 
 class _ScpgGateLevelCpu(GateLevelCpu):
     """Drives the SCPG core: holds the override input inactive so gating
-    toggles with the clock during the whole run."""
+    toggles with the clock during the whole run (on either engine)."""
 
-    def _reset(self):
-        self.sim.force_flop_state(0)
-        self.sim.set_inputs({"clk": 0, "rstn": 0, "override_n": 1})
-        self._feed_memories()
-        self.sim.set_input("clk", 1)
-        self.sim.set_input("clk", 0)
-        self.sim.set_input("rstn", 1)
-        self._feed_memories()
-        self.sim.reset_toggles()
+    _extra_reset_inputs = {"override_n": 1}
 
 
 class TestScpgEquivalence:

@@ -199,6 +199,40 @@ class TestParallelBatchMatrix:
         _assert_identical(_flatten(again), reference)
 
 
+class TestCosimEngineStrategy:
+    """The gate-level co-sim engine as one more execution strategy: the
+    compiled closed-loop stepper and the event simulator must agree on
+    every observable of a full program run -- cycle-for-cycle, toggle-
+    for-toggle -- so engine choice stays pure execution detail exactly
+    like workers, kernels and caches above."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, m0_module):
+        from repro.isa.programs import crc32_program, dhrystone_memory
+        from repro.isa.trace import cosimulate
+
+        program, memory = crc32_program(1), dhrystone_memory()
+        return {engine: cosimulate(m0_module, program, dict(memory),
+                                   engine=engine)
+                for engine in ("event", "compiled")}
+
+    def test_both_architecturally_ok(self, runs):
+        assert runs["event"].ok and runs["compiled"].ok
+
+    def test_scalar_observables_identical(self, runs):
+        ev, cp = runs["event"], runs["compiled"]
+        assert (ev.instructions, ev.cycles, ev.cpi) == \
+               (cp.instructions, cp.cycles, cp.cpi)
+
+    def test_grouped_toggle_trace_identical(self, runs):
+        ev, cp = runs["event"].trace, runs["compiled"].trace
+        assert len(ev.groups) == len(cp.groups)
+        for a, b in zip(ev.groups, cp.groups):
+            assert (a.index, a.cycles, a.total_toggles, a.nets,
+                    a.toggles) == \
+                   (b.index, b.cycles, b.total_toggles, b.nets, b.toggles)
+
+
 #: design name -> paper frequency axis, for the serve strategy below.
 SERVE_CASES = {
     "mult16": TABLE_I_FREQS,

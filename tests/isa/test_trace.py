@@ -1,9 +1,22 @@
 """Gate-level CPU wrapper and co-simulation plumbing."""
 
+import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.isa.assembler import assemble
 from repro.isa.trace import GateLevelCpu, cosimulate
+
+COUNTDOWN = """
+    movi r1, #20
+    movi r2, #32
+loop:
+    str  r1, [r2, #0]
+    ldr  r3, [r2, #0]
+    addi r1, #-1
+    bne  loop
+    halt
+"""
 
 
 class TestGateLevelCpu:
@@ -61,6 +74,100 @@ class TestGateLevelCpu:
         trace = gate.activity_trace()
         assert len(trace.groups) >= 5
         assert all(g.switching_probability > 0 for g in trace.groups)
+
+
+class TestEngines:
+    """The compiled closed-loop engine against the event engine."""
+
+    def test_auto_picks_compiled_for_m0lite(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("halt"))
+        assert gate.engine == "compiled"
+
+    def test_bad_engine_rejected(self, m0_module):
+        with pytest.raises(ValueError, match="engine"):
+            GateLevelCpu(m0_module, assemble("halt"), engine="bogus")
+
+    def test_compiled_raises_on_ineligible_module(self, mult_module):
+        """A multiplier has no M0-lite memory interface."""
+        with pytest.raises(SimulationError, match="unavailable"):
+            GateLevelCpu(mult_module, assemble("halt"), engine="compiled")
+
+    def test_auto_falls_back_when_ineligible(self, m0_module,
+                                             monkeypatch):
+        """``auto`` degrades to the event engine (same results) when
+        the compiled stepper cannot host the module."""
+        monkeypatch.setattr(
+            GateLevelCpu, "_compiled_ready",
+            staticmethod(lambda schedule: (False, "forced by test")))
+        gate = GateLevelCpu(m0_module, assemble("movi r1, #3\nhalt"))
+        assert gate.engine == "event"
+        gate.run()
+        assert gate.register(1) == 3
+
+    def test_scpg_core_engines_bit_identical(self, m0_study):
+        """The SCPG-transformed core (isolation clamps, header logic in
+        the netlist) runs the compiled engine with identical results --
+        the memory feed lands after the falling edge on both paths."""
+        core = m0_study.scpg.flat.top
+        program = assemble(COUNTDOWN)
+        ev = GateLevelCpu(core, program, engine="event")
+        cp = GateLevelCpu(core, program, engine="auto")
+        ev.run()
+        cp.run()
+        assert ev.cycles == cp.cycles
+        assert ev.registers() == cp.registers()
+        assert ev.memory == cp.memory
+        assert ev.toggle_snapshot() == cp.toggle_snapshot()
+
+    def test_engines_bit_identical(self, m0_module):
+        program = assemble(COUNTDOWN)
+        ev = GateLevelCpu(m0_module, program, engine="event")
+        cp = GateLevelCpu(m0_module, program, engine="compiled")
+        ev.run()
+        cp.run()
+        assert ev.cycles == cp.cycles
+        assert ev.registers() == cp.registers()
+        assert ev.memory == cp.memory
+        assert ev.toggle_snapshot() == cp.toggle_snapshot()
+        te, tc = ev.activity_trace(), cp.activity_trace()
+        assert len(te.groups) == len(tc.groups)
+        for a, b in zip(te.groups, tc.groups):
+            assert (a.index, a.cycles, a.total_toggles, a.nets,
+                    a.toggles) == \
+                   (b.index, b.cycles, b.total_toggles, b.nets, b.toggles)
+
+    def test_state_traces_bit_identical(self, m0_module):
+        program = assemble(COUNTDOWN)
+        ev = GateLevelCpu(m0_module, program, engine="event",
+                          record_states=True)
+        cp = GateLevelCpu(m0_module, program, engine="compiled",
+                          record_states=True)
+        for _ in range(30):
+            ev.step()
+            cp.step()
+        assert ev.state_net_names == cp.state_net_names
+        assert np.array_equal(ev.state_trace(), cp.state_trace())
+
+    def test_state_trace_requires_opt_in(self, m0_module):
+        gate = GateLevelCpu(m0_module, assemble("halt"))
+        with pytest.raises(SimulationError, match="record_states"):
+            gate.state_trace()
+
+    def test_event_key_tuples_precomputed(self, m0_module):
+        """The event feed path formats its 48 input-net names once."""
+        gate = GateLevelCpu(m0_module, assemble("halt"), engine="event")
+        assert gate._idata_keys[0] == "idata_0"
+        assert gate._idata_keys is gate._idata_keys  # stable tuple
+        assert len(gate._idata_keys) == 16
+        assert len(gate._drdata_keys) == 32
+        assert gate._drdata_keys[31] == "drdata_31"
+
+    def test_cosimulate_engine_passthrough(self, m0_module):
+        program = assemble("movi r1, #5\nhalt")
+        rs = {e: cosimulate(m0_module, program, engine=e)
+              for e in ("event", "compiled", "auto")}
+        assert all(r.ok for r in rs.values())
+        assert len({r.cycles for r in rs.values()}) == 1
 
 
 class TestCosimulate:

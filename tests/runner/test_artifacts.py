@@ -96,6 +96,54 @@ class TestLeakageTable:
             assert got.always_on == ref.always_on
             assert got.headers == ref.headers
 
+    def test_axis_matches_scalar_evaluations(self, counter, lib):
+        """One vectorized pass over the whole VDD axis returns the same
+        reports as point-at-a-time evaluate calls."""
+        table = LeakageTable.compile(counter.design.top)
+        reports = table.evaluate_axis(lib, list(VDDS))
+        assert len(reports) == len(VDDS)
+        for vdd, got in zip(VDDS, reports):
+            ref = table.evaluate(lib, vdd=vdd)
+            assert got.vdd == ref.vdd
+            assert got.total == ref.total
+            assert got.by_kind == ref.by_kind
+            assert got.by_cell == ref.by_cell
+
+    def test_axis_temp_and_empty(self, counter, lib):
+        table = LeakageTable.compile(counter.design.top)
+        hot = table.evaluate_axis(lib, [0.6], temp_c=85.0)[0]
+        assert hot.total == table.evaluate(lib, vdd=0.6,
+                                           temp_c=85.0).total
+        assert table.evaluate_axis(lib, []) == []
+        empty = LeakageTable()  # ScpgModelTable default-constructs one
+        report = empty.evaluate(lib, vdd=0.5)
+        assert report.total == 0.0 and report.by_kind == {}
+
+    def test_kernel_registered(self, counter, lib):
+        """The vdd axis batches through the kernel registry."""
+        from repro.errors import RunnerError
+        from repro.runner import compile_kernel, kernel_for
+
+        table = LeakageTable.compile(counter.design.top)
+        kernel = kernel_for(table)
+        assert kernel is not None and kernel.name == "leakage-axis"
+        compiled = compile_kernel(table, library=lib)
+        points = [None, 0.6, 0.3]
+        for vdd, got in zip(points, compiled(points)):
+            ref = table.evaluate(lib, vdd=vdd)
+            assert (got.vdd, got.total) == (ref.vdd, ref.total)
+            assert got.by_cell == ref.by_cell
+        with pytest.raises(RunnerError, match="library"):
+            compile_kernel(table)([0.6])
+
+    def test_pickle_roundtrip(self, counter, lib):
+        import pickle
+
+        table = pickle.loads(pickle.dumps(
+            LeakageTable.compile(counter.design.top)))
+        ref = leakage_power(counter.design.top, lib, vdd=0.5)
+        assert table.evaluate(lib, vdd=0.5).total == ref.total
+
 
 class TestSwitchedCapTable:
     def test_matches_vectorless_switching(self, counter, lib):

@@ -126,7 +126,7 @@ def capture_cpu_vectors(module, program, memory=None, max_cycles=200):
     ports = [p.name for p in module.input_ports() if p.name != "clk"]
     vectors = []
     while not cpu.halted and cpu.cycles < max_cycles:
-        vectors.append({p: cpu.sim.value(p) for p in ports})
+        vectors.append({p: cpu.value(p) for p in ports})
         cpu.step()
     return vectors
 

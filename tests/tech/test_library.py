@@ -83,6 +83,36 @@ class TestCell:
         # Unknown state falls back to the average.
         assert cell.leakage_for_state({"A": None}) == pytest.approx(1e-9)
 
+    def test_leakage_for_state_memoised(self, monkeypatch):
+        """The state scan runs once per distinct pin-value tuple; a
+        repeat hit never re-evaluates the match expressions."""
+        cell = _make_cell()
+        calls = []
+        orig = LeakageState.matches
+
+        def counting(self, values):
+            calls.append(values)
+            return orig(self, values)
+
+        monkeypatch.setattr(LeakageState, "matches", counting)
+        first = cell.leakage_for_state({"A": 0})
+        scans = len(calls)
+        assert scans > 0
+        # Same tuple again: answer served from the memo, zero scans.
+        assert cell.leakage_for_state({"A": 0}) == first
+        assert len(calls) == scans
+        # Missing pin and explicit None share a key (the expression
+        # evaluator's values.get handling makes them equivalent).
+        cell.leakage_for_state({"A": None})
+        after_none = len(calls)
+        cell.leakage_for_state({})
+        assert len(calls) == after_none
+
+    def test_memo_is_per_cell(self):
+        a, b = _make_cell(), _make_cell()
+        assert a.leakage_for_state({"A": 1}) == pytest.approx(2e-9)
+        assert a._state_memo and not b._state_memo
+
     def test_kind_queries(self):
         comb = _make_cell()
         assert comb.is_combinational and not comb.is_sequential
